@@ -1,0 +1,29 @@
+"""Ablation — property P3 on/off (join pushdown vs pivot replacement).
+
+Isolates the benefit Section 5.2.3 attributes to POP: fetching the target
+and benchmark slices with ONE widened get + pivot instead of two gets + a
+join.  Both variants push everything to the engine, so the measured gap is
+purely the P3 rewrite's doing (one fact scan instead of two, no join).
+"""
+
+import pytest
+
+from benchmarks.conftest import rounds_for
+
+
+@pytest.mark.parametrize("intention", ["Sibling", "Past"])
+@pytest.mark.parametrize("p3", [False, True], ids=["P3-off(JOP)", "P3-on(POP)"])
+def test_ablation_p3(benchmark, runner, intention, p3):
+    scale = runner.scales[-1]
+    plan_name = "POP" if p3 else "JOP"
+    result = benchmark.pedantic(
+        runner.run_once,
+        args=(intention, scale, plan_name),
+        rounds=rounds_for(runner, scale),
+        iterations=1,
+    )
+    benchmark.extra_info["intention"] = intention
+    benchmark.extra_info["plan"] = plan_name
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["cells"] = len(result)
+    assert len(result) > 0

@@ -1,0 +1,38 @@
+"""Ablation — prediction backend of past benchmarks.
+
+The paper's Figure 4 identifies the regression transform as the dominant
+step of the Past intention.  This ablation swaps the OLS backend for the
+cheaper predictors the library ships and measures the end-to-end effect,
+quantifying how much of Past's cost is attributable to the forecasting
+model itself.
+"""
+
+import pytest
+
+from benchmarks.conftest import rounds_for
+from repro.algebra import PlanExecutor, build_plan
+
+PREDICTORS = ("linearRegression", "movingAverage", "exponentialSmoothing", "naiveLast")
+
+
+@pytest.mark.parametrize("method", PREDICTORS)
+def test_ablation_prediction_backend(benchmark, runner, method):
+    scale = runner.scales[-1]
+    session = runner.session(scale)
+    statement = runner.statement("Past", scale)
+    statement.benchmark.method = method
+    plan = build_plan(statement, session.engine, "POP")
+    executor = PlanExecutor(session.engine, session.registry)
+
+    result = benchmark.pedantic(
+        executor.execute,
+        args=(plan, statement),
+        rounds=rounds_for(runner, scale),
+        iterations=1,
+    )
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["transform_ms"] = round(
+        1000 * result.timings.get("transform", 0.0), 2
+    )
+    assert len(result) > 0

@@ -1,0 +1,42 @@
+"""Ablation — materialized views on/off.
+
+The paper's setup created materialized views on the Oracle star "to improve
+performances".  This ablation quantifies what view routing buys our engine:
+the Sibling intention's gets are answered either from the lineorder fact
+table or from a view pre-aggregated at exactly the needed granularity.
+"""
+
+import pytest
+
+from benchmarks.conftest import rounds_for
+
+
+@pytest.fixture(scope="module")
+def view_scale(runner):
+    """Materialize the Sibling granularity on the mid ladder rung."""
+    scale = runner.scales[min(1, len(runner.scales) - 1)]
+    engine = runner.session(scale).engine
+    view = engine.materialize("SSB", ["part", "s_region"], name="mv_ablation")
+    engine.use_materialized_views = False  # each case toggles explicitly
+    yield scale
+    engine.use_materialized_views = True
+    engine.drop_view("mv_ablation")
+
+
+@pytest.mark.parametrize("views", [False, True], ids=["views-off", "views-on"])
+def test_ablation_materialized_views(benchmark, runner, view_scale, views):
+    engine = runner.session(view_scale).engine
+    engine.use_materialized_views = views
+    try:
+        runner.run_once("Sibling", view_scale, "POP")  # warm dictionaries
+        result = benchmark.pedantic(
+            runner.run_once,
+            args=("Sibling", view_scale, "POP"),
+            rounds=rounds_for(runner, view_scale),
+            iterations=1,
+        )
+    finally:
+        engine.use_materialized_views = False
+    benchmark.extra_info["views"] = views
+    benchmark.extra_info["scale"] = view_scale
+    assert len(result) > 0

@@ -1,0 +1,42 @@
+"""Figure 3 — execution times of NP/JOP/POP per intention and scale.
+
+Regenerates the series of Figure 3: one benchmark case per (intention,
+plan, scale) triple, over the feasibility matrix of Section 5.2.  The
+paper's claims — JOP ≤ NP and POP ≤ JOP where feasible, and linear scaling
+across the ladder — are checked by ``benchmarks/harness.py fig3`` and by
+the Table 3 bench; here each case simply measures one plan's wall time.
+"""
+
+import pytest
+
+from benchmarks.conftest import rounds_for
+from repro.experiments import FEASIBLE_PLANS
+from repro.experiments.statements import INTENTIONS
+
+CASES = [
+    (intention, plan)
+    for intention in INTENTIONS
+    for plan in FEASIBLE_PLANS[intention]
+]
+
+
+@pytest.mark.parametrize("scale", ["SSB1", "SSB10", "SSB100"])
+@pytest.mark.parametrize("intention,plan", CASES)
+def test_fig3_execution_time(benchmark, runner, intention, plan, scale):
+    if scale not in runner.scales:
+        pytest.skip(f"{scale} not in the configured ladder")
+
+    benchmark.extra_info["intention"] = intention
+    benchmark.extra_info["plan"] = plan
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["rows"] = runner.ladder[scale]
+
+    result = benchmark.pedantic(
+        runner.run_once,
+        args=(intention, scale, plan),
+        rounds=rounds_for(runner, scale),
+        iterations=1,
+        warmup_rounds=1 if runner.ladder[scale] <= 1_000_000 else 0,
+    )
+    benchmark.extra_info["cells"] = len(result)
+    assert len(result) > 0

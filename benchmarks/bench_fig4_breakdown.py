@@ -1,0 +1,56 @@
+"""Figure 4 — breakdown of the Past intention's execution time.
+
+Regenerates Figure 4: the Past intention is executed under each plan with
+the instrumented executor, and the per-step timings (get target / get
+benchmark / get combined / transform / join / compare / label) land in
+``extra_info``.  The paper's two claims are asserted: comparison and
+labeling are negligible (milliseconds), and the plans shift get/join cost
+between buckets exactly as Section 6.2 describes.
+"""
+
+import pytest
+
+from benchmarks.conftest import rounds_for
+from repro.algebra import (
+    STEP_COMPARE,
+    STEP_GET_BENCHMARK,
+    STEP_GET_COMBINED,
+    STEP_GET_TARGET,
+    STEP_JOIN,
+    STEP_LABEL,
+    STEP_TRANSFORM,
+)
+
+
+@pytest.mark.parametrize("plan", ["NP", "JOP", "POP"])
+def test_fig4_past_breakdown(benchmark, runner, plan):
+    scale = runner.scales[-1]
+    result = benchmark.pedantic(
+        runner.run_once,
+        args=("Past", scale, plan),
+        rounds=rounds_for(runner, scale),
+        iterations=1,
+    )
+    breakdown = result.timings
+    benchmark.extra_info["plan"] = plan
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["breakdown_ms"] = {
+        step: round(1000 * seconds, 2) for step, seconds in breakdown.items()
+    }
+
+    total = sum(breakdown.values())
+    compare_label = breakdown.get(STEP_COMPARE, 0.0) + breakdown.get(STEP_LABEL, 0.0)
+    # "the execution times for comparison and labeling are ... negligible"
+    assert compare_label < 0.2 * total
+
+    if plan == "NP":
+        # NP gets both cubes separately and joins in memory
+        assert STEP_GET_TARGET in breakdown
+        assert STEP_GET_BENCHMARK in breakdown
+        assert STEP_JOIN in breakdown
+        assert STEP_TRANSFORM in breakdown  # pivot + regression
+    else:
+        # JOP folds the join, POP the pivot, into one pushed query
+        assert STEP_GET_COMBINED in breakdown
+        assert STEP_JOIN not in breakdown
+        assert STEP_TRANSFORM in breakdown  # regression stays in memory

@@ -1,0 +1,42 @@
+"""Table 2 — target cube cardinalities per intention and scale.
+
+Regenerates Table 2: for each intention, the benchmarked operation is the
+target-cube get at each ladder rung; the resulting ``|C|`` values land in
+``extra_info`` and the cross-scale growth property (cardinality scales with
+the cube, the basis of the paper's linear-scaling claim) is asserted.
+"""
+
+import pytest
+
+from repro.experiments import PAPER_TABLE2
+from repro.experiments.statements import INTENTIONS
+
+
+@pytest.mark.parametrize("intention", INTENTIONS)
+def test_table2_target_cardinality(benchmark, runner, intention):
+    smallest = runner.scales[0]
+    cardinality = benchmark(runner.target_cardinality, intention, smallest)
+
+    per_scale = {smallest: cardinality}
+    for scale in runner.scales[1:]:
+        per_scale[scale] = runner.target_cardinality(intention, scale)
+
+    benchmark.extra_info["intention"] = intention
+    benchmark.extra_info["measured"] = per_scale
+    benchmark.extra_info["paper"] = PAPER_TABLE2[intention]
+
+    assert cardinality > 0
+    scales = list(runner.scales)
+    for previous, current in zip(scales, scales[1:]):
+        assert per_scale[current] > per_scale[previous], (
+            f"{intention}: |C| must grow with the cube "
+            f"({previous}={per_scale[previous]}, {current}={per_scale[current]})"
+        )
+
+    # Past must have by far the smallest target (one time slice), Constant
+    # the largest (finest group-by) — the ordering Table 2 shows.
+    all_cards = {
+        i: runner.target_cardinality(i, smallest) for i in INTENTIONS
+    }
+    assert all_cards["Past"] == min(all_cards.values())
+    assert all_cards["Constant"] == max(all_cards.values())

@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures: one experiment runner per pytest session.
+
+The ladder defaults to a laptop-friendly 30k/300k/3M lineorder rows
+(preserving the paper's 1:10:100 ratios); override with::
+
+    REPRO_LADDER="60000,600000,6000000" pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+from repro.experiments.runner import ladder_from_env
+
+BENCH_DEFAULT_LADDER = {"SSB1": 30_000, "SSB10": 300_000, "SSB100": 3_000_000}
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    if os.environ.get("REPRO_LADDER", "").strip():
+        ladder = ladder_from_env()
+    else:
+        ladder = dict(BENCH_DEFAULT_LADDER)
+    return ExperimentRunner(ladder)
+
+
+def rounds_for(runner: ExperimentRunner, scale: str) -> int:
+    """Fewer timing rounds at the big rungs to keep total runtime sane."""
+    rows = runner.ladder[scale]
+    if rows <= 100_000:
+        return 5  # the paper's 5-run averaging
+    if rows <= 1_000_000:
+        return 3
+    return 1

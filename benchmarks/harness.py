@@ -1,0 +1,132 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Usage::
+
+    python benchmarks/harness.py all
+    python benchmarks/harness.py table1 table2
+    REPRO_LADDER="60000,600000,6000000" python benchmarks/harness.py fig3 fig4
+    python benchmarks/harness.py all --repetitions 3
+
+Prints, for each experiment, our measured values side by side with the
+numbers printed in the paper (where the paper gives numbers) and verdicts
+on the paper's qualitative claims.  The default ladder is 60k/600k/6M
+lineorder rows — 1:100 of the paper's SSB ladder with the same 1:10:100
+ratios (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ExperimentRunner,
+    render_fig3,
+    render_fig4,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.experiments.statements import INTENTIONS, statement_text
+
+# fig3 runs before table3 so the latter reuses fig3's measurements
+EXPERIMENTS = ("statements", "table1", "table2", "fig3", "table3", "fig4")
+
+
+def run_statements(runner: ExperimentRunner, repetitions: int) -> str:
+    lines = ["The four reference intentions (Section 6)"]
+    for intention in INTENTIONS:
+        lines.append(f"\n--- {intention} ---")
+        lines.append(statement_text(intention))
+    return "\n".join(lines)
+
+
+def run_table1(runner: ExperimentRunner, repetitions: int) -> str:
+    return render_table1(runner.table1())
+
+
+def run_table2(runner: ExperimentRunner, repetitions: int) -> str:
+    return render_table2(runner.table2(), runner.ladder)
+
+
+def run_fig3(runner: ExperimentRunner, repetitions: int) -> str:
+    data = runner.fig3(repetitions=repetitions)
+    run_fig3.cache = data
+    return render_fig3(data, runner.ladder)
+
+
+def run_table3(runner: ExperimentRunner, repetitions: int) -> str:
+    cached = getattr(run_fig3, "cache", None)
+    data = runner.table3(cached) if cached else runner.table3(
+        runner.fig3(repetitions=repetitions)
+    )
+    return render_table3(data, runner.ladder)
+
+
+def run_fig4(runner: ExperimentRunner, repetitions: int) -> str:
+    return render_fig4(runner.fig4(repetitions=repetitions), runner.ladder)
+
+
+RUNNERS = {
+    "statements": run_statements,
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help=f"which to run: {', '.join(EXPERIMENTS)} or 'all'",
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=5,
+        help="timed runs per measurement (paper: 5)",
+    )
+    parser.add_argument(
+        "--ladder", type=str, default="",
+        help="comma-separated lineorder row counts (overrides REPRO_LADDER)",
+    )
+    args = parser.parse_args(argv)
+
+    selected = args.experiments or ["all"]
+    if "all" in selected:
+        selected = list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    ladder = None
+    if args.ladder.strip():
+        from repro.experiments.paper_reference import SCALES
+
+        rows = [int(part) for part in args.ladder.split(",") if part.strip()]
+        ladder = {name: count for name, count in zip(SCALES, rows)}
+    runner = ExperimentRunner(ladder)
+
+    print("repro harness — 'Assess Queries for Interactive Analysis of Data Cubes'")
+    print(f"ladder: {', '.join(f'{k}={v:,} rows' for k, v in runner.ladder.items())} "
+          f"(paper: SSB1=6,000,000 ... SSB100=600,000,000)")
+    for name in EXPERIMENTS:
+        if name not in selected:
+            continue
+        start = time.perf_counter()
+        text = RUNNERS[name](runner, args.repetitions)
+        elapsed = time.perf_counter() - start
+        print("\n" + "=" * 78)
+        print(text)
+        print(f"[{name} regenerated in {elapsed:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""A full interactive-analysis session over the SSB cube.
+
+Run with::
+
+    python examples/olap_session.py
+
+Walks the scenario the paper's introduction motivates: an analyst explores
+a sales cube by chaining assess intentions — a KPI check, a distribution
+labeling, a sibling comparison between regions, a forecast check, and the
+ancestor-benchmark extension — each one cheap to write and immediately
+labeled.
+"""
+
+from repro import AssessSession
+from repro.core import Interval, LabelRule
+from repro.datagen import ssb_engine
+
+
+def show(title: str, result, limit: int = 5) -> None:
+    print(f"\n=== {title} (plan {result.plan_name}, "
+          f"{1000 * result.total_time():.0f} ms, {len(result)} cells) ===")
+    print(result.to_table(limit=limit))
+    if len(result) > limit:
+        print(f"... plus {len(result) - limit} more cells")
+    print(f"labels: {dict(result.label_counts())}")
+
+
+def main() -> None:
+    print("Building the SSB cube (150k lineorder rows)...")
+    session = AssessSession(ssb_engine(lineorder_rows=150_000))
+
+    # A user-predeclared 5-star labeling (Example 3.3).
+    bounds = [-1.0, -0.6, -0.2, 0.2, 0.6, 1.0]
+    stars = ["*", "**", "***", "****", "*****"]
+    session.define_labeling(
+        "fiveStars",
+        [
+            LabelRule(
+                Interval(bounds[i], bounds[i + 1], i == 0, True), stars[i]
+            )
+            for i in range(5)
+        ],
+    )
+
+    # 1. KPI check: is yearly revenue near 180M per region?
+    show(
+        "KPI: yearly revenue per customer region vs 180M",
+        session.assess(
+            """with SSB by year, c_region assess revenue against 180000000
+               using ratio(revenue, 180000000)
+               labels {[0, 0.8): miss, [0.8, 1.2]: hit, (1.2, inf): exceed}"""
+        ),
+    )
+
+    # 2. Distribution labeling: which months were strong?
+    show(
+        "monthly revenue quartiles",
+        session.assess("with SSB by month assess revenue labels quartiles"),
+    )
+
+    # 3. Sibling benchmark: ASIA vs AMERICA per part category.
+    show(
+        "category revenue, ASIA vs AMERICA (5-star scale)",
+        session.assess(
+            """with SSB for s_region = 'ASIA' by category, s_region
+               assess revenue against s_region = 'AMERICA'
+               using minMaxNormSym(difference(revenue, benchmark.revenue))
+               labels fiveStars"""
+        ),
+    )
+
+    # 4. Past benchmark: forecast check for mid-1998.
+    show(
+        "June 1998 revenue per supplier nation vs 4-month forecast",
+        session.assess(
+            """with SSB for month = '1998-06' by month, s_nation
+               assess revenue against past 4
+               using ratio(revenue, benchmark.revenue)
+               labels {[0, 0.9): 'below forecast', [0.9, 1.1]: 'on forecast',
+                       (1.1, inf): 'above forecast'}"""
+        ),
+    )
+
+    # 5. Ancestor extension: each brand vs its whole category.
+    result = session.assess(
+        """with SSB by brand assess revenue against ancestor category
+           using ratio(revenue, benchmark.revenue) labels top5"""
+    )
+    print(f"\n=== brand share of its category, top-5 ranking "
+          f"({len(result)} brands) ===")
+    print(f"labels: {dict(sorted(result.label_counts().items()))}")
+
+    # 6. assess*: which (year, c_nation) cells have no budget coverage?
+    star = session.assess(
+        """with SSB by month, category
+           assess* revenue against BUDGET.expected_revenue
+           using ratio(revenue, benchmark.expected_revenue)
+           labels {[0, 0.95): short, [0.95, 1.05]: close, (1.05, inf): ahead}"""
+    )
+    nulls = sum(1 for cell in star if cell.label is None)
+    print(f"\nassess* vs BUDGET: {len(star)} cells, {nulls} without coverage")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""repro — a full reproduction of "Assess Queries for Interactive Analysis
+of Data Cubes" (Francia, Golfarelli, Marcel, Rizzi, Vassiliadis; EDBT 2021).
+
+The package provides:
+
+* the **assess operator** with its SQL-like language (``with … by … assess …
+  against … using … labels …``), all four benchmark types (constant,
+  external, sibling, past) plus the ``assess*`` variant and an
+  ancestor-benchmark extension;
+* the **logical algebra** of Section 4.2 (get, join, cell-/h-transform,
+  pivot) with the NP/JOP/POP execution plans and the P1–P3 rewrite rules of
+  Section 5;
+* a from-scratch **relational engine substrate** (columnar tables, star
+  schemas, vectorised group-by/join/pivot, SQL rendering) standing in for
+  the paper's Oracle 11g;
+* **data generators** for the paper's SALES example and SSB-style stars;
+* the full **experiment harness** regenerating Tables 1–3 and Figures 3–4.
+
+Quick start::
+
+    from repro import AssessSession
+    from repro.datagen import sales_engine
+
+    session = AssessSession(sales_engine())
+    result = session.assess('''
+        with SALES for type = 'Fresh Fruit', country = 'Italy'
+        by product, country
+        assess quantity against country = 'France'
+        using percOfTotal(difference(quantity, benchmark.quantity))
+        labels {[-inf, -0.2): bad, [-0.2, 0.2]: ok, (0.2, inf]: good}
+    ''')
+    print(result.to_table())
+"""
+
+from .api import AssessSession
+from .suggest import Completion, complete_statement
+from .core import (
+    AssessResult,
+    AssessStatement,
+    Cube,
+    CubeQuery,
+    CubeSchema,
+    GroupBySet,
+    Hierarchy,
+    Level,
+    Measure,
+    Predicate,
+    ReproError,
+)
+from .parser import parse_statement
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssessResult",
+    "AssessSession",
+    "AssessStatement",
+    "Completion",
+    "complete_statement",
+    "Cube",
+    "CubeQuery",
+    "CubeSchema",
+    "GroupBySet",
+    "Hierarchy",
+    "Level",
+    "Measure",
+    "Predicate",
+    "ReproError",
+    "__version__",
+    "parse_statement",
+]

@@ -1,0 +1,71 @@
+"""Logical algebra: plan nodes, NP/JOP/POP planning, rewriting, execution.
+
+Implements Sections 4.2 (logical operators), 4.3 (statement semantics) and 5
+(basic properties P1–P3 and the three execution plans) of the paper.
+"""
+
+from .executor import PlanExecutor
+from .plan import (
+    ALL_STEPS,
+    AddConstantNode,
+    GetNode,
+    JoinNode,
+    LabelNode,
+    PivotNode,
+    Plan,
+    PlanNode,
+    PredictNode,
+    ProjectNode,
+    RollupJoinNode,
+    STEP_COMPARE,
+    STEP_GET_BENCHMARK,
+    STEP_GET_COMBINED,
+    STEP_GET_TARGET,
+    STEP_JOIN,
+    STEP_LABEL,
+    STEP_TRANSFORM,
+    UsingNode,
+)
+from .planner import (
+    JOP,
+    NP,
+    POP,
+    build_all_plans,
+    build_naive_plan,
+    build_plan,
+    feasible_plans,
+)
+from .rewrite import p1_commutes, push_join_to_sql, replace_join_with_pivot
+
+__all__ = [
+    "ALL_STEPS",
+    "AddConstantNode",
+    "GetNode",
+    "JOP",
+    "JoinNode",
+    "LabelNode",
+    "NP",
+    "POP",
+    "PivotNode",
+    "Plan",
+    "PlanExecutor",
+    "PlanNode",
+    "PredictNode",
+    "ProjectNode",
+    "RollupJoinNode",
+    "STEP_COMPARE",
+    "STEP_GET_BENCHMARK",
+    "STEP_GET_COMBINED",
+    "STEP_GET_TARGET",
+    "STEP_JOIN",
+    "STEP_LABEL",
+    "STEP_TRANSFORM",
+    "UsingNode",
+    "build_all_plans",
+    "build_naive_plan",
+    "build_plan",
+    "feasible_plans",
+    "p1_commutes",
+    "push_join_to_sql",
+    "replace_join_with_pivot",
+]

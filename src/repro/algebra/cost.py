@@ -1,0 +1,216 @@
+"""Cost-based plan selection (the paper's §8 future work).
+
+"Investigate the relevant properties of our logical operators and develop a
+cost-based optimization strategy."
+
+The model estimates each plan node's cost from catalog statistics —
+fact-table cardinality, per-level distinct counts, predicate selectivities
+— using textbook estimators:
+
+* **selectivity** of ``l = u`` is ``1/|Dom(l)|``; of ``l IN {u1..uk}`` is
+  ``k/|Dom(l)|``; range predicates get a fixed default;
+* the **number of groups** of an aggregation over ``n`` rows with ``s``
+  possible slots follows the Poisson "balls in bins" estimator
+  ``s · (1 − e^(−n/s))``;
+* per-row weights separate *engine* (vectorised) work from *in-memory*
+  (cube-object) work, reflecting the measured gap between pushed and
+  in-memory operators.
+
+Costs are relative, unit-free weights — only the *ordering* of plans
+matters.  :func:`choose_plan` estimates every feasible plan of a statement
+and returns the cheapest, giving ``AssessSession.assess(..., plan="auto")``
+its brains.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from ..core.query import CubeQuery, Predicate, PredicateOp
+from ..core.statement import AssessStatement
+from ..olap.engine import MultidimensionalEngine
+from .plan import (
+    AddConstantNode,
+    GetNode,
+    JoinNode,
+    LabelNode,
+    PivotNode,
+    Plan,
+    PlanNode,
+    PredictNode,
+    ProjectNode,
+    RollupJoinNode,
+    UsingNode,
+)
+from .planner import build_all_plans
+
+# Relative per-row weights (engine rows are vectorised; cube rows are not).
+SCAN_WEIGHT = 1.0          # engine: scan + mask one fact row
+GROUP_WEIGHT = 4.0         # engine: factorize + aggregate one grouped row
+ENGINE_JOIN_WEIGHT = 3.0   # engine: hash-join one result row
+ENGINE_PIVOT_WEIGHT = 4.0  # engine: pivot-scatter one result row
+MEMORY_ROW_WEIGHT = 40.0   # cube objects: per-cell Python-level work
+TRANSFORM_WEIGHT = 2.0     # vectorised per-cell transform work
+RANGE_SELECTIVITY = 0.3    # default selectivity of between predicates
+
+
+class CostEstimate:
+    """An estimated plan cost with its per-node breakdown."""
+
+    def __init__(self, plan: Plan):
+        self.plan = plan
+        self.total = 0.0
+        self.breakdown: Dict[str, float] = {}
+
+    def charge(self, node: PlanNode, cost: float) -> None:
+        self.total += cost
+        key = type(node).__name__
+        self.breakdown[key] = self.breakdown.get(key, 0.0) + cost
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CostEstimate({self.plan.name}, total={self.total:.0f})"
+
+
+class Statistics:
+    """Catalog statistics provider, with per-source caching."""
+
+    def __init__(self, engine: MultidimensionalEngine):
+        self.engine = engine
+        self._fact_rows: Dict[str, int] = {}
+        self._cardinalities: Dict[Tuple[str, str], int] = {}
+
+    def fact_rows(self, source: str) -> int:
+        if source not in self._fact_rows:
+            star = self.engine.cube(source).star
+            self._fact_rows[source] = len(self.engine.catalog.table(star.fact_table))
+        return self._fact_rows[source]
+
+    def level_cardinality(self, source: str, level: str) -> int:
+        key = (source, level)
+        if key not in self._cardinalities:
+            star = self.engine.cube(source).star
+            table_token, column = star.column_for_level(level)
+            table_name = (
+                star.fact_table if table_token == "__fact__" else table_token
+            )
+            table = self.engine.catalog.table(table_name)
+            _, cardinality = table.dictionary(column)
+            self._cardinalities[key] = max(cardinality, 1)
+        return self._cardinalities[key]
+
+    def selectivity(self, source: str, predicate: Predicate) -> float:
+        cardinality = self.level_cardinality(source, predicate.level)
+        if predicate.op is PredicateOp.EQ:
+            return 1.0 / cardinality
+        if predicate.op is PredicateOp.IN:
+            return min(1.0, len(predicate.values) / cardinality)
+        return RANGE_SELECTIVITY
+
+    def scanned_rows(self, query: CubeQuery) -> float:
+        rows = float(self.fact_rows(query.source))
+        for predicate in query.predicates:
+            rows *= self.selectivity(query.source, predicate)
+        return max(rows, 1.0)
+
+    def result_cells(self, query: CubeQuery) -> float:
+        """Poisson estimator of the derived cube's cardinality |C|."""
+        scanned = self.scanned_rows(query)
+        slots = 1.0
+        for level in query.group_by.levels:
+            slots *= self.level_cardinality(query.source, level)
+            # predicates on group-by levels shrink the slot space too
+            predicate = query.predicate_on(level)
+            if predicate is not None:
+                slots *= self.selectivity(query.source, predicate)
+        slots = max(slots, 1.0)
+        if scanned / slots > 50:  # effectively dense
+            return slots
+        return slots * (1.0 - math.exp(-scanned / slots))
+
+
+def estimate_plan_cost(
+    plan: Plan, engine: MultidimensionalEngine,
+    statistics: Optional[Statistics] = None,
+) -> CostEstimate:
+    """Estimate a plan's execution cost bottom-up.
+
+    Returns the estimate with a per-node-type breakdown; node visits return
+    their estimated output cardinality so parents can price their own work.
+    """
+    stats = statistics or Statistics(engine)
+    estimate = CostEstimate(plan)
+
+    def get_cost(node: GetNode) -> float:
+        scanned = stats.scanned_rows(node.query)
+        cells = stats.result_cells(node.query)
+        estimate.charge(node, SCAN_WEIGHT * scanned + GROUP_WEIGHT * cells)
+        return cells
+
+    def visit(node: PlanNode) -> float:
+        if isinstance(node, GetNode):
+            return get_cost(node)
+        if isinstance(node, JoinNode):
+            if node.pushed:
+                left = get_cost(node.left)   # children folded into the query
+                right = get_cost(node.right)
+                out = min(left, right)
+                estimate.charge(node, ENGINE_JOIN_WEIGHT * (left + right))
+                return out
+            left = visit(node.left)
+            right = visit(node.right)
+            out = min(left, right)
+            estimate.charge(node, MEMORY_ROW_WEIGHT * (left + right))
+            return out
+        if isinstance(node, PivotNode):
+            if node.pushed:
+                cells = get_cost(node.child)
+                members = max(len(node.member_renames) + 1, 1)
+                out = cells / members
+                estimate.charge(node, ENGINE_PIVOT_WEIGHT * cells)
+                return out
+            cells = visit(node.child)
+            members = max(len(node.member_renames) + 1, 1)
+            out = cells / members
+            estimate.charge(node, MEMORY_ROW_WEIGHT * cells)
+            return out
+        if isinstance(node, RollupJoinNode):
+            left = visit(node.left)
+            right = visit(node.right)
+            estimate.charge(node, MEMORY_ROW_WEIGHT * (left + right))
+            return left
+        if isinstance(node, PredictNode):
+            cells = visit(node.child)
+            width = max(len(node.input_columns), 1)
+            estimate.charge(node, TRANSFORM_WEIGHT * cells * width)
+            return cells
+        if isinstance(node, (UsingNode, LabelNode)):
+            cells = visit(node.child)
+            estimate.charge(node, TRANSFORM_WEIGHT * cells)
+            return cells
+        if isinstance(node, (ProjectNode, AddConstantNode)):
+            cells = visit(node.child)
+            estimate.charge(node, 0.1 * cells)
+            return cells
+        raise TypeError(f"cost model does not know {type(node).__name__}")
+
+    visit(plan.root)
+    return estimate
+
+
+def choose_plan(
+    statement: AssessStatement, engine: MultidimensionalEngine
+) -> Tuple[Plan, Dict[str, float]]:
+    """Pick the cheapest feasible plan by estimated cost.
+
+    Returns the chosen plan and the estimated totals of every candidate
+    (for explain/debug output).
+    """
+    stats = Statistics(engine)
+    plans = build_all_plans(statement, engine)
+    estimates = {
+        name: estimate_plan_cost(plan, engine, stats)
+        for name, plan in plans.items()
+    }
+    best = min(estimates, key=lambda name: estimates[name].total)
+    return plans[best], {name: e.total for name, e in estimates.items()}

@@ -1,0 +1,438 @@
+"""Logical plans: trees of the Section 4.2 operators.
+
+A plan is an immutable tree of :class:`PlanNode` objects.  Each node is one
+logical operator — get ``[q]``, join ``⋈``/``⋈_{l…}``, cell-transform ``⊟``,
+h-transform ``⊡``, pivot ``⊞`` — plus small bookkeeping nodes (project,
+constant-measure) the paper leaves implicit.  Nodes carry two pieces of
+execution metadata:
+
+* ``pushed`` — whether the operator is evaluated by the DBMS substrate
+  ("pushed to SQL", Section 5.2) or in memory on cube objects; and
+* ``step`` — the Figure 4 cost-breakdown bucket its runtime is charged to
+  (``get_target`` / ``get_benchmark`` / ``get_combined`` / ``transform`` /
+  ``join`` / ``compare`` / ``label``).
+
+The planner (:mod:`repro.algebra.planner`) builds the naive plan NP from an
+assess statement; the rewriter (:mod:`repro.algebra.rewrite`) derives JOP
+and POP from it by applying properties P2 and P3.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Tuple
+
+from ..core.expression import Expression
+from ..core.labels import LabelingSpec
+from ..core.query import CubeQuery
+
+STEP_GET_TARGET = "get_target"
+STEP_GET_BENCHMARK = "get_benchmark"
+STEP_GET_COMBINED = "get_combined"
+STEP_TRANSFORM = "transform"
+STEP_JOIN = "join"
+STEP_COMPARE = "compare"
+STEP_LABEL = "label"
+
+ALL_STEPS = (
+    STEP_GET_TARGET,
+    STEP_GET_BENCHMARK,
+    STEP_GET_COMBINED,
+    STEP_TRANSFORM,
+    STEP_JOIN,
+    STEP_COMPARE,
+    STEP_LABEL,
+)
+
+
+class PlanNode:
+    """Base class for plan-tree nodes."""
+
+    step: str = STEP_TRANSFORM
+
+    @property
+    def children(self) -> Tuple["PlanNode", ...]:
+        return ()
+
+    def describe(self) -> str:
+        """One-line description for ``explain()`` output."""
+        raise NotImplementedError
+
+    def explain(self, indent: int = 0) -> str:
+        """Indented tree rendering of the plan."""
+        lines = [("  " * indent) + self.describe()]
+        for child in self.children:
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+class GetNode(PlanNode):
+    """``[q]`` — a cube query pushed to the engine.
+
+    ``role`` says whether the query fetches the target cube, the benchmark,
+    or both at once (POP's widened get), which fixes the timing bucket.
+    """
+
+    def __init__(self, query: CubeQuery, role: str = "target", name: str = ""):
+        if role not in ("target", "benchmark", "combined"):
+            raise ValueError(f"unknown get role {role!r}")
+        self.query = query
+        self.role = role
+        self.name = name
+        self.step = {
+            "target": STEP_GET_TARGET,
+            "benchmark": STEP_GET_BENCHMARK,
+            "combined": STEP_GET_COMBINED,
+        }[role]
+
+    def describe(self) -> str:
+        suffix = f" -> {self.name}" if self.name else ""
+        return f"Get[{self.role}] {self.query!r}{suffix} (SQL)"
+
+
+class AddConstantNode(PlanNode):
+    """Append a constant measure column — builds a constant benchmark.
+
+    Implements the Section 3.1 constant benchmark without materialising a
+    separate cube: ``B`` has exactly the target's coordinates, so a constant
+    column on the target cube is the joined result ``C ⋈ B`` directly.
+    """
+
+    step = STEP_TRANSFORM
+
+    def __init__(self, child: PlanNode, value: float, column_name: str):
+        self.child = child
+        self.value = float(value)
+        self.column_name = column_name
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"AddConstant {self.column_name} = {self.value}"
+
+
+class JoinNode(PlanNode):
+    """``⋈`` / ``⋈_{l1..lm}`` — drill-across of target and benchmark.
+
+    ``join_levels=None`` means the natural join on full coordinates.  With
+    ``pushed=True`` both children must be :class:`GetNode`; the executor
+    sends a single drill-across query to the engine (JOP) and the time is
+    charged to ``get_combined``.  ``multi=True`` is the fan-in partial join
+    appending one column set per matching benchmark cell.
+    """
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        join_levels: Optional[Sequence[str]] = None,
+        alias: str = "benchmark",
+        outer: bool = False,
+        pushed: bool = False,
+        multi: bool = False,
+    ):
+        self.left = left
+        self.right = right
+        self.join_levels = tuple(join_levels) if join_levels is not None else None
+        self.alias = alias
+        self.outer = bool(outer)
+        self.pushed = bool(pushed)
+        self.multi = bool(multi)
+        self.step = STEP_GET_COMBINED if pushed else STEP_JOIN
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        on = "natural" if self.join_levels is None else f"on {list(self.join_levels)}"
+        flavour = "outer " if self.outer else ""
+        where = "SQL" if self.pushed else "memory"
+        multi = ", multi" if self.multi else ""
+        return f"{flavour}Join {on} -> {self.alias} ({where}{multi})"
+
+
+class PivotNode(PlanNode):
+    """``⊞`` — keep the reference slice, append sibling-slice measures.
+
+    With ``pushed=True`` the child must be a :class:`GetNode`; the engine
+    evaluates get+pivot in one query (POP) and the time is charged to
+    ``get_combined``.  In-memory pivots count as ``transform``, matching the
+    paper's Figure 4 accounting ("the cost for the pivot operation is
+    counted as transformation" for NP/JOP).
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        level: str,
+        reference,
+        member_renames: Mapping[object, Mapping[str, str]],
+        require_all: bool = False,
+        pushed: bool = False,
+        fill_member=None,
+    ):
+        self.child = child
+        self.level = level
+        self.reference = reference
+        self.member_renames = {m: dict(r) for m, r in member_renames.items()}
+        self.require_all = bool(require_all)
+        self.pushed = bool(pushed)
+        self.fill_member = fill_member
+        self.step = STEP_GET_COMBINED if pushed else STEP_TRANSFORM
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        where = "SQL" if self.pushed else "memory"
+        anchor = "spread" if self.reference is None else f"ref={self.reference!r}"
+        return (
+            f"Pivot on {self.level} {anchor} "
+            f"members={list(self.member_renames)} ({where})"
+        )
+
+
+class PredictNode(PlanNode):
+    """``⊟ regression`` — per-cell time-series prediction (past benchmarks).
+
+    Consumes the ``input_columns`` (past slices, oldest first) and appends
+    the predicted benchmark measure.  Always in memory; charged to
+    ``transform``, the dominant step of the Past intention in Figure 4.
+    """
+
+    step = STEP_TRANSFORM
+
+    def __init__(
+        self,
+        child: PlanNode,
+        method: str,
+        input_columns: Sequence[str],
+        out_name: str,
+        drop_missing: bool = False,
+    ):
+        self.child = child
+        self.method = method
+        self.input_columns = tuple(input_columns)
+        self.out_name = out_name
+        # POP's target-anchored pivot keeps cells with no history at all;
+        # with inner (non-star) semantics those must be dropped to match
+        # what NP's and JOP's joins produce.
+        self.drop_missing = bool(drop_missing)
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return (
+            f"Predict {self.method}({len(self.input_columns)} slices) "
+            f"-> {self.out_name}"
+        )
+
+
+class ProjectNode(PlanNode):
+    """Keep only the named measure columns (bookkeeping; free)."""
+
+    step = STEP_TRANSFORM
+
+    def __init__(self, child: PlanNode, columns: Sequence[str],
+                 renames: Optional[Mapping[str, str]] = None):
+        self.child = child
+        self.columns = tuple(columns)
+        self.renames = dict(renames or {})
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        renamed = f" renames={self.renames}" if self.renames else ""
+        return f"Project measures {list(self.columns)}{renamed}"
+
+
+class RollupJoinNode(PlanNode):
+    """Ancestor-benchmark join (extension): map each target cell to its
+    ancestor's cell via the part-of order, appending the ancestor measures.
+
+    The right child is a get at the coarser group-by (``level`` replaced by
+    ``ancestor_level``); each left coordinate rolls up through the hierarchy
+    to find its match.  In-memory only.
+    """
+
+    step = STEP_JOIN
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        level: str,
+        ancestor_level: str,
+        alias: str = "benchmark",
+        outer: bool = False,
+    ):
+        self.left = left
+        self.right = right
+        self.level = level
+        self.ancestor_level = ancestor_level
+        self.alias = alias
+        self.outer = bool(outer)
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return (
+            f"RollupJoin {self.level} -> {self.ancestor_level} "
+            f"as {self.alias} (memory)"
+        )
+
+
+class AttachPropertyNode(PlanNode):
+    """Append a descriptive level property as a measure column (§8 ext.).
+
+    For each cell, looks the member of ``level`` up in the property's
+    dimension mapping and stores the value under the property's name, so
+    ``using`` expressions can reference e.g. ``population`` directly
+    (enabling per-capita comparisons).
+    """
+
+    step = STEP_TRANSFORM
+
+    def __init__(
+        self,
+        child: PlanNode,
+        source: str,
+        property_name: str,
+        level: str,
+        out_name: str = "",
+        fixed_member=None,
+    ):
+        self.child = child
+        self.source = source
+        self.property_name = property_name
+        self.level = level
+        self.out_name = out_name or property_name
+        # For benchmark-qualified property references on a sibling's slice
+        # level, the property is looked up at the sibling member instead of
+        # each cell's own member (e.g. benchmark.population = France's).
+        self.fixed_member = fixed_member
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        anchor = (
+            f" at {self.fixed_member!r}" if self.fixed_member is not None else ""
+        )
+        return f"AttachProperty {self.property_name} of {self.level}{anchor} -> {self.out_name}"
+
+
+class UsingNode(PlanNode):
+    """``⊡_{Δ}`` — evaluate the using clause, appending ``m_Δ``."""
+
+    step = STEP_COMPARE
+
+    def __init__(self, child: PlanNode, expression: Expression, out_name: str):
+        self.child = child
+        self.expression = expression
+        self.out_name = out_name
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Using {self.expression.render()} -> {self.out_name}"
+
+
+class LabelNode(PlanNode):
+    """``⊡_{λ}`` — apply the labeling function, appending ``m_λ``."""
+
+    step = STEP_LABEL
+
+    def __init__(
+        self,
+        child: PlanNode,
+        labeling: LabelingSpec,
+        input_column: str,
+        out_name: str,
+    ):
+        self.child = child
+        self.labeling = labeling
+        self.input_column = input_column
+        self.out_name = out_name
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Label {self.labeling.render()}({self.input_column}) -> {self.out_name}"
+
+
+class Plan:
+    """A named plan: the root node plus result-column role metadata."""
+
+    def __init__(
+        self,
+        name: str,
+        root: PlanNode,
+        measure: str,
+        benchmark_column: str,
+        comparison_column: str,
+        label_column: str,
+    ):
+        self.name = name
+        self.root = root
+        self.measure = measure
+        self.benchmark_column = benchmark_column
+        self.comparison_column = comparison_column
+        self.label_column = label_column
+
+    def explain(self) -> str:
+        """Readable tree rendering of the whole plan."""
+        return f"Plan {self.name}\n{self.root.explain(1)}"
+
+    def nodes(self) -> Tuple[PlanNode, ...]:
+        """All nodes, depth-first."""
+        collected = []
+
+        def visit(node: PlanNode) -> None:
+            collected.append(node)
+            for child in node.children:
+                visit(child)
+
+        visit(self.root)
+        return tuple(collected)
+
+    def count_pushed(self) -> int:
+        """How many queries this plan sends to the engine.
+
+        A pushed join/pivot consumes its get children into one query, so
+        those gets are not counted separately.
+        """
+        total = 0
+        consumed = set()
+        for node in self.nodes():
+            if isinstance(node, JoinNode) and node.pushed:
+                total += 1
+                consumed.add(id(node.left))
+                consumed.add(id(node.right))
+            elif isinstance(node, PivotNode) and node.pushed:
+                total += 1
+                consumed.add(id(node.child))
+        for node in self.nodes():
+            if isinstance(node, GetNode) and id(node) not in consumed:
+                total += 1
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Plan({self.name!r}, nodes={len(self.nodes())})"

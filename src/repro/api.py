@@ -1,0 +1,200 @@
+"""Public API: the :class:`AssessSession` facade.
+
+A session bundles everything a user needs to pose assess statements: the
+multidimensional engine holding registered cubes, a session-local function
+registry, and predeclared labeling functions.  Typical use::
+
+    from repro import AssessSession
+    from repro.datagen import sales_engine
+
+    session = AssessSession(sales_engine())
+    result = session.assess('''
+        with SALES for year = '1997', product = 'milk' by year, product
+        assess quantity against 1000
+        using ratio(quantity, 1000)
+        labels {[0, 0.9): bad, [0.9, 1.1]: acceptable, (1.1, inf): good}
+    ''')
+    print(result.to_table())
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from .algebra.executor import PlanExecutor
+from .algebra.plan import GetNode, JoinNode, PivotNode, Plan
+from .algebra.planner import build_all_plans, build_plan, feasible_plans
+from .core.labels import LabelRule, RangeLabeling
+from .core.result import AssessResult
+from .core.schema import CubeSchema
+from .core.statement import AssessStatement
+from .engine.star import StarSchema
+from .functions.registry import FunctionRegistry, default_registry
+from .olap.engine import MultidimensionalEngine
+from .parser.parser import parse_statement
+
+StatementLike = Union[str, AssessStatement]
+
+
+class AssessSession:
+    """A user session against one multidimensional engine."""
+
+    def __init__(
+        self,
+        engine: MultidimensionalEngine,
+        registry: Optional[FunctionRegistry] = None,
+    ):
+        self.engine = engine
+        # Copy the default registry so user registrations stay session-local.
+        self.registry = registry.copy() if registry else default_registry().copy()
+        self._executor = PlanExecutor(engine, self.registry)
+        # Named labeling *specs* (e.g. coordinate-dependent labelings) that
+        # cannot be plain value→label functions; resolved at plan time.
+        self._named_specs: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_cube(self, name: str, schema: CubeSchema, star: StarSchema) -> None:
+        """Make a detailed cube available in ``with`` clauses."""
+        self.engine.register_cube(name, schema, star)
+
+    def register_function(
+        self,
+        name: str,
+        kind: str,
+        func: Callable,
+        arity: Optional[int] = None,
+        doc: str = "",
+    ) -> None:
+        """Register a user comparison/transformation/labeling/prediction
+        function for use in ``using``/``labels`` clauses."""
+        self.registry.register(name, kind, func, arity=arity, doc=doc)
+
+    def define_labeling(self, name: str, rules: Sequence[LabelRule]) -> None:
+        """Predeclare a named range-based labeling function (e.g. ``5stars``
+        of Example 3.3), usable as ``labels <name>``."""
+        labeling = RangeLabeling(rules)
+
+        def apply_ranges(values: np.ndarray) -> np.ndarray:
+            return labeling.apply(values)
+
+        self.registry.register(
+            name, "labeling", apply_ranges,
+            arity=1, doc=f"range labeling {labeling.render()}",
+        )
+
+    def define_labeling_spec(self, name: str, spec) -> None:
+        """Predeclare a named labeling *spec* (e.g. a
+        :class:`~repro.core.labels.CoordinateLabeling`).
+
+        Unlike :meth:`define_labeling`, the spec is substituted into the
+        statement at plan time, so it can consult cell coordinates — the
+        §8 "ranges that depend ... also on their coordinates" extension.
+        """
+        self._named_specs[name.lower()] = spec
+
+    # ------------------------------------------------------------------
+    # Statement life cycle
+    # ------------------------------------------------------------------
+    def parse(self, text: str) -> AssessStatement:
+        """Parse statement text against the session's registered cubes."""
+        return parse_statement(text, lambda name: self.engine.cube(name).schema)
+
+    def _resolve(self, statement: StatementLike) -> AssessStatement:
+        if isinstance(statement, AssessStatement):
+            return statement
+        return self.parse(statement)
+
+    def plan(self, statement: StatementLike, plan: str = "best") -> Plan:
+        """Build a named execution plan.
+
+        ``plan`` is ``NP``/``JOP``/``POP``, ``best`` (the most optimized
+        feasible plan, the paper's static rule), or ``auto`` (cost-based
+        selection over all feasible plans).
+        """
+        resolved = self._resolve(statement)
+        self._substitute_named_spec(resolved)
+        if plan == "auto":
+            from .algebra.cost import choose_plan
+
+            chosen, _ = choose_plan(resolved, self.engine)
+            return chosen
+        return build_plan(resolved, self.engine, plan)
+
+    def _substitute_named_spec(self, statement: AssessStatement) -> None:
+        from .core.labels import NamedLabeling
+
+        labels = statement.labels
+        if isinstance(labels, NamedLabeling):
+            spec = self._named_specs.get(labels.name.lower())
+            if spec is not None:
+                statement.labels = spec
+
+    def plans(self, statement: StatementLike) -> Dict[str, Plan]:
+        """All feasible plans for a statement."""
+        return build_all_plans(self._resolve(statement), self.engine)
+
+    def assess(self, statement: StatementLike, plan: str = "best") -> AssessResult:
+        """Parse (if needed), plan, and execute an assess statement."""
+        resolved = self._resolve(statement)
+        return self._executor.execute(self.plan(resolved, plan), resolved)
+
+    def execute_plan(self, plan: Plan, statement: StatementLike) -> AssessResult:
+        """Execute an already-built plan (benchmark harness entry point)."""
+        return self._executor.execute(plan, self._resolve(statement))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def explain(self, statement: StatementLike, plan: str = "best") -> str:
+        """The plan tree plus the SQL text of every pushed operation."""
+        resolved = self._resolve(statement)
+        built = build_plan(resolved, self.engine, plan)
+        parts = [built.explain(), ""]
+        for i, sql in enumerate(self.pushed_sql(built), start=1):
+            parts.append(f"-- pushed query {i}")
+            parts.append(sql)
+            parts.append("")
+        return "\n".join(parts).rstrip() + "\n"
+
+    def pushed_sql(self, plan: Plan) -> List[str]:
+        """The SQL statements a plan sends to the DBMS, in execution order."""
+        statements: List[str] = []
+        consumed_gets = set()
+        for node in plan.nodes():
+            if isinstance(node, JoinNode) and node.pushed:
+                join_levels = (
+                    node.join_levels
+                    if node.join_levels is not None
+                    else node.left.query.group_by.levels
+                )
+                statements.append(
+                    self.engine.sql_for_drill_across(
+                        node.left.query, node.right.query, join_levels,
+                        alias=node.alias, outer=node.outer,
+                    )
+                )
+                consumed_gets.add(id(node.left))
+                consumed_gets.add(id(node.right))
+            elif isinstance(node, PivotNode) and node.pushed:
+                statements.append(
+                    self.engine.sql_for_pivot(
+                        node.child.query, node.level, node.reference,
+                        node.member_renames, require_all=node.require_all,
+                    )
+                )
+                consumed_gets.add(id(node.child))
+        for node in plan.nodes():
+            if isinstance(node, GetNode) and id(node) not in consumed_gets:
+                statements.append(self.engine.sql_for_get(node.query))
+        return statements
+
+    def feasible_plans(self, statement: StatementLike) -> Sequence[str]:
+        """The plan names applicable to a statement (Section 5.2 matrix)."""
+        return feasible_plans(self._resolve(statement))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AssessSession(cubes={list(self.engine.cube_names())})"

@@ -1,0 +1,107 @@
+"""Command-line interface: run assess statements against a demo cube.
+
+One-shot::
+
+    python -m repro.cli --cube sales "with SALES by month assess storeSales labels quartiles"
+
+Interactive (statements are terminated with a blank line or ';')::
+
+    python -m repro.cli --cube ssb
+    assess> with SSB by year, c_region assess revenue labels quartiles
+    assess> ;
+
+Useful flags: ``--plan NP|JOP|POP|best`` to pick the execution strategy,
+``--explain`` to print the plan tree and the pushed SQL instead of (well,
+before) executing, ``--rows N`` to size the demo cube.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .api import AssessSession
+from .core.errors import ReproError
+from .datagen import sales_engine, ssb_engine
+
+
+def build_session(cube: str, rows: Optional[int]) -> AssessSession:
+    """A session over one of the bundled demo cubes (``sales`` or ``ssb``)."""
+    if cube == "sales":
+        return AssessSession(sales_engine(n_rows=rows or 20_000))
+    if cube == "ssb":
+        return AssessSession(ssb_engine(lineorder_rows=rows or 60_000))
+    raise ValueError(f"unknown demo cube {cube!r} (choose 'sales' or 'ssb')")
+
+
+def run_statement(session: AssessSession, text: str, plan: str,
+                  explain: bool, limit: int) -> int:
+    try:
+        if explain:
+            print(session.explain(text, plan=plan))
+        result = session.assess(text, plan=plan)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(result.to_table(limit=limit))
+    if len(result) > limit:
+        print(f"... plus {len(result) - limit} more cells")
+    print(
+        f"-- {len(result)} cells, plan {result.plan_name}, "
+        f"{1000 * result.total_time():.1f} ms, labels: {result.label_counts()}"
+    )
+    return 0
+
+
+def repl(session: AssessSession, plan: str, explain: bool, limit: int) -> int:
+    print(f"cubes: {', '.join(session.engine.cube_names())}")
+    print("end a statement with ';' or a blank line; 'quit' to exit")
+    buffer = []
+    while True:
+        try:
+            prompt = "assess> " if not buffer else "     -> "
+            line = input(prompt)
+        except EOFError:
+            break
+        stripped = line.strip()
+        if not buffer and stripped.lower() in ("quit", "exit"):
+            break
+        terminated = stripped.endswith(";") or (not stripped and buffer)
+        if stripped:
+            buffer.append(stripped.rstrip(";"))
+        if terminated and buffer:
+            run_statement(session, " ".join(buffer), plan, explain, limit)
+            buffer = []
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Run assess statements against a bundled demo cube.",
+    )
+    parser.add_argument("statement", nargs="?", default="",
+                        help="an assess statement (omit for a REPL)")
+    parser.add_argument("--cube", choices=("sales", "ssb"), default="sales",
+                        help="which demo cube to build (default: sales)")
+    parser.add_argument("--rows", type=int, default=None,
+                        help="fact rows to generate")
+    parser.add_argument("--plan", default="best",
+                        choices=("NP", "JOP", "POP", "best"),
+                        help="execution plan (default: best)")
+    parser.add_argument("--explain", action="store_true",
+                        help="print the plan tree and pushed SQL")
+    parser.add_argument("--limit", type=int, default=20,
+                        help="max result rows to print (default: 20)")
+    args = parser.parse_args(argv)
+
+    session = build_session(args.cube, args.rows)
+    if args.statement.strip():
+        return run_statement(session, args.statement, args.plan,
+                             args.explain, args.limit)
+    return repl(session, args.plan, args.explain, args.limit)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

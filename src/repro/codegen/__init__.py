@@ -1,0 +1,5 @@
+"""Hand-written-code generation for the Table 1 formulation-effort metric."""
+
+from .generator import formulation_effort, generate_equivalent_code
+
+__all__ = ["formulation_effort", "generate_equivalent_code"]

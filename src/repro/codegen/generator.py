@@ -1,0 +1,417 @@
+"""Hand-written-code generation for the formulation-effort experiment.
+
+Table 1 of the paper compares the effort (ASCII characters, the metric of
+Jain et al. [11]) of writing an assess statement against writing the
+equivalent SQL + Python by hand.  This module produces that equivalent
+program for any statement: the SQL the naive plan pushes to the DBMS, plus
+a self-contained Python script that loads the query results and reproduces
+the in-memory pipeline — pivot, prediction, comparison, transformation and
+labeling — the way an analyst armed with NumPy would write it.
+
+The generated Python inlines the definitions of every library function the
+statement uses (an analyst without the assess operator has to write those
+too, which is precisely the effort the experiment quantifies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..algebra.plan import (
+    AddConstantNode,
+    GetNode,
+    JoinNode,
+    LabelNode,
+    PivotNode,
+    Plan,
+    PredictNode,
+    ProjectNode,
+    RollupJoinNode,
+    UsingNode,
+)
+from ..algebra.planner import build_naive_plan
+from ..core.expression import BinaryOp, Expression, FunctionCall, Literal, MeasureRef
+from ..core.labels import NamedLabeling, RangeLabeling
+from ..core.statement import AssessStatement
+from ..olap.engine import MultidimensionalEngine
+
+_FUNCTION_SOURCES: Dict[str, str] = {
+    "difference": (
+        "def difference(a, b):\n"
+        "    return a - b\n"
+    ),
+    "absolutedifference": (
+        "def absolute_difference(a, b):\n"
+        "    return np.abs(a - b)\n"
+    ),
+    "normalizeddifference": (
+        "def normalized_difference(a, b):\n"
+        "    return (a - b) / b\n"
+    ),
+    "ratio": (
+        "def ratio(a, b):\n"
+        "    return a / b\n"
+    ),
+    "percentage": (
+        "def percentage(a, b):\n"
+        "    return 100.0 * a / b\n"
+    ),
+    "minmaxnorm": (
+        "def minmaxnorm(a):\n"
+        "    minv = a.min()\n"
+        "    maxv = a.max()\n"
+        "    return (a - minv) / (maxv - minv)\n"
+    ),
+    "signedminmaxnorm": (
+        "def signed_minmaxnorm(a):\n"
+        "    return a / np.abs(a).max()\n"
+    ),
+    "zscore": (
+        "def zscore(a):\n"
+        "    return (a - a.mean()) / a.std()\n"
+    ),
+    "percoftotal": (
+        "def perc_of_total(a, b):\n"
+        "    return a / b.sum()\n"
+    ),
+    "rank": (
+        "def rank(a):\n"
+        "    order = np.argsort(-a)\n"
+        "    out = np.empty_like(order)\n"
+        "    out[order] = np.arange(1, len(a) + 1)\n"
+        "    return out\n"
+    ),
+}
+
+_PREDICTION_SOURCES: Dict[str, str] = {
+    "linearregression": (
+        "def predict_next(history):\n"
+        "    # fit value = a + b*t per row via ordinary least squares and\n"
+        "    # extrapolate one step past the observed window\n"
+        "    n, k = history.shape\n"
+        "    t = np.arange(k, dtype=float)\n"
+        "    valid = ~np.isnan(history)\n"
+        "    counts = valid.sum(axis=1).astype(float)\n"
+        "    safe = np.where(valid, history, 0.0)\n"
+        "    sum_y = safe.sum(axis=1)\n"
+        "    sum_t = (valid * t).sum(axis=1)\n"
+        "    sum_tt = (valid * t * t).sum(axis=1)\n"
+        "    sum_ty = (safe * t).sum(axis=1)\n"
+        "    denom = counts * sum_tt - sum_t ** 2\n"
+        "    slope = (counts * sum_ty - sum_t * sum_y) / denom\n"
+        "    intercept = (sum_y - slope * sum_t) / counts\n"
+        "    prediction = intercept + slope * k\n"
+        "    fallback = sum_y / counts\n"
+        "    bad = (counts < 2) | ~np.isfinite(prediction)\n"
+        "    return np.where(bad, fallback, prediction)\n"
+    ),
+    "movingaverage": (
+        "def predict_next(history):\n"
+        "    return np.nanmean(history, axis=1)\n"
+    ),
+    "naivelast": (
+        "def predict_next(history):\n"
+        "    n, k = history.shape\n"
+        "    out = np.full(n, np.nan)\n"
+        "    for col in range(k):\n"
+        "        y = history[:, col]\n"
+        "        out[~np.isnan(y)] = y[~np.isnan(y)]\n"
+        "    return out\n"
+    ),
+}
+
+_DISTRIBUTION_LABELERS = (
+    "def label_by_quantiles(values, labels):\n"
+    "    edges = np.quantile(values, np.linspace(0, 1, len(labels) + 1)[1:-1])\n"
+    "    groups = np.searchsorted(edges, values, side='left')\n"
+    "    return np.array(labels, dtype=object)[groups]\n"
+)
+
+
+def generate_equivalent_code(
+    statement: AssessStatement, engine: MultidimensionalEngine
+) -> Tuple[str, str]:
+    """Return ``(sql_text, python_text)`` equivalent to a statement.
+
+    The SQL is what the naive plan pushes (one query per get); the Python is
+    the complete post-processing script.
+    """
+    plan = build_naive_plan(statement, engine)
+    gets = [node for node in plan.nodes() if isinstance(node, GetNode)]
+    sql_parts: List[str] = []
+    for index, node in enumerate(gets):
+        label = {"target": "target cube", "benchmark": "benchmark cube",
+                 "combined": "target + benchmark"}[node.role]
+        sql_parts.append(f"-- query {index + 1}: {label}")
+        sql_parts.append(engine.sql_for_get(node.query) + ";")
+    sql_text = "\n".join(sql_parts) + "\n"
+    python_text = _generate_python(statement, plan)
+    return sql_text, python_text
+
+
+def formulation_effort(
+    statement: AssessStatement,
+    engine: MultidimensionalEngine,
+    statement_text: str = "",
+) -> Dict[str, int]:
+    """Character counts for one statement (one Table 1 column).
+
+    Returns ``{"sql": ..., "python": ..., "total": ..., "assess": ...}``.
+    ``statement_text`` defaults to the statement's canonical rendering.
+    """
+    sql_text, python_text = generate_equivalent_code(statement, engine)
+    assess_text = statement_text or statement.render()
+    return {
+        "sql": len(sql_text),
+        "python": len(python_text),
+        "total": len(sql_text) + len(python_text),
+        "assess": len(" ".join(assess_text.split())),
+    }
+
+
+# ----------------------------------------------------------------------
+# Python script generation
+# ----------------------------------------------------------------------
+def _generate_python(statement: AssessStatement, plan: Plan) -> str:
+    parts: List[str] = [
+        "# Hand-written equivalent of the assess statement:",
+    ]
+    for line in statement.render().splitlines():
+        parts.append(f"#   {line}")
+    parts.append("")
+    parts.append("import numpy as np")
+    parts.append("")
+    parts.append(_DB_BOILERPLATE)
+    parts.append("")
+
+    needed = _functions_used(statement.using)
+    for name in sorted(needed):
+        source = _FUNCTION_SOURCES.get(name)
+        if source:
+            parts.append(source)
+
+    for node in plan.nodes():
+        if isinstance(node, PredictNode):
+            source = _PREDICTION_SOURCES.get(
+                node.method.lower(), _PREDICTION_SOURCES["linearregression"]
+            )
+            parts.append(source)
+            break
+
+    if isinstance(statement.labels, NamedLabeling):
+        parts.append(_DISTRIBUTION_LABELERS)
+    else:
+        parts.append(_range_labeler_source(statement.labels))
+
+    parts.append(_pipeline_source(statement, plan))
+    return "\n".join(parts)
+
+
+_DB_BOILERPLATE = (
+    "def run_query(connection, sql):\n"
+    "    \"\"\"Run one SQL query and return its result as named columns.\"\"\"\n"
+    "    cursor = connection.cursor()\n"
+    "    cursor.execute(sql)\n"
+    "    names = [d[0] for d in cursor.description]\n"
+    "    rows = cursor.fetchall()\n"
+    "    return {name: np.array([r[i] for r in rows])\n"
+    "            for i, name in enumerate(names)}\n"
+)
+
+
+def _functions_used(expression: Expression) -> Set[str]:
+    names: Set[str] = set()
+
+    def walk(node: Expression) -> None:
+        if isinstance(node, FunctionCall):
+            names.add(node.name.lower())
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, BinaryOp):
+            walk(node.left)
+            walk(node.right)
+
+    walk(expression)
+    return names
+
+
+def _range_labeler_source(labeling: RangeLabeling) -> str:
+    lines = [
+        "def label_by_ranges(values):",
+        "    out = np.full(len(values), None, dtype=object)",
+    ]
+    for rule in labeling.rules:
+        interval = rule.interval
+        low_op = ">=" if interval.low_closed else ">"
+        high_op = "<=" if interval.high_closed else "<"
+        conditions = []
+        if interval.low != float("-inf"):
+            conditions.append(f"(values {low_op} {interval.low!r})")
+        if interval.high != float("inf"):
+            conditions.append(f"(values {high_op} {interval.high!r})")
+        condition = " & ".join(conditions) if conditions else "np.ones(len(values), bool)"
+        lines.append(f"    out[{condition}] = {rule.label!r}")
+    lines.append("    return out")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _expression_source(expression: Expression, frame: str) -> str:
+    """Render a using expression as NumPy code over a column dict."""
+    if isinstance(expression, Literal):
+        return expression.render()
+    if isinstance(expression, MeasureRef):
+        return f"{frame}[{expression.column_name!r}]"
+    if isinstance(expression, BinaryOp):
+        left = _expression_source(expression.left, frame)
+        right = _expression_source(expression.right, frame)
+        return f"({left} {expression.op} {right})"
+    if isinstance(expression, FunctionCall):
+        rendered = ", ".join(_expression_source(a, frame) for a in expression.args)
+        name = {
+            "absolutedifference": "absolute_difference",
+            "normalizeddifference": "normalized_difference",
+            "percoftotal": "perc_of_total",
+            "minmaxnorm": "minmaxnorm",
+            "signedminmaxnorm": "signed_minmaxnorm",
+        }.get(expression.name.lower(), expression.name.lower())
+        return f"{name}({rendered})"
+    raise TypeError(f"cannot render expression {expression!r}")
+
+
+def _pipeline_source(statement: AssessStatement, plan: Plan) -> str:
+    """The main body: fetch, align, compare, label, print."""
+    lines: List[str] = ["def main(connection, queries):"]
+    gets = [node for node in plan.nodes() if isinstance(node, GetNode)]
+    for index, node in enumerate(gets):
+        lines.append(f"    frame{index} = run_query(connection, queries[{index}])")
+    lines.append("    frame = dict(frame0)")
+
+    has_join = any(
+        isinstance(node, (JoinNode, RollupJoinNode)) for node in plan.nodes()
+    )
+    has_pivot = any(
+        isinstance(node, PivotNode) and not node.pushed for node in plan.nodes()
+    )
+    has_predict = any(isinstance(node, PredictNode) for node in plan.nodes())
+    levels = list(statement.group_by.levels)
+
+    if has_pivot:
+        lines.extend(
+            [
+                "    # pivot the benchmark slices into aligned columns",
+                f"    slice_level = {_pivot_level(plan)!r}",
+                "    rest = [l for l in " + repr(levels) + " if l != slice_level]",
+                "    keys1 = list(zip(*(frame1[l] for l in rest)))",
+                "    by_slice = {}",
+                "    for i, member in enumerate(frame1[slice_level]):",
+                "        by_slice.setdefault(member, {})[keys1[i]] = i",
+            ]
+        )
+    if has_join:
+        lines.extend(
+            [
+                "    # align benchmark cells with target cells",
+                "    keys0 = list(zip(*(frame0[l] for l in " + repr(levels) + ")))",
+            ]
+        )
+    for node in plan.nodes():
+        if isinstance(node, AddConstantNode):
+            lines.append(
+                f"    frame[{node.column_name!r}] = np.full("
+                f"len(frame[{statement.measure!r}]), {node.value!r})"
+            )
+            break
+    if has_join and not has_predict:
+        bench = plan.benchmark_column
+        lines.extend(
+            [
+                "    index1 = {}",
+                "    join_levels = " + repr(_join_levels(plan, levels)),
+                "    keyed1 = list(zip(*(frame1[l] for l in join_levels)))",
+                "    for i, key in enumerate(keyed1):",
+                "        index1[key] = i",
+                "    keyed0 = list(zip(*(frame0[l] for l in join_levels)))",
+                "    matches = [index1.get(k, -1) for k in keyed0]",
+                "    keep = [i for i, m in enumerate(matches) if m >= 0]",
+                "    for column in list(frame):",
+                "        frame[column] = frame[column][keep]",
+                f"    source = frame1[{_benchmark_source_measure(statement)!r}]",
+                f"    frame[{bench!r}] = source[[matches[i] for i in keep]]",
+            ]
+        )
+    if has_predict:
+        bench = plan.benchmark_column
+        lines.extend(
+            [
+                "    # build per-cell history matrices and predict the next value",
+                "    join_levels = " + repr(_join_levels(plan, levels)),
+                "    past = sorted(by_slice)",
+                "    keyed0 = list(zip(*(frame0[l] for l in join_levels)))",
+                "    history = np.full((len(keyed0), len(past)), np.nan)",
+                "    for j, member in enumerate(past):",
+                "        rows = by_slice[member]",
+                "        for i, key in enumerate(keyed0):",
+                "            if key in rows:",
+                f"                history[i, j] = frame1[{_benchmark_source_measure(statement)!r}][rows[key]]",
+                "    keep = [i for i in range(len(keyed0)) if not np.isnan(history[i]).all()]",
+                "    for column in list(frame):",
+                "        frame[column] = frame[column][keep]",
+                f"    frame[{bench!r}] = predict_next(history[keep])",
+            ]
+        )
+
+    lines.append("    # comparison and labeling")
+    lines.append(
+        f"    frame['comparison'] = "
+        f"{_expression_source(statement.using, 'frame')}"
+    )
+    if isinstance(statement.labels, NamedLabeling):
+        labels = _named_label_vocabulary(statement.labels.name)
+        lines.append(
+            f"    frame['label'] = label_by_quantiles(frame['comparison'], {labels!r})"
+        )
+    else:
+        lines.append("    frame['label'] = label_by_ranges(frame['comparison'])")
+    lines.extend(
+        [
+            "    columns = " + repr(levels) + " + ["
+            + f"{statement.measure!r}, {plan.benchmark_column!r}, 'comparison', 'label']",
+            "    for row in range(len(frame['label'])):",
+            "        print({c: frame[c][row] for c in columns if c in frame})",
+            "",
+        ]
+    )
+    return "\n".join(lines)
+
+
+def _pivot_level(plan: Plan) -> str:
+    for node in plan.nodes():
+        if isinstance(node, PivotNode):
+            return node.level
+    return ""
+
+
+def _join_levels(plan: Plan, levels: List[str]) -> List[str]:
+    for node in plan.nodes():
+        if isinstance(node, JoinNode):
+            if node.join_levels is None:
+                return levels
+            return list(node.join_levels)
+    return levels
+
+
+def _benchmark_source_measure(statement: AssessStatement) -> str:
+    return statement.benchmark_measure
+
+
+def _named_label_vocabulary(name: str) -> List[str]:
+    from ..functions.labeling import QUANTILE_SCHEMES
+
+    scheme = QUANTILE_SCHEMES.get(name.lower())
+    if scheme:
+        return list(scheme[1])
+    if name.lower().startswith("top") and name[3:].isdigit():
+        k = int(name[3:])
+        return [f"top-{i}" for i in range(k, 0, -1)]
+    return ["low", "medium", "high"]

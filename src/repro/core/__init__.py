@@ -1,0 +1,100 @@
+"""Core multidimensional model: hierarchies, schemas, cubes, statements.
+
+This package implements Section 2 (formalities) and the data structures of
+Sections 3 and 4 of the paper: hierarchies with roll-up/part-of orders, cube
+schemas, group-by sets and coordinates, sparse cubes, cube queries, label
+ranges, benchmark specifications, assess statements, and assessment results.
+"""
+
+from .cube import BENCHMARK_ALIAS, Cube, constant_benchmark_cube, qualified
+from .errors import (
+    EngineError,
+    ExecutionError,
+    FunctionError,
+    JoinabilityError,
+    MemberError,
+    ParseError,
+    PlanError,
+    ReproError,
+    SchemaError,
+    ValidationError,
+)
+from .expression import BinaryOp, Expression, FunctionCall, Literal, MeasureRef
+from .groupby import Coordinate, GroupBySet, top_group_by
+from .hierarchy import Hierarchy, Level, Member
+from .labels import (
+    CoordinateLabeling,
+    Interval,
+    LabelRule,
+    LabelingSpec,
+    NamedLabeling,
+    RangeLabeling,
+    five_stars_rules,
+    validate_ranges,
+)
+from .query import CubeQuery, Predicate, PredicateOp
+from .result import AssessedCell, AssessResult
+from .schema import AGGREGATION_OPERATORS, CubeSchema, Measure
+from .statement import (
+    AncestorBenchmark,
+    AssessStatement,
+    BenchmarkSpec,
+    CONSTANT_MEASURE,
+    ConstantBenchmark,
+    ExternalBenchmark,
+    PastBenchmark,
+    SiblingBenchmark,
+    ZeroBenchmark,
+)
+
+__all__ = [
+    "AGGREGATION_OPERATORS",
+    "AncestorBenchmark",
+    "AssessResult",
+    "AssessStatement",
+    "AssessedCell",
+    "BENCHMARK_ALIAS",
+    "BenchmarkSpec",
+    "BinaryOp",
+    "CONSTANT_MEASURE",
+    "ConstantBenchmark",
+    "CoordinateLabeling",
+    "Coordinate",
+    "Cube",
+    "CubeQuery",
+    "CubeSchema",
+    "EngineError",
+    "ExecutionError",
+    "Expression",
+    "ExternalBenchmark",
+    "FunctionCall",
+    "FunctionError",
+    "GroupBySet",
+    "Hierarchy",
+    "Interval",
+    "JoinabilityError",
+    "LabelRule",
+    "LabelingSpec",
+    "Level",
+    "Literal",
+    "MeasureRef",
+    "Measure",
+    "Member",
+    "MemberError",
+    "NamedLabeling",
+    "ParseError",
+    "PastBenchmark",
+    "PlanError",
+    "Predicate",
+    "PredicateOp",
+    "RangeLabeling",
+    "ReproError",
+    "SchemaError",
+    "SiblingBenchmark",
+    "ValidationError",
+    "ZeroBenchmark",
+    "constant_benchmark_cube",
+    "five_stars_rules",
+    "qualified",
+    "top_group_by",
+]

@@ -1,0 +1,83 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch a single base class.  The subclasses mirror the stages of an assess
+statement's life cycle: schema definition, statement parsing, semantic
+validation, planning, and execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class SchemaError(ReproError):
+    """Raised for inconsistent multidimensional schema definitions.
+
+    Examples: duplicate level names across hierarchies, a measure bound to
+    an unknown aggregation operator, or a part-of mapping that violates the
+    "exactly one parent" constraint of Definition 2.1.
+    """
+
+
+class MemberError(SchemaError):
+    """Raised when a member does not belong to the domain of a level."""
+
+
+class ParseError(ReproError):
+    """Raised when an assess statement cannot be parsed.
+
+    Carries the offending position so interactive front ends can point at
+    the error.
+    """
+
+    def __init__(self, message: str, position: int = -1, text: str = ""):
+        super().__init__(message)
+        self.position = position
+        self.text = text
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if self.position >= 0 and self.text:
+            pointer = " " * self.position + "^"
+            return f"{base}\n  {self.text}\n  {pointer}"
+        return base
+
+
+class ValidationError(ReproError):
+    """Raised when a parsed statement is semantically invalid.
+
+    Examples: the ``by`` clause names an unknown level, the sibling member in
+    ``against`` belongs to a level outside the group-by set, or a label range
+    set is incomplete/overlapping.
+    """
+
+
+class JoinabilityError(ValidationError):
+    """Raised when target cube and benchmark are not joinable (Def. 3.1)."""
+
+
+class PlanError(ReproError):
+    """Raised when a requested execution plan is not feasible.
+
+    The feasibility matrix of Section 5.2 applies: JOP is not feasible for
+    constant benchmarks; POP is only feasible for sibling and past ones.
+    """
+
+
+class ExecutionError(ReproError):
+    """Raised when a logical plan fails while being interpreted."""
+
+
+class FunctionError(ReproError):
+    """Raised for problems in the function registry.
+
+    Examples: looking up an unregistered function name, or applying a
+    function with the wrong number of measure arguments.
+    """
+
+
+class EngineError(ReproError):
+    """Raised by the relational engine substrate (bad column, bad query)."""

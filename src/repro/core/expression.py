@@ -1,0 +1,167 @@
+"""Expression AST for the ``using`` clause (Section 3.2).
+
+The ``using`` clause holds a functional-style, nestable composition of
+library functions over measures, e.g.::
+
+    minMaxNorm(difference(storeSales, 1000))
+    percOfTotal(difference(quantity, benchmark.quantity))
+
+The AST is pure data: nodes know nothing about evaluation.  Evaluation
+happens in :mod:`repro.functions.evaluate`, which resolves function names
+against the registry and binds measure references to cube columns, deciding
+for each call whether it is a cell-wise ``⊟`` or holistic ``⊡`` application.
+
+Arithmetic operators (``+ - * /``) are also part of the expression language
+so derived measures like ``profit = storeSales - storeCost`` can be written
+inline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+
+class Expression:
+    """Base class for expression nodes (value objects)."""
+
+    def references(self) -> Tuple["MeasureRef", ...]:
+        """All measure references in the subtree, left to right."""
+        raise NotImplementedError
+
+    def render(self) -> str:
+        """Render back to the surface syntax."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+class Literal(Expression):
+    """A numeric literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float):
+        self.value = float(value)
+
+    def references(self) -> Tuple["MeasureRef", ...]:
+        return ()
+
+    def render(self) -> str:
+        if self.value == int(self.value):
+            return str(int(self.value))
+        return repr(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Literal) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("Literal", self.value))
+
+
+class MeasureRef(Expression):
+    """A reference to a measure column, optionally alias-qualified.
+
+    ``benchmark.quantity`` parses to ``MeasureRef("quantity", "benchmark")``.
+    """
+
+    __slots__ = ("name", "qualifier")
+
+    def __init__(self, name: str, qualifier: Optional[str] = None):
+        self.name = name
+        self.qualifier = qualifier
+
+    @property
+    def column_name(self) -> str:
+        """The cube column this reference binds to."""
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+    def references(self) -> Tuple["MeasureRef", ...]:
+        return (self,)
+
+    def render(self) -> str:
+        return self.column_name
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MeasureRef)
+            and (other.name, other.qualifier) == (self.name, self.qualifier)
+        )
+
+    def __hash__(self) -> int:
+        return hash(("MeasureRef", self.name, self.qualifier))
+
+
+class FunctionCall(Expression):
+    """An invocation of a registered function over sub-expressions."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence[Expression]):
+        self.name = name
+        self.args: Tuple[Expression, ...] = tuple(args)
+
+    def references(self) -> Tuple[MeasureRef, ...]:
+        refs: Tuple[MeasureRef, ...] = ()
+        for arg in self.args:
+            refs += arg.references()
+        return refs
+
+    def render(self) -> str:
+        rendered = ", ".join(arg.render() for arg in self.args)
+        return f"{self.name}({rendered})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FunctionCall)
+            and (other.name, other.args) == (self.name, self.args)
+        )
+
+    def __hash__(self) -> int:
+        return hash(("FunctionCall", self.name, self.args))
+
+
+class BinaryOp(Expression):
+    """An arithmetic operation between two sub-expressions."""
+
+    OPERATORS = ("+", "-", "*", "/")
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        if op not in self.OPERATORS:
+            raise ValueError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def references(self) -> Tuple[MeasureRef, ...]:
+        return self.left.references() + self.right.references()
+
+    def render(self) -> str:
+        return f"({self.left.render()} {self.op} {self.right.render()})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BinaryOp)
+            and (other.op, other.left, other.right) == (self.op, self.left, self.right)
+        )
+
+    def __hash__(self) -> int:
+        return hash(("BinaryOp", self.op, self.left, self.right))
+
+
+def default_using(measure: str, benchmark_measure: str) -> FunctionCall:
+    """The implicit comparison when ``using`` is omitted.
+
+    The paper notes labeling on the raw value "simply needs ... a fixed
+    benchmark of zeros ... and a simple arithmetic difference" — we apply
+    ``difference(m, benchmark.m_B)`` uniformly, which degenerates to the raw
+    value against the zero benchmark.
+    """
+    return FunctionCall(
+        "difference",
+        (MeasureRef(measure), MeasureRef(benchmark_measure, "benchmark")),
+    )

@@ -1,0 +1,273 @@
+"""Hierarchies of the multidimensional model (Definition 2.1).
+
+A hierarchy is a triple ``h = (L, rollup-order, part-of-order)`` where
+
+* ``L`` is a set of categorical levels, each with a domain of members;
+* the roll-up order is a *total* order over ``L`` (we restrict to linear
+  hierarchies, as the paper does);
+* the part-of order is a partial order over the union of the level domains
+  such that every member of a finer level has exactly one parent member in
+  each coarser level.
+
+The implementation stores the part-of order as one child→parent mapping per
+pair of *consecutive* levels; roll-ups across non-adjacent levels compose
+those mappings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .errors import MemberError, SchemaError
+
+Member = object
+"""A member is any hashable value (string, int, date-like string...)."""
+
+
+class Level:
+    """A categorical level of a hierarchy, with an (optional) explicit domain.
+
+    Levels are value objects identified by their name; two levels with the
+    same name compare equal.  The domain can be left implicit (``None``) for
+    levels whose members are discovered from data, which is the common case
+    for detailed levels of large cubes.
+    """
+
+    __slots__ = ("name", "_domain")
+
+    def __init__(self, name: str, domain: Optional[Iterable[Member]] = None):
+        if not name or not isinstance(name, str):
+            raise SchemaError(f"level name must be a non-empty string, got {name!r}")
+        self.name = name
+        self._domain = frozenset(domain) if domain is not None else None
+
+    @property
+    def domain(self) -> Optional[frozenset]:
+        """The explicit domain of the level, or ``None`` if open."""
+        return self._domain
+
+    def contains(self, member: Member) -> bool:
+        """Return whether ``member`` belongs to the level's domain.
+
+        Open-domain levels accept every member.
+        """
+        return self._domain is None or member in self._domain
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Level) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Level", self.name))
+
+    def __repr__(self) -> str:
+        return f"Level({self.name!r})"
+
+
+class Hierarchy:
+    """A linear hierarchy: an ordered list of levels, finest first.
+
+    ``levels[0]`` is the finest level (e.g. ``date``) and ``levels[-1]`` the
+    coarsest (e.g. ``year``).  ``parent_maps[i]`` maps each member of
+    ``levels[i]`` to its unique parent member in ``levels[i + 1]``.
+
+    The hierarchy name doubles as the *dimension* name: a group-by set picks
+    at most one level from each hierarchy (Definition 2.3).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        levels: Sequence[Level],
+        parent_maps: Optional[Sequence[Mapping[Member, Member]]] = None,
+    ):
+        if not name or not isinstance(name, str):
+            raise SchemaError(f"hierarchy name must be a non-empty string, got {name!r}")
+        if not levels:
+            raise SchemaError(f"hierarchy {name!r} must have at least one level")
+        seen = set()
+        for level in levels:
+            if level.name in seen:
+                raise SchemaError(f"hierarchy {name!r} has duplicate level {level.name!r}")
+            seen.add(level.name)
+        self.name = name
+        self.levels: Tuple[Level, ...] = tuple(levels)
+        if parent_maps is None:
+            parent_maps = [dict() for _ in range(len(levels) - 1)]
+        if len(parent_maps) != len(levels) - 1:
+            raise SchemaError(
+                f"hierarchy {name!r}: expected {len(levels) - 1} parent maps, "
+                f"got {len(parent_maps)}"
+            )
+        self._parent_maps: List[Dict[Member, Member]] = [dict(m) for m in parent_maps]
+        self._level_index: Dict[str, int] = {
+            level.name: i for i, level in enumerate(self.levels)
+        }
+        self._validate_parent_maps()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def finest_level(self) -> Level:
+        """The finest (most detailed) level of the hierarchy."""
+        return self.levels[0]
+
+    @property
+    def coarsest_level(self) -> Level:
+        """The coarsest level of the hierarchy."""
+        return self.levels[-1]
+
+    def level_names(self) -> Tuple[str, ...]:
+        """All level names, finest first."""
+        return tuple(level.name for level in self.levels)
+
+    def has_level(self, level_name: str) -> bool:
+        """Return whether a level with that name belongs to this hierarchy."""
+        return level_name in self._level_index
+
+    def level(self, level_name: str) -> Level:
+        """Return the level with the given name.
+
+        Raises :class:`SchemaError` for unknown names.
+        """
+        try:
+            return self.levels[self._level_index[level_name]]
+        except KeyError:
+            raise SchemaError(
+                f"hierarchy {self.name!r} has no level {level_name!r} "
+                f"(levels: {', '.join(self.level_names())})"
+            ) from None
+
+    def depth_of(self, level_name: str) -> int:
+        """Return the position of a level, 0 being the finest."""
+        self.level(level_name)
+        return self._level_index[level_name]
+
+    def rolls_up_to(self, fine: str, coarse: str) -> bool:
+        """Return whether ``fine`` ⪰ ``coarse`` in the roll-up total order.
+
+        Every level rolls up to itself (the order is reflexive).
+        """
+        return self.depth_of(fine) <= self.depth_of(coarse)
+
+    # ------------------------------------------------------------------
+    # Part-of order
+    # ------------------------------------------------------------------
+    def set_parent(self, level_name: str, member: Member, parent: Member) -> None:
+        """Record that ``member`` of ``level_name`` is part of ``parent``.
+
+        ``parent`` belongs to the next-coarser level.  Re-assigning a member
+        to a *different* parent raises, because the part-of order requires a
+        unique parent (Definition 2.1).
+        """
+        depth = self.depth_of(level_name)
+        if depth == len(self.levels) - 1:
+            raise SchemaError(
+                f"level {level_name!r} is the coarsest of hierarchy {self.name!r}; "
+                "its members have no parent"
+            )
+        parent_map = self._parent_maps[depth]
+        existing = parent_map.get(member)
+        if existing is not None and existing != parent:
+            raise SchemaError(
+                f"member {member!r} of level {level_name!r} already has parent "
+                f"{existing!r}; cannot reassign to {parent!r}"
+            )
+        parent_map[member] = parent
+
+    def parent_of(self, level_name: str, member: Member) -> Member:
+        """Return the parent of ``member`` in the next-coarser level."""
+        depth = self.depth_of(level_name)
+        if depth == len(self.levels) - 1:
+            raise SchemaError(
+                f"level {level_name!r} is the coarsest of hierarchy {self.name!r}"
+            )
+        try:
+            return self._parent_maps[depth][member]
+        except KeyError:
+            raise MemberError(
+                f"no parent recorded for member {member!r} of level "
+                f"{level_name!r} in hierarchy {self.name!r}"
+            ) from None
+
+    def rollup_member(self, member: Member, fine: str, coarse: str) -> Member:
+        """Map a member of level ``fine`` to its ancestor at level ``coarse``.
+
+        This composes the consecutive parent maps; ``rollup_member(u, l, l)``
+        is the identity, matching ``rup_G(γ) = γ`` of Definition 2.3.
+        """
+        start, stop = self.depth_of(fine), self.depth_of(coarse)
+        if start > stop:
+            raise SchemaError(
+                f"cannot roll up from {fine!r} to finer level {coarse!r} "
+                f"in hierarchy {self.name!r}"
+            )
+        current = member
+        for depth in range(start, stop):
+            try:
+                current = self._parent_maps[depth][current]
+            except KeyError:
+                raise MemberError(
+                    f"no parent recorded for member {current!r} of level "
+                    f"{self.levels[depth].name!r} in hierarchy {self.name!r}"
+                ) from None
+        return current
+
+    def members_of(self, level_name: str) -> frozenset:
+        """Return the known members of a level.
+
+        For the finest level these are the keys of the first parent map (or
+        the explicit domain); for coarser levels, the values of the map below.
+        Levels with explicit domains return those.
+        """
+        level = self.level(level_name)
+        if level.domain is not None:
+            return level.domain
+        depth = self.depth_of(level_name)
+        if depth == 0:
+            if len(self.levels) == 1:
+                return frozenset()
+            return frozenset(self._parent_maps[0].keys())
+        return frozenset(self._parent_maps[depth - 1].values())
+
+    def descendants_of(self, level_name: str, member: Member, at: str) -> frozenset:
+        """Return all members of level ``at`` whose ancestor at ``level_name``
+        is ``member``.
+
+        ``at`` must be finer than or equal to ``level_name``.  Used by
+        ancestor benchmarks and by predicate pushdown.
+        """
+        if not self.rolls_up_to(at, level_name):
+            raise SchemaError(
+                f"level {at!r} does not roll up to {level_name!r} "
+                f"in hierarchy {self.name!r}"
+            )
+        if at == level_name:
+            return frozenset({member})
+        current = {member}
+        stop, start = self.depth_of(level_name), self.depth_of(at)
+        for depth in range(stop - 1, start - 1, -1):
+            parent_map = self._parent_maps[depth]
+            current = {child for child, parent in parent_map.items() if parent in current}
+        return frozenset(current)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _validate_parent_maps(self) -> None:
+        for depth, parent_map in enumerate(self._parent_maps):
+            child_level = self.levels[depth]
+            parent_level = self.levels[depth + 1]
+            for child, parent in parent_map.items():
+                if not child_level.contains(child):
+                    raise MemberError(
+                        f"member {child!r} not in domain of level {child_level.name!r}"
+                    )
+                if not parent_level.contains(parent):
+                    raise MemberError(
+                        f"member {parent!r} not in domain of level {parent_level.name!r}"
+                    )
+
+    def __repr__(self) -> str:
+        chain = " >= ".join(self.level_names())
+        return f"Hierarchy({self.name!r}: {chain})"

@@ -1,0 +1,350 @@
+"""Label intervals and range-based labeling specifications (Section 3.3.1).
+
+A range-based labeling function maps real comparison values to labels via a
+set of intervals.  The paper requires the set of ranges to be *complete* and
+*non-overlapping* — every comparison value must receive exactly one label.
+:func:`validate_ranges` enforces exactly that, and is exercised both at
+parse time and by property-based tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .errors import ValidationError
+
+NEG_INF = float("-inf")
+POS_INF = float("inf")
+
+
+class Interval:
+    """A real interval with independently open/closed endpoints.
+
+    Written in the statement syntax as ``[low, high)`` etc.; infinite bounds
+    are spelled ``-inf`` / ``inf`` and are always treated as open.
+    """
+
+    __slots__ = ("low", "high", "low_closed", "high_closed")
+
+    def __init__(self, low: float, high: float, low_closed: bool, high_closed: bool):
+        low = float(low)
+        high = float(high)
+        if math.isinf(low):
+            low_closed = False
+        if math.isinf(high):
+            high_closed = False
+        if low > high:
+            raise ValidationError(f"empty interval: low {low} > high {high}")
+        if low == high and not (low_closed and high_closed):
+            raise ValidationError(f"degenerate interval at {low} must be closed on both ends")
+        self.low = low
+        self.high = high
+        self.low_closed = low_closed
+        self.high_closed = high_closed
+
+    def contains(self, value: float) -> bool:
+        """Whether a value falls inside the interval."""
+        if value < self.low or value > self.high:
+            return False
+        if value == self.low and not self.low_closed:
+            return False
+        if value == self.high and not self.high_closed:
+            return False
+        return True
+
+    def mask(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised membership over a float column (NaN never matches)."""
+        lower = values >= self.low if self.low_closed else values > self.low
+        upper = values <= self.high if self.high_closed else values < self.high
+        return lower & upper
+
+    def render(self) -> str:
+        """Render back to the surface syntax, e.g. ``[0, 0.9)``."""
+        left = "[" if self.low_closed else "("
+        right = "]" if self.high_closed else ")"
+        return f"{left}{_render_bound(self.low)}, {_render_bound(self.high)}{right}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Interval) and (
+            other.low,
+            other.high,
+            other.low_closed,
+            other.high_closed,
+        ) == (self.low, self.high, self.low_closed, self.high_closed)
+
+    def __hash__(self) -> int:
+        return hash(("Interval", self.low, self.high, self.low_closed, self.high_closed))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def _render_bound(bound: float) -> str:
+    if bound == POS_INF:
+        return "inf"
+    if bound == NEG_INF:
+        return "-inf"
+    if bound == int(bound):
+        return str(int(bound))
+    return repr(bound)
+
+
+class LabelRule:
+    """One ``interval: label`` rule of a range-based labeling function."""
+
+    __slots__ = ("interval", "label")
+
+    def __init__(self, interval: Interval, label: str):
+        self.interval = interval
+        self.label = label
+
+    def render(self) -> str:
+        return f"{self.interval.render()}: {self.label}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LabelRule) and (other.interval, other.label) == (
+            self.interval,
+            self.label,
+        )
+
+    def __hash__(self) -> int:
+        return hash(("LabelRule", self.interval, self.label))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def validate_ranges(
+    rules: Sequence[LabelRule],
+    domain_low: float = NEG_INF,
+    domain_high: float = POS_INF,
+    require_complete: bool = False,
+) -> None:
+    """Check that a rule set is non-overlapping (and optionally complete).
+
+    The paper puts the user "in charge of ensuring that the set of ranges is
+    complete and non-overlapping"; we verify non-overlap always (an
+    overlapping set has no well-defined semantics) and completeness over
+    ``[domain_low, domain_high]`` on request (values falling in gaps
+    otherwise receive the null label).
+    """
+    if not rules:
+        raise ValidationError("labeling function needs at least one range")
+    ordered = sorted(rules, key=lambda rule: (rule.interval.low, not rule.interval.low_closed))
+    for previous, current in zip(ordered, ordered[1:]):
+        p, c = previous.interval, current.interval
+        if c.low < p.high:
+            raise ValidationError(
+                f"overlapping label ranges {p.render()} and {c.render()}"
+            )
+        if c.low == p.high and p.high_closed and c.low_closed:
+            raise ValidationError(
+                f"label ranges {p.render()} and {c.render()} both include {c.low}"
+            )
+        if require_complete:
+            gap = c.low > p.high or (
+                c.low == p.high and not p.high_closed and not c.low_closed
+            )
+            if gap:
+                raise ValidationError(
+                    f"gap between label ranges {p.render()} and {c.render()}"
+                )
+    if require_complete:
+        first, last = ordered[0].interval, ordered[-1].interval
+        if first.low > domain_low or (
+            first.low == domain_low and not first.low_closed and not math.isinf(domain_low)
+        ):
+            raise ValidationError(
+                f"label ranges do not cover the lower domain bound {domain_low}"
+            )
+        if last.high < domain_high or (
+            last.high == domain_high and not last.high_closed and not math.isinf(domain_high)
+        ):
+            raise ValidationError(
+                f"label ranges do not cover the upper domain bound {domain_high}"
+            )
+
+
+class LabelingSpec:
+    """Base class for the ``labels`` clause alternatives."""
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+
+class RangeLabeling(LabelingSpec):
+    """Inline, explicit-range labeling: ``{[0,0.9): bad, [0.9,1.1]: ok, …}``."""
+
+    __slots__ = ("rules",)
+
+    @classmethod
+    def from_cutpoints(cls, bounds: Sequence[float], labels: Sequence[str]) -> "RangeLabeling":
+        """A complete partition of R from sorted cut points.
+
+        ``len(labels)`` must be ``len(bounds) + 1``; the first interval is
+        ``(-inf, bounds[0])``, intermediate ones ``[b_i, b_{i+1})``, the
+        last ``[bounds[-1], inf)``.
+        """
+        bounds = sorted(bounds)
+        if len(labels) != len(bounds) + 1:
+            raise ValidationError(
+                f"{len(bounds)} cut points need {len(bounds) + 1} labels, "
+                f"got {len(labels)}"
+            )
+        edges = [NEG_INF] + list(bounds) + [POS_INF]
+        rules = [
+            LabelRule(Interval(edges[i], edges[i + 1], i > 0, False), labels[i])
+            for i in range(len(labels))
+        ]
+        return cls(rules)
+
+    def __init__(self, rules: Sequence[LabelRule]):
+        validate_ranges(rules)
+        self.rules: Tuple[LabelRule, ...] = tuple(
+            sorted(rules, key=lambda rule: (rule.interval.low, not rule.interval.low_closed))
+        )
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        """The label vocabulary, in range order."""
+        return tuple(rule.label for rule in self.rules)
+
+    def apply_scalar(self, value: float) -> Optional[str]:
+        """Label a single value, or ``None`` when it falls in a gap/NaN."""
+        if value is None or (isinstance(value, float) and math.isnan(value)):
+            return None
+        for rule in self.rules:
+            if rule.interval.contains(value):
+                return rule.label
+        return None
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        """Label a column of comparison values (object array of labels)."""
+        out = np.full(len(values), None, dtype=object)
+        numeric = np.asarray(values, dtype=np.float64)
+        for rule in self.rules:
+            mask = rule.interval.mask(numeric)
+            out[mask] = rule.label
+        return out
+
+    def render(self) -> str:
+        body = ", ".join(rule.render() for rule in self.rules)
+        return f"{{{body}}}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RangeLabeling) and other.rules == self.rules
+
+    def __hash__(self) -> int:
+        return hash(("RangeLabeling", self.rules))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RangeLabeling({self.render()})"
+
+
+class CoordinateLabeling(LabelingSpec):
+    """Coordinate-dependent labeling (the paper's §8 expressiveness item).
+
+    "more complex labeling functions (e.g., functions based on ranges that
+    depend not only on comparison values of cells, but also on their
+    coordinates)" — each member of ``level`` can carry its own range set
+    (e.g. stricter thresholds for larger markets), with a default set for
+    unlisted members.  Cells whose member has no case and no default exists
+    receive the null label.
+    """
+
+    __slots__ = ("level", "cases", "default")
+
+    def __init__(
+        self,
+        level: str,
+        cases: "dict",
+        default: Optional[RangeLabeling] = None,
+    ):
+        if not cases and default is None:
+            raise ValidationError(
+                "coordinate labeling needs at least one case or a default"
+            )
+        self.level = level
+        self.cases = {member: labeling for member, labeling in cases.items()}
+        for member, labeling in self.cases.items():
+            if not isinstance(labeling, RangeLabeling):
+                raise ValidationError(
+                    f"case for member {member!r} must be a RangeLabeling"
+                )
+        self.default = default
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        """The combined label vocabulary across all cases."""
+        vocabulary = []
+        for labeling in list(self.cases.values()) + (
+            [self.default] if self.default else []
+        ):
+            for label in labeling.labels:
+                if label not in vocabulary:
+                    vocabulary.append(label)
+        return tuple(vocabulary)
+
+    def labeling_for(self, member) -> Optional[RangeLabeling]:
+        """The range set governing one member."""
+        return self.cases.get(member, self.default)
+
+    def apply(self, values: np.ndarray, members: Sequence) -> np.ndarray:
+        """Label a comparison column, choosing ranges by each cell's member."""
+        out = np.full(len(values), None, dtype=object)
+        for row, member in enumerate(members):
+            labeling = self.labeling_for(member)
+            if labeling is not None:
+                out[row] = labeling.apply_scalar(values[row])
+        return out
+
+    def render(self) -> str:
+        parts = [
+            f"case {self.level} = '{member}': {labeling.render()}"
+            for member, labeling in self.cases.items()
+        ]
+        if self.default is not None:
+            parts.append(f"else: {self.default.render()}")
+        return "{" + ", ".join(parts) + "}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CoordinateLabeling({self.level!r}, cases={list(self.cases)})"
+
+
+class NamedLabeling(LabelingSpec):
+    """A labeling function referenced by name: library distribution-based
+    labelers (``quartiles``, ``quintiles``, ``top3``, …) or user-predeclared
+    range functions (``5stars``)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValidationError("labeling function name must be non-empty")
+        self.name = name
+
+    def render(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NamedLabeling) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("NamedLabeling", self.name))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NamedLabeling({self.name!r})"
+
+
+def five_stars_rules() -> List[LabelRule]:
+    """The ``5stars`` labeling of Example 3.3, over [-1, 1]."""
+    bounds = [-1.0, -0.6, -0.2, 0.2, 0.6, 1.0]
+    labels = ["*", "**", "***", "****", "*****"]
+    rules = []
+    for i, label in enumerate(labels):
+        low, high = bounds[i], bounds[i + 1]
+        rules.append(LabelRule(Interval(low, high, low_closed=(i == 0), high_closed=True), label))
+    return rules

@@ -1,0 +1,37 @@
+"""Data generation: the paper's SALES example, SSB-style stars, random
+cubes, and flat-file ingestion."""
+
+from .flat import star_from_flat, table_from_csv
+from .random_cube import (
+    brute_force_rollup,
+    random_detailed_cube,
+    random_hierarchy,
+    random_schema,
+)
+from .sales import build_sales_catalog, sales_engine, sales_schema
+from .ssb import (
+    budget_schema,
+    build_budget_table,
+    build_ssb_catalog,
+    dimension_cardinalities,
+    ssb_engine,
+    ssb_schema,
+)
+
+__all__ = [
+    "brute_force_rollup",
+    "budget_schema",
+    "build_budget_table",
+    "build_sales_catalog",
+    "build_ssb_catalog",
+    "dimension_cardinalities",
+    "random_detailed_cube",
+    "random_hierarchy",
+    "random_schema",
+    "sales_engine",
+    "sales_schema",
+    "star_from_flat",
+    "ssb_engine",
+    "ssb_schema",
+    "table_from_csv",
+]

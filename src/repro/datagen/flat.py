@@ -1,0 +1,225 @@
+"""Build assessable cubes from flat (denormalized) data.
+
+Real analyses rarely start from a ready star schema.  This module turns a
+flat table — one row per event, with level and measure columns side by
+side, e.g. a CSV export — into everything an
+:class:`~repro.olap.MultidimensionalEngine` needs:
+
+* :func:`table_from_csv` loads a CSV file into a columnar
+  :class:`~repro.engine.table.Table` with type inference;
+* :func:`star_from_flat` normalises a flat table into a star schema — one
+  dimension table per declared hierarchy (distinct level combinations +
+  dense surrogate keys), a fact table of FK + measure columns — and returns
+  the registered cube, ready for assess statements.
+
+Example::
+
+    flat = table_from_csv("sales.csv")
+    engine = MultidimensionalEngine(Catalog())
+    star_from_flat(
+        engine, "SALES", flat,
+        hierarchies={"Product": ["product", "type"], "Store": ["store", "country"]},
+        measures={"quantity": "sum", "price": "avg"},
+    )
+    AssessSession(engine).assess("with SALES by type assess quantity labels quartiles")
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import EngineError, SchemaError
+from ..core.hierarchy import Hierarchy, Level
+from ..core.schema import CubeSchema, Measure
+from ..engine.star import DimensionBinding, StarSchema
+from ..engine.table import Table
+from ..olap.engine import MultidimensionalEngine
+from ..olap.metadata import hydrate_hierarchies
+
+
+def table_from_csv(path: str, name: str = "", delimiter: str = ",") -> Table:
+    """Load a CSV file (with header row) into a columnar table.
+
+    Column types are inferred: a column whose every non-empty value parses
+    as a number becomes float64; everything else stays a string column.
+    Empty numeric cells become NaN; empty string cells become ``""``.
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise EngineError(f"CSV file {path!r} is empty") from None
+        rows = list(reader)
+    if not header:
+        raise EngineError(f"CSV file {path!r} has no header columns")
+    columns: Dict[str, List[str]] = {column: [] for column in header}
+    for line_number, row in enumerate(rows, start=2):
+        if len(row) != len(header):
+            raise EngineError(
+                f"CSV file {path!r} line {line_number}: expected "
+                f"{len(header)} fields, found {len(row)}"
+            )
+        for column, value in zip(header, row):
+            columns[column].append(value)
+    table_name = name or _basename_stem(path)
+    return Table(
+        table_name,
+        {column: _infer_column(values) for column, values in columns.items()},
+    )
+
+
+def _basename_stem(path: str) -> str:
+    import os
+
+    stem, _ = os.path.splitext(os.path.basename(path))
+    return stem or "csv_table"
+
+
+def _infer_column(values: Sequence[str]) -> np.ndarray:
+    numeric: List[float] = []
+    for value in values:
+        text = value.strip()
+        if not text:
+            numeric.append(float("nan"))
+            continue
+        try:
+            numeric.append(float(text))
+        except ValueError:
+            array = np.empty(len(values), dtype=object)
+            array[:] = values
+            return array
+    return np.asarray(numeric, dtype=np.float64)
+
+
+def star_from_flat(
+    engine: MultidimensionalEngine,
+    cube_name: str,
+    flat: Table,
+    hierarchies: Mapping[str, Sequence[str]],
+    measures: Mapping[str, str],
+    hydrate: bool = True,
+) -> Tuple[CubeSchema, StarSchema]:
+    """Normalise a flat table into a star schema and register the cube.
+
+    ``hierarchies`` maps hierarchy names to their level columns, finest
+    first; every listed column must exist in ``flat``.  ``measures`` maps
+    measure columns to aggregation operators.  Each hierarchy becomes a
+    dimension table holding the distinct level combinations (validated for
+    functional dependency: one parent per member), keyed by dense surrogate
+    keys the fact table references.
+
+    Returns ``(cube_schema, star_schema)``; the cube is registered on the
+    engine under ``cube_name`` and (optionally) its hierarchies hydrated.
+    """
+    for hierarchy_name, levels in hierarchies.items():
+        if not levels:
+            raise SchemaError(f"hierarchy {hierarchy_name!r} needs at least one level")
+        for level in levels:
+            if not flat.has_column(level):
+                raise EngineError(
+                    f"flat table {flat.name!r} has no column {level!r} "
+                    f"(hierarchy {hierarchy_name!r})"
+                )
+    for measure_name in measures:
+        if not flat.has_column(measure_name):
+            raise EngineError(
+                f"flat table {flat.name!r} has no measure column {measure_name!r}"
+            )
+
+    n_rows = len(flat)
+    fact_columns: Dict[str, np.ndarray] = {}
+    bindings: List[DimensionBinding] = []
+
+    for hierarchy_name, levels in hierarchies.items():
+        level_columns = [flat.column(level) for level in levels]
+        keys: Dict[Tuple, int] = {}
+        fk = np.empty(n_rows, dtype=np.int64)
+        for row in range(n_rows):
+            key = tuple(column[row] for column in level_columns)
+            slot = keys.get(key)
+            if slot is None:
+                slot = len(keys)
+                keys[key] = slot
+            fk[row] = slot
+
+        _check_functional_dependencies(hierarchy_name, levels, keys)
+
+        prefix = hierarchy_name.lower()
+        dim_name = f"{cube_name.lower()}_{prefix}_dim"
+        dim_columns: Dict[str, np.ndarray] = {
+            f"{prefix}_key": np.arange(len(keys), dtype=np.int64)
+        }
+        ordered_keys = sorted(keys.items(), key=lambda item: item[1])
+        for position, level in enumerate(levels):
+            column = np.empty(len(keys), dtype=object)
+            for key, slot in ordered_keys:
+                column[slot] = key[position]
+            dim_columns[f"{prefix}_{level}"] = column
+        engine.catalog.register(Table(dim_name, dim_columns))
+
+        fk_column = f"{prefix}_fk"
+        fact_columns[fk_column] = fk
+        bindings.append(
+            DimensionBinding(
+                hierarchy_name,
+                dim_name,
+                fk_column,
+                f"{prefix}_key",
+                {level: f"{prefix}_{level}" for level in levels},
+            )
+        )
+
+    measure_columns: Dict[str, str] = {}
+    for measure_name in measures:
+        column = flat.column(measure_name)
+        if column.dtype == object:
+            raise EngineError(
+                f"measure column {measure_name!r} is not numeric"
+            )
+        fact_columns[measure_name] = column.astype(np.float64, copy=False)
+        measure_columns[measure_name] = measure_name
+
+    fact_name = f"{cube_name.lower()}_fact"
+    engine.catalog.register(Table(fact_name, fact_columns))
+
+    schema = CubeSchema(
+        cube_name,
+        [
+            Hierarchy(name, [Level(level) for level in levels])
+            for name, levels in hierarchies.items()
+        ],
+        [Measure(name, op) for name, op in measures.items()],
+    )
+    star = StarSchema(
+        name=cube_name,
+        fact_table=fact_name,
+        dimensions=bindings,
+        measure_columns=measure_columns,
+    )
+    engine.register_cube(cube_name, schema, star)
+    if hydrate:
+        hydrate_hierarchies(schema, star, engine.catalog)
+    return schema, star
+
+
+def _check_functional_dependencies(
+    hierarchy_name: str, levels: Sequence[str], keys: Dict[Tuple, int]
+) -> None:
+    """Each finer member must have exactly one ancestor combination."""
+    for depth in range(len(levels) - 1):
+        parent_of: Dict = {}
+        for key in keys:
+            child, parent = key[depth], key[depth + 1]
+            known = parent_of.get(child)
+            if known is None:
+                parent_of[child] = parent
+            elif known != parent:
+                raise SchemaError(
+                    f"hierarchy {hierarchy_name!r} is not functional: member "
+                    f"{child!r} of level {levels[depth]!r} has parents "
+                    f"{known!r} and {parent!r}"
+                )

@@ -1,0 +1,236 @@
+"""The paper's running-example SALES cube (Example 2.2), as a star schema.
+
+A small, deterministic, FoodMart-flavoured dataset with the exact
+hierarchies of the paper::
+
+    date ⪰ month ⪰ year
+    customer ⪰ gender
+    product ⪰ type ⪰ category
+    store ⪰ city ⪰ country
+
+and measures ``quantity``, ``storeSales``, ``storeCost`` (all summed).  The
+members used by the paper's examples are guaranteed to exist: fresh-fruit
+products Apple/Pear/Lemon, the product ``milk``, countries Italy/France/
+Spain, the store ``SmartMart``, and months 1997-01 … 1997-12.
+
+Every example and many tests run against this cube, so generation is seeded
+and fully reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..core.hierarchy import Hierarchy, Level
+from ..core.schema import CubeSchema, Measure
+from ..engine.catalog import Catalog
+from ..engine.star import DimensionBinding, StarSchema
+from ..engine.table import Table
+from ..olap.engine import MultidimensionalEngine
+from ..olap.metadata import hydrate_hierarchies
+
+PRODUCTS = [
+    # (product, type, category)
+    ("Apple", "Fresh Fruit", "Fruit"),
+    ("Pear", "Fresh Fruit", "Fruit"),
+    ("Lemon", "Fresh Fruit", "Fruit"),
+    ("Banana", "Fresh Fruit", "Fruit"),
+    ("Dried Apricot", "Dried Fruit", "Fruit"),
+    ("Raisins", "Dried Fruit", "Fruit"),
+    ("milk", "Milk", "Drinks"),
+    ("yogurt", "Dairy", "Food"),
+    ("ice-cream", "Frozen", "Food"),
+    ("Cheddar", "Cheese", "Food"),
+    ("Orange Juice", "Juice", "Drinks"),
+    ("Cola", "Soda", "Drinks"),
+]
+
+STORES = [
+    # (store, city, country)
+    ("SmartMart", "Bologna", "Italy"),
+    ("FreshCorner", "Roma", "Italy"),
+    ("MiniMarket", "Milano", "Italy"),
+    ("Carrefive", "Paris", "France"),
+    ("PetitPrix", "Lyon", "France"),
+    ("BonMarche", "Blois", "France"),
+    ("ElMercado", "Madrid", "Spain"),
+    ("LaTienda", "Sevilla", "Spain"),
+]
+
+CUSTOMER_FIRST = ["Eric", "Anna", "Marco", "Julie", "Sofia", "Pavlos",
+                  "Matteo", "Claire", "Luis", "Elena"]
+CUSTOMER_LAST = ["Long", "Rossi", "Dupont", "Garcia", "Bianchi",
+                 "Papas", "Martin", "Costa"]
+
+YEARS = ("1996", "1997")
+DAYS_PER_MONTH = 28  # keep the calendar simple and regular
+
+
+def sales_schema() -> CubeSchema:
+    """The SALES cube schema of Example 2.2."""
+    h_date = Hierarchy("Date", [Level("date"), Level("month"), Level("year")])
+    h_customer = Hierarchy("Customer", [Level("customer"), Level("gender")])
+    h_product = Hierarchy("Product", [Level("product"), Level("type"), Level("category")])
+    h_store = Hierarchy("Store", [Level("store"), Level("city"), Level("country")])
+    measures = [
+        Measure("quantity", "sum"),
+        Measure("storeSales", "sum"),
+        Measure("storeCost", "sum"),
+    ]
+    return CubeSchema("SALES", [h_date, h_customer, h_product, h_store], measures)
+
+
+def _date_dimension() -> Table:
+    dates, months, years = [], [], []
+    for year in YEARS:
+        for month_number in range(1, 13):
+            month = f"{year}-{month_number:02d}"
+            for day in range(1, DAYS_PER_MONTH + 1):
+                dates.append(f"{month}-{day:02d}")
+                months.append(month)
+                years.append(year)
+    return Table(
+        "sales_date",
+        {
+            "dkey": np.arange(len(dates), dtype=np.int64),
+            "d_date": np.array(dates, dtype=object),
+            "d_month": np.array(months, dtype=object),
+            "d_year": np.array(years, dtype=object),
+        },
+    )
+
+
+def _customer_dimension(rng: np.random.Generator, count: int) -> Table:
+    names, genders = [], []
+    for i in range(count):
+        first = CUSTOMER_FIRST[i % len(CUSTOMER_FIRST)]
+        last = CUSTOMER_LAST[(i // len(CUSTOMER_FIRST)) % len(CUSTOMER_LAST)]
+        suffix = i // (len(CUSTOMER_FIRST) * len(CUSTOMER_LAST))
+        name = f"{first} {last}" if suffix == 0 else f"{first} {last} {suffix}"
+        names.append(name)
+        genders.append("M" if rng.random() < 0.5 else "F")
+    return Table(
+        "sales_customer",
+        {
+            "ckey": np.arange(count, dtype=np.int64),
+            "c_name": np.array(names, dtype=object),
+            "c_gender": np.array(genders, dtype=object),
+        },
+    )
+
+
+def _product_dimension() -> Table:
+    return Table(
+        "sales_product",
+        {
+            "pkey": np.arange(len(PRODUCTS), dtype=np.int64),
+            "p_name": np.array([p[0] for p in PRODUCTS], dtype=object),
+            "p_type": np.array([p[1] for p in PRODUCTS], dtype=object),
+            "p_category": np.array([p[2] for p in PRODUCTS], dtype=object),
+        },
+    )
+
+
+COUNTRY_POPULATION = {"Italy": 59_000_000, "France": 68_000_000,
+                      "Spain": 48_000_000}
+"""Population per country — the descriptive level property of the paper's
+future-work per-capita example."""
+
+
+def _store_dimension() -> Table:
+    return Table(
+        "sales_store",
+        {
+            "skey": np.arange(len(STORES), dtype=np.int64),
+            "s_name": np.array([s[0] for s in STORES], dtype=object),
+            "s_city": np.array([s[1] for s in STORES], dtype=object),
+            "s_country": np.array([s[2] for s in STORES], dtype=object),
+            "s_population": np.array(
+                [COUNTRY_POPULATION[s[2]] for s in STORES], dtype=np.int64
+            ),
+        },
+    )
+
+
+def build_sales_catalog(
+    n_rows: int = 20_000, seed: int = 42, catalog=None
+) -> Tuple[Catalog, CubeSchema, StarSchema]:
+    """Generate the SALES star schema into a catalog.
+
+    Returns ``(catalog, cube_schema, star_schema)``.  Fact rows are uniform
+    over dates/customers/stores and skewed over products (fresh fruit is
+    popular), with per-product base prices so that profit
+    (``storeSales - storeCost``) is positive on average.
+    """
+    rng = np.random.default_rng(seed)
+    catalog = catalog if catalog is not None else Catalog()
+
+    date_dim = catalog.register(_date_dimension())
+    customer_dim = catalog.register(_customer_dimension(rng, count=200))
+    product_dim = catalog.register(_product_dimension())
+    store_dim = catalog.register(_store_dimension())
+
+    n_products = len(PRODUCTS)
+    product_weights = np.linspace(2.0, 1.0, n_products)
+    product_weights /= product_weights.sum()
+
+    dkeys = rng.integers(0, len(date_dim), n_rows)
+    ckeys = rng.integers(0, len(customer_dim), n_rows)
+    pkeys = rng.choice(n_products, size=n_rows, p=product_weights)
+    skeys = rng.integers(0, len(store_dim), n_rows)
+
+    quantity = rng.integers(1, 11, n_rows).astype(np.float64)
+    base_price = 1.5 + 0.5 * pkeys.astype(np.float64)
+    store_sales = np.round(quantity * base_price * rng.uniform(0.9, 1.1, n_rows), 2)
+    store_cost = np.round(store_sales * rng.uniform(0.5, 0.8, n_rows), 2)
+
+    catalog.register(
+        Table(
+            "sales_fact",
+            {
+                "dkey": dkeys.astype(np.int64),
+                "ckey": ckeys.astype(np.int64),
+                "pkey": pkeys.astype(np.int64),
+                "skey": skeys.astype(np.int64),
+                "quantity": quantity,
+                "storeSales": store_sales,
+                "storeCost": store_cost,
+            },
+        )
+    )
+
+    schema = sales_schema()
+    star = StarSchema(
+        name="SALES",
+        fact_table="sales_fact",
+        dimensions=[
+            DimensionBinding("Date", "sales_date", "dkey", "dkey",
+                             {"date": "d_date", "month": "d_month", "year": "d_year"}),
+            DimensionBinding("Customer", "sales_customer", "ckey", "ckey",
+                             {"customer": "c_name", "gender": "c_gender"}),
+            DimensionBinding("Product", "sales_product", "pkey", "pkey",
+                             {"product": "p_name", "type": "p_type",
+                              "category": "p_category"}),
+            DimensionBinding("Store", "sales_store", "skey", "skey",
+                             {"store": "s_name", "city": "s_city",
+                              "country": "s_country"},
+                             properties={"population": ("country", "s_population")}),
+        ],
+        measure_columns={
+            "quantity": "quantity",
+            "storeSales": "storeSales",
+            "storeCost": "storeCost",
+        },
+    )
+    return catalog, schema, star
+
+
+def sales_engine(n_rows: int = 20_000, seed: int = 42) -> MultidimensionalEngine:
+    """A ready-to-query multidimensional engine holding the SALES cube."""
+    catalog, schema, star = build_sales_catalog(n_rows=n_rows, seed=seed)
+    engine = MultidimensionalEngine(catalog)
+    engine.register_cube("SALES", schema, star)
+    hydrate_hierarchies(schema, star, catalog)
+    return engine

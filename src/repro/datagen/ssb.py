@@ -1,0 +1,331 @@
+"""A seeded, vectorised Star Schema Benchmark (SSB) style generator.
+
+The paper's experiments (Section 6) run on SSB cubes at scale factors
+1/10/100 (6·10⁶ … 6·10⁸ fact rows) stored in Oracle.  This module generates
+the same star layout — LINEORDER fact plus CUSTOMER / SUPPLIER / PART / DATE
+dimensions, with the four hierarchies the paper uses::
+
+    date ⪰ month ⪰ year
+    customer ⪰ c_city ⪰ c_nation ⪰ c_region
+    supplier ⪰ s_city ⪰ s_nation ⪰ s_region
+    part ⪰ brand ⪰ category ⪰ mfgr
+
+at any fact cardinality.  The benchmark harness uses a scaled-down ladder
+that preserves SSB's 1:10:100 ratios (see DESIGN.md §2); dimension
+cardinalities scale with the fact table the way dbgen's do (customers ≈
+rows/200, suppliers ≈ rows/3000, parts ≈ rows/30 capped at 200k).
+
+Generation is fully vectorised (NumPy) and deterministic given the seed.
+:func:`build_budget_table` additionally derives the external-benchmark cube
+(expected revenue by month and category) used by the External intention.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.groupby import GroupBySet
+from ..core.hierarchy import Hierarchy, Level
+from ..core.query import CubeQuery
+from ..core.schema import CubeSchema, Measure
+from ..engine.catalog import Catalog
+from ..engine.star import DimensionBinding, StarSchema
+from ..engine.table import Table
+from ..olap.engine import MultidimensionalEngine
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+NATIONS_PER_REGION = 5
+CITIES_PER_NATION = 10
+YEARS = [str(year) for year in range(1992, 1999)]
+DAYS_PER_MONTH = 28  # regular synthetic calendar
+
+_NATION_NAMES = [
+    "ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE",
+    "ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES",
+    "CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM",
+    "FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM",
+    "EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA",
+]
+
+
+def ssb_schema() -> CubeSchema:
+    """The SSB cube schema with the paper's four hierarchies."""
+    h_date = Hierarchy("Date", [Level("date"), Level("month"), Level("year")])
+    h_customer = Hierarchy(
+        "Customer",
+        [Level("customer"), Level("c_city"), Level("c_nation"), Level("c_region")],
+    )
+    h_supplier = Hierarchy(
+        "Supplier",
+        [Level("supplier"), Level("s_city"), Level("s_nation"), Level("s_region")],
+    )
+    h_part = Hierarchy(
+        "Part", [Level("part"), Level("brand"), Level("category"), Level("mfgr")]
+    )
+    measures = [
+        Measure("quantity", "sum"),
+        Measure("extendedprice", "sum"),
+        Measure("revenue", "sum"),
+        Measure("supplycost", "sum"),
+        Measure("discount", "avg"),
+    ]
+    return CubeSchema("SSB", [h_date, h_customer, h_supplier, h_part], measures)
+
+
+def _nations_and_cities() -> Tuple[List[str], List[str], List[str], List[str]]:
+    """Flattened (city, nation-of-city, nation, region-of-nation) lists."""
+    nations, nation_regions = [], []
+    for region_index, region in enumerate(REGIONS):
+        for i in range(NATIONS_PER_REGION):
+            nations.append(_NATION_NAMES[region_index * NATIONS_PER_REGION + i])
+            nation_regions.append(region)
+    cities, city_nations = [], []
+    for nation in nations:
+        stem = nation.replace(" ", "")[:9].ljust(9, "_")
+        for i in range(CITIES_PER_NATION):
+            cities.append(f"{stem}{i}")
+            city_nations.append(nation)
+    return cities, city_nations, nations, nation_regions
+
+
+def _date_dimension() -> Table:
+    dates, months, years = [], [], []
+    for year in YEARS:
+        for month_number in range(1, 13):
+            month = f"{year}-{month_number:02d}"
+            for day in range(1, DAYS_PER_MONTH + 1):
+                dates.append(f"{month}-{day:02d}")
+                months.append(month)
+                years.append(year)
+    return Table(
+        "ssb_date",
+        {
+            "d_datekey": np.arange(len(dates), dtype=np.int64),
+            "d_date": np.array(dates, dtype=object),
+            "d_month": np.array(months, dtype=object),
+            "d_year": np.array(years, dtype=object),
+        },
+    )
+
+
+def _geo_dimension(
+    name: str, prefix: str, count: int, rng: np.random.Generator
+) -> Table:
+    cities, city_nations, nations, nation_regions = _nations_and_cities()
+    nation_region = dict(zip(nations, nation_regions))
+    city_index = rng.integers(0, len(cities), count)
+    city_column = np.array(cities, dtype=object)[city_index]
+    nation_column = np.array(city_nations, dtype=object)[city_index]
+    region_column = np.array(
+        [nation_region[nation] for nation in nation_column], dtype=object
+    )
+    entity = np.array(
+        [f"{prefix}#{i:09d}" for i in range(count)], dtype=object
+    )
+    return Table(
+        name,
+        {
+            f"{prefix[0].lower()}_key": np.arange(count, dtype=np.int64),
+            f"{prefix[0].lower()}_name": entity,
+            f"{prefix[0].lower()}_city": city_column,
+            f"{prefix[0].lower()}_nation": nation_column,
+            f"{prefix[0].lower()}_region": region_column,
+        },
+    )
+
+
+def _part_dimension(count: int, rng: np.random.Generator) -> Table:
+    mfgr_index = rng.integers(1, 6, count)
+    category_index = rng.integers(1, 6, count)
+    brand_index = rng.integers(1, 41, count)
+    mfgr = np.array([f"MFGR#{m}" for m in mfgr_index], dtype=object)
+    category = np.array(
+        [f"MFGR#{m}{c}" for m, c in zip(mfgr_index, category_index)], dtype=object
+    )
+    brand = np.array(
+        [
+            f"MFGR#{m}{c}{b:02d}"
+            for m, c, b in zip(mfgr_index, category_index, brand_index)
+        ],
+        dtype=object,
+    )
+    name = np.array([f"Part#{i:09d}" for i in range(count)], dtype=object)
+    price = np.round(rng.uniform(90.0, 2_000.0, count), 2)
+    return Table(
+        "ssb_part",
+        {
+            "p_partkey": np.arange(count, dtype=np.int64),
+            "p_name": name,
+            "p_brand1": brand,
+            "p_category": category,
+            "p_mfgr": mfgr,
+            "p_price": price,
+        },
+    )
+
+
+def dimension_cardinalities(lineorder_rows: int) -> Tuple[int, int, int]:
+    """dbgen-like dimension sizes for a given fact cardinality.
+
+    Returns ``(customers, suppliers, parts)``.
+    """
+    customers = max(200, lineorder_rows // 200)
+    suppliers = max(50, lineorder_rows // 3000)
+    parts = min(200_000, max(280, lineorder_rows // 30))
+    return customers, suppliers, parts
+
+
+def build_ssb_catalog(
+    lineorder_rows: int = 60_000,
+    seed: int = 7,
+    catalog=None,
+) -> Tuple[Catalog, CubeSchema, StarSchema]:
+    """Generate the SSB star schema into a catalog.
+
+    Returns ``(catalog, cube_schema, star_schema)``.
+    """
+    rng = np.random.default_rng(seed)
+    catalog = catalog if catalog is not None else Catalog()
+
+    date_dim = catalog.register(_date_dimension())
+    customers, suppliers, parts = dimension_cardinalities(lineorder_rows)
+    customer_dim = catalog.register(_geo_dimension("ssb_customer", "Customer", customers, rng))
+    supplier_dim = catalog.register(_geo_dimension("ssb_supplier", "Supplier", suppliers, rng))
+    part_dim = catalog.register(_part_dimension(parts, rng))
+
+    lo_datekey = rng.integers(0, len(date_dim), lineorder_rows)
+    lo_custkey = rng.integers(0, customers, lineorder_rows)
+    lo_suppkey = rng.integers(0, suppliers, lineorder_rows)
+    lo_partkey = rng.integers(0, parts, lineorder_rows)
+
+    quantity = rng.integers(1, 51, lineorder_rows).astype(np.float64)
+    discount = rng.integers(0, 11, lineorder_rows).astype(np.float64)
+    part_price = part_dim.column("p_price")[lo_partkey]
+    extendedprice = np.round(quantity * part_price, 2)
+    revenue = np.round(extendedprice * (100.0 - discount) / 100.0, 2)
+    supplycost = np.round(0.6 * part_price * quantity * rng.uniform(0.9, 1.1, lineorder_rows), 2)
+
+    catalog.register(
+        Table(
+            "ssb_lineorder",
+            {
+                "lo_datekey": lo_datekey.astype(np.int64),
+                "lo_custkey": lo_custkey.astype(np.int64),
+                "lo_suppkey": lo_suppkey.astype(np.int64),
+                "lo_partkey": lo_partkey.astype(np.int64),
+                "lo_quantity": quantity,
+                "lo_extendedprice": extendedprice,
+                "lo_discount": discount,
+                "lo_revenue": revenue,
+                "lo_supplycost": supplycost,
+            },
+        )
+    )
+
+    schema = ssb_schema()
+    star = StarSchema(
+        name="SSB",
+        fact_table="ssb_lineorder",
+        dimensions=[
+            DimensionBinding("Date", "ssb_date", "lo_datekey", "d_datekey",
+                             {"date": "d_date", "month": "d_month", "year": "d_year"}),
+            DimensionBinding("Customer", "ssb_customer", "lo_custkey", "c_key",
+                             {"customer": "c_name", "c_city": "c_city",
+                              "c_nation": "c_nation", "c_region": "c_region"}),
+            DimensionBinding("Supplier", "ssb_supplier", "lo_suppkey", "s_key",
+                             {"supplier": "s_name", "s_city": "s_city",
+                              "s_nation": "s_nation", "s_region": "s_region"}),
+            DimensionBinding("Part", "ssb_part", "lo_partkey", "p_partkey",
+                             {"part": "p_name", "brand": "p_brand1",
+                              "category": "p_category", "mfgr": "p_mfgr"}),
+        ],
+        measure_columns={
+            "quantity": "lo_quantity",
+            "extendedprice": "lo_extendedprice",
+            "revenue": "lo_revenue",
+            "supplycost": "lo_supplycost",
+            "discount": "lo_discount",
+        },
+    )
+    return catalog, schema, star
+
+
+def budget_schema(levels: Tuple[str, ...] = ("month", "category"),
+                  name: str = "BUDGET") -> CubeSchema:
+    """The external BUDGET cube: expected revenue at some SSB group-by.
+
+    Reconciled with the SSB cube (Section 3.1's external-benchmark
+    assumption): its level names coincide with SSB's, making the two cubes
+    joinable at that group-by.  Each level becomes a single-level hierarchy
+    named after the SSB hierarchy it comes from.
+    """
+    reference = ssb_schema()
+    hierarchies = [
+        Hierarchy(reference.hierarchy_of_level(level).name, [Level(level)])
+        for level in levels
+    ]
+    return CubeSchema(name, hierarchies, [Measure("expected_revenue", "sum")])
+
+
+def build_budget_table(
+    engine: MultidimensionalEngine,
+    seed: int = 11,
+    noise: float = 0.1,
+    levels: Tuple[str, ...] = ("month", "category"),
+    name: str = "BUDGET",
+) -> Tuple[CubeSchema, StarSchema]:
+    """Derive a BUDGET external cube from SSB data and register it.
+
+    Aggregates actual revenue at the given group-by and perturbs it with
+    multiplicative Gaussian noise — the "predetermined goals" an external
+    benchmark represents.  Stored as a single-table star with degenerate
+    levels.
+    """
+    rng = np.random.default_rng(seed)
+    ssb = engine.cube("SSB")
+    query = CubeQuery(
+        "SSB",
+        GroupBySet(ssb.schema, levels),
+        (),
+        ("revenue",),
+    )
+    actual = engine.get(query)
+    expected = actual.measure("revenue") * rng.normal(1.0, noise, len(actual))
+    fact_name = f"ssb_budget_{name.lower()}"
+    columns = {f"b_{level}": actual.coords[level] for level in actual.group_by.levels}
+    columns["b_expected_revenue"] = np.round(expected, 2)
+    engine.catalog.register(Table(fact_name, columns), replace=True)
+    schema = budget_schema(tuple(actual.group_by.levels), name)
+    star = StarSchema(
+        name=name,
+        fact_table=fact_name,
+        dimensions=[],
+        measure_columns={"expected_revenue": "b_expected_revenue"},
+        degenerate_levels={
+            level: f"b_{level}" for level in actual.group_by.levels
+        },
+    )
+    engine.register_cube(name, schema, star)
+    return schema, star
+
+
+def ssb_engine(
+    lineorder_rows: int = 60_000,
+    seed: int = 7,
+    with_budget: bool = True,
+) -> MultidimensionalEngine:
+    """A ready-to-query engine holding the SSB cube (and BUDGET, optionally).
+
+    Hierarchy part-of maps are *not* hydrated here — the engine-level
+    rewrites never need them, and skipping them keeps large-scale generation
+    fast.  Call :func:`repro.olap.hydrate_hierarchies` explicitly if a test
+    needs in-memory roll-ups.
+    """
+    catalog, schema, star = build_ssb_catalog(lineorder_rows=lineorder_rows, seed=seed)
+    engine = MultidimensionalEngine(catalog)
+    engine.register_cube("SSB", schema, star)
+    if with_budget:
+        build_budget_table(engine)
+    return engine

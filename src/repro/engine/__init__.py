@@ -1,0 +1,48 @@
+"""The relational engine substrate (the paper's Oracle 11g substitute).
+
+Columnar tables, a catalog, key indexes, a three-shape query layer (star
+aggregate, drill-across, pivot), a vectorised executor, SQL text rendering,
+and star-schema metadata.
+"""
+
+from .catalog import Catalog
+from .executor import EngineExecutor, ResultSet
+from .query import (
+    Aggregate,
+    AggregateQuery,
+    ColumnPredicate,
+    DimensionJoin,
+    DrillAcrossQuery,
+    FACT,
+    GroupByColumn,
+    PivotQuery,
+)
+from .sqlgen import render_aggregate, render_drill_across, render_pivot, render_sql
+from .persist import load_catalog, save_catalog
+from .star import DimensionBinding, StarSchema
+from .table import KeyIndex, Table, table_from_rows
+
+__all__ = [
+    "Aggregate",
+    "AggregateQuery",
+    "Catalog",
+    "ColumnPredicate",
+    "DimensionBinding",
+    "DimensionJoin",
+    "DrillAcrossQuery",
+    "EngineExecutor",
+    "FACT",
+    "GroupByColumn",
+    "KeyIndex",
+    "load_catalog",
+    "PivotQuery",
+    "ResultSet",
+    "StarSchema",
+    "Table",
+    "render_aggregate",
+    "render_drill_across",
+    "render_pivot",
+    "render_sql",
+    "save_catalog",
+    "table_from_rows",
+]

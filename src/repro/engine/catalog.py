@@ -1,0 +1,58 @@
+"""The engine catalog: the set of tables a database holds.
+
+A :class:`Catalog` is the substitute for the paper's Oracle schema: star
+schemas (fact + dimension tables) are registered here, and every query the
+plans push "to SQL" executes against it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from ..core.errors import EngineError
+from .table import Table
+
+
+class Catalog:
+    """A named collection of tables."""
+
+    def __init__(self):
+        self._tables: Dict[str, Table] = {}
+
+    def register(self, table: Table, replace: bool = False) -> Table:
+        """Add a table to the catalog."""
+        if table.name in self._tables and not replace:
+            raise EngineError(f"table {table.name!r} is already registered")
+        self._tables[table.name] = table
+        return table
+
+    def drop(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        if name not in self._tables:
+            raise EngineError(f"cannot drop unknown table {name!r}")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        """Look a table up by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise EngineError(
+                f"unknown table {name!r} (registered: {', '.join(sorted(self._tables))})"
+            ) from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._tables))
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __repr__(self) -> str:
+        sizes = {name: len(table) for name, table in self._tables.items()}
+        return f"Catalog({sizes})"

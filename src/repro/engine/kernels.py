@@ -1,0 +1,77 @@
+"""Group-by factorization kernels.
+
+The engine's group-by pipeline reduces a multi-column key to dense integer
+group ids.  Two implementations are provided:
+
+* :func:`factorize_numpy` — the production kernel: per-column ``np.unique``
+  encoding combined into a single integer key, factorised once more.  Fully
+  vectorised; this is what makes pushed gets fast.
+* :func:`factorize_python` — a dict-based row-at-a-time reference kernel.
+  Semantically identical, used (a) as an oracle in tests and (b) by the
+  kernel ablation benchmark to quantify what vectorisation buys.
+
+Both return ``(group_ids, group_count, first_row_of_group)`` where
+``first_row_of_group[g]`` is a representative row of group ``g``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def encode_column(column: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Dense integer codes of one column plus its cardinality."""
+    uniques, codes = np.unique(column, return_inverse=True)
+    return codes.astype(np.int64, copy=False), len(uniques)
+
+
+def factorize_numpy(
+    columns: Sequence[np.ndarray], n_rows: int
+) -> Tuple[np.ndarray, int, np.ndarray]:
+    """Vectorised multi-column factorization.
+
+    With no grouping columns everything is one group (complete aggregation).
+    """
+    if not columns:
+        group_ids = np.zeros(n_rows, dtype=np.int64)
+        first = np.zeros(1 if n_rows else 0, dtype=np.int64)
+        return group_ids, (1 if n_rows else 0), first
+    combined = np.zeros(len(columns[0]), dtype=np.int64)
+    for column in columns:
+        codes, cardinality = encode_column(column)
+        combined = combined * cardinality + codes
+    uniques, first, group_ids = np.unique(
+        combined, return_index=True, return_inverse=True
+    )
+    return group_ids.astype(np.int64, copy=False), len(uniques), first
+
+
+def factorize_python(
+    columns: Sequence[np.ndarray], n_rows: int
+) -> Tuple[np.ndarray, int, np.ndarray]:
+    """Dict-based reference factorization (row at a time).
+
+    Group ids are assigned by *sorted key order* so the output is
+    exchangeable with :func:`factorize_numpy`.
+    """
+    if not columns:
+        group_ids = np.zeros(n_rows, dtype=np.int64)
+        first = np.zeros(1 if n_rows else 0, dtype=np.int64)
+        return group_ids, (1 if n_rows else 0), first
+    length = len(columns[0])
+    keys: List[Tuple] = list(zip(*columns))
+    first_seen: Dict[Tuple, int] = {}
+    for row, key in enumerate(keys):
+        if key not in first_seen:
+            first_seen[key] = row
+    ordered = sorted(first_seen)
+    slot_of = {key: slot for slot, key in enumerate(ordered)}
+    group_ids = np.fromiter(
+        (slot_of[key] for key in keys), dtype=np.int64, count=length
+    )
+    first = np.fromiter(
+        (first_seen[key] for key in ordered), dtype=np.int64, count=len(ordered)
+    )
+    return group_ids, len(ordered), first

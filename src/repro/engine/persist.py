@@ -1,0 +1,88 @@
+"""Catalog persistence: save/load columnar tables as ``.npz`` archives.
+
+Generated star schemas (especially the larger SSB ladder rungs) are
+expensive to rebuild; :func:`save_catalog` snapshots every table of a
+catalog into one compressed NumPy archive and :func:`load_catalog` restores
+it.  Object (string) columns round-trip through unicode arrays; numeric
+columns keep their dtypes.
+
+The archive layout is flat: ``{table}\x1f{column}`` keys (the unit
+separator cannot appear in identifiers), plus a ``__tables__`` index entry.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.errors import EngineError
+from .catalog import Catalog
+from .table import Table
+
+_SEP = "\x1f"
+_INDEX_KEY = "__tables__"
+
+
+def save_catalog(catalog: Catalog, path: str) -> str:
+    """Write every table of a catalog to a compressed ``.npz`` archive.
+
+    Returns the path written.  Object columns are stored as unicode arrays
+    (all members must be strings or ``None``); numeric columns are stored
+    as-is.
+    """
+    payload: Dict[str, np.ndarray] = {}
+    table_names: List[str] = []
+    for table in catalog:
+        table_names.append(table.name)
+        for column_name, column in table.columns.items():
+            key = f"{table.name}{_SEP}{column_name}"
+            if column.dtype == object:
+                payload[key] = _object_to_unicode(table.name, column_name, column)
+            else:
+                payload[key] = column
+    payload[_INDEX_KEY] = np.array(
+        [f"{name}{_SEP}{_column_order(catalog, name)}" for name in table_names],
+        dtype=np.str_,
+    )
+    np.savez_compressed(path, **payload)
+    return path if path.endswith(".npz") else f"{path}.npz"
+
+
+def load_catalog(path: str) -> Catalog:
+    """Restore a catalog saved by :func:`save_catalog`."""
+    if not os.path.exists(path) and os.path.exists(f"{path}.npz"):
+        path = f"{path}.npz"
+    with np.load(path, allow_pickle=False) as archive:
+        if _INDEX_KEY not in archive:
+            raise EngineError(f"{path!r} is not a saved catalog archive")
+        catalog = Catalog()
+        for entry in archive[_INDEX_KEY]:
+            table_name, _, column_csv = str(entry).partition(_SEP)
+            columns: Dict[str, np.ndarray] = {}
+            for column_name in column_csv.split(","):
+                stored = archive[f"{table_name}{_SEP}{column_name}"]
+                if stored.dtype.kind == "U":
+                    restored = stored.astype(object)
+                    columns[column_name] = restored
+                else:
+                    columns[column_name] = stored
+            catalog.register(Table(table_name, columns))
+    return catalog
+
+
+def _column_order(catalog: Catalog, table_name: str) -> str:
+    return ",".join(catalog.table(table_name).column_names)
+
+
+def _object_to_unicode(table: str, column: str, values: np.ndarray) -> np.ndarray:
+    for value in values:
+        if value is not None and not isinstance(value, str):
+            raise EngineError(
+                f"cannot persist non-string object value {value!r} in "
+                f"{table}.{column}"
+            )
+    return np.asarray(
+        ["" if value is None else value for value in values], dtype=np.str_
+    )

@@ -1,0 +1,305 @@
+"""Logical query objects the plans push to the engine ("to SQL").
+
+Section 5.2 works "under the following hypotheses: (i) the get, join, and
+pivot logical operations can be executed via SQL queries".  These three are
+exactly the query shapes the engine accepts:
+
+* :class:`AggregateQuery` — a star-join + group-by + aggregate, the SQL
+  translation of a *get* (Listing 1);
+* :class:`DrillAcrossQuery` — two aggregate subqueries joined on (a subset
+  of) their group-by columns, the SQL translation JOP uses (Listing 4);
+* :class:`PivotQuery` — an aggregate subquery whose slices of one column are
+  pivoted into measure columns, the SQL translation POP uses (Listing 5).
+
+All three are immutable value objects; :mod:`repro.engine.sqlgen` renders
+them to SQL text and :mod:`repro.engine.executor` evaluates them.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Tuple
+
+from ..core.errors import EngineError
+from ..core.query import Predicate
+
+FACT = "__fact__"
+"""Placeholder table token meaning "the fact table" in column references."""
+
+
+class DimensionJoin:
+    """A foreign-key join from the fact table to one dimension table."""
+
+    __slots__ = ("table", "fact_fk", "dim_key")
+
+    def __init__(self, table: str, fact_fk: str, dim_key: str):
+        self.table = table
+        self.fact_fk = fact_fk
+        self.dim_key = dim_key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DimensionJoin) and (
+            other.table,
+            other.fact_fk,
+            other.dim_key,
+        ) == (self.table, self.fact_fk, self.dim_key)
+
+    def __hash__(self) -> int:
+        return hash(("DimensionJoin", self.table, self.fact_fk, self.dim_key))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DimensionJoin({self.table}.{self.dim_key} = fact.{self.fact_fk})"
+
+
+class GroupByColumn:
+    """A grouping column: a physical ``table.column`` with an output alias.
+
+    The alias is the OLAP *level name*, which is how result columns line up
+    with cube coordinates.
+    """
+
+    __slots__ = ("table", "column", "alias")
+
+    def __init__(self, table: str, column: str, alias: str):
+        self.table = table
+        self.column = column
+        self.alias = alias
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GroupByColumn) and (
+            other.table,
+            other.column,
+            other.alias,
+        ) == (self.table, self.column, self.alias)
+
+    def __hash__(self) -> int:
+        return hash(("GroupByColumn", self.table, self.column, self.alias))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.table}.{self.column} as {self.alias}"
+
+
+class ColumnPredicate:
+    """A selection predicate bound to a physical ``table.column``.
+
+    Reuses the operator/values structure of the OLAP-level
+    :class:`~repro.core.query.Predicate`.
+    """
+
+    __slots__ = ("table", "column", "predicate")
+
+    def __init__(self, table: str, column: str, predicate: Predicate):
+        self.table = table
+        self.column = column
+        self.predicate = predicate
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ColumnPredicate) and (
+            other.table,
+            other.column,
+            other.predicate,
+        ) == (self.table, self.column, self.predicate)
+
+    def __hash__(self) -> int:
+        return hash(("ColumnPredicate", self.table, self.column, self.predicate))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.table}.{self.column} {self.predicate!r}"
+
+
+class Aggregate:
+    """An aggregation over a fact measure column: ``op(column) AS alias``."""
+
+    __slots__ = ("column", "op", "alias")
+
+    def __init__(self, column: str, op: str, alias: str):
+        if op not in ("sum", "avg", "min", "max", "count"):
+            raise EngineError(f"unsupported aggregation operator {op!r}")
+        self.column = column
+        self.op = op
+        self.alias = alias
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Aggregate) and (
+            other.column,
+            other.op,
+            other.alias,
+        ) == (self.column, self.op, self.alias)
+
+    def __hash__(self) -> int:
+        return hash(("Aggregate", self.column, self.op, self.alias))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.op}({self.column}) as {self.alias}"
+
+
+class AggregateQuery:
+    """A star group-by query — the SQL form of a *get* operation."""
+
+    __slots__ = ("fact", "joins", "where", "group_by", "aggregates")
+
+    def __init__(
+        self,
+        fact: str,
+        joins: Sequence[DimensionJoin],
+        where: Sequence[ColumnPredicate],
+        group_by: Sequence[GroupByColumn],
+        aggregates: Sequence[Aggregate],
+    ):
+        self.fact = fact
+        self.joins: Tuple[DimensionJoin, ...] = tuple(joins)
+        self.where: Tuple[ColumnPredicate, ...] = tuple(where)
+        self.group_by: Tuple[GroupByColumn, ...] = tuple(group_by)
+        self.aggregates: Tuple[Aggregate, ...] = tuple(aggregates)
+        if not self.aggregates:
+            raise EngineError("an aggregate query needs at least one aggregate")
+        joined = {join.table for join in self.joins} | {self.fact, FACT}
+        for gb in self.group_by:
+            if gb.table not in joined:
+                raise EngineError(
+                    f"group-by column {gb!r} references unjoined table {gb.table!r}"
+                )
+        for cp in self.where:
+            if cp.table not in joined:
+                raise EngineError(
+                    f"predicate {cp!r} references unjoined table {cp.table!r}"
+                )
+
+    @property
+    def output_columns(self) -> Tuple[str, ...]:
+        """Result column aliases: group-by aliases then aggregate aliases."""
+        return tuple(gb.alias for gb in self.group_by) + tuple(
+            agg.alias for agg in self.aggregates
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AggregateQuery) and (
+            other.fact,
+            other.joins,
+            frozenset(other.where),
+            other.group_by,
+            other.aggregates,
+        ) == (self.fact, self.joins, frozenset(self.where), self.group_by, self.aggregates)
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                "AggregateQuery",
+                self.fact,
+                self.joins,
+                frozenset(self.where),
+                self.group_by,
+                self.aggregates,
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AggregateQuery(fact={self.fact}, by={[g.alias for g in self.group_by]}, "
+            f"where={list(self.where)}, aggs={list(self.aggregates)})"
+        )
+
+
+class DrillAcrossQuery:
+    """Two aggregate subqueries joined on grouping aliases (JOP, Listing 4).
+
+    ``join_on`` lists the group-by aliases used as the join key (all of them
+    for a natural drill-across, a subset for a partial join).  The right
+    side's aggregate columns appear in the result renamed through
+    ``renames`` (e.g. ``quantity → bc_quantity``).  ``outer=True`` keeps
+    unmatched left rows (the ``assess*`` variant).
+
+    ``multi=True`` enables the fan-in partial join of Section 4.2: when a
+    left row matches several right rows (e.g. the k past months of a past
+    benchmark), their measures are appended as ``name_1 … name_p`` columns,
+    ordered by the right side's full grouping coordinate.  With
+    ``multi=False`` a non-unique right key is an error.
+    """
+
+    __slots__ = ("left", "right", "join_on", "renames", "outer", "multi")
+
+    def __init__(
+        self,
+        left: AggregateQuery,
+        right: AggregateQuery,
+        join_on: Sequence[str],
+        renames: Mapping[str, str],
+        outer: bool = False,
+        multi: bool = False,
+    ):
+        left_aliases = set(alias for alias in left.output_columns)
+        for alias in join_on:
+            if alias not in left_aliases:
+                raise EngineError(f"join alias {alias!r} missing from left subquery")
+        right_aliases = {gb.alias for gb in right.group_by}
+        for alias in join_on:
+            if alias not in right_aliases:
+                raise EngineError(f"join alias {alias!r} missing from right subquery")
+        self.left = left
+        self.right = right
+        self.join_on: Tuple[str, ...] = tuple(join_on)
+        self.renames = dict(renames)
+        self.outer = bool(outer)
+        self.multi = bool(multi)
+
+    @property
+    def output_columns(self) -> Tuple[str, ...]:
+        extra = tuple(
+            self.renames.get(agg.alias, agg.alias) for agg in self.right.aggregates
+        )
+        return self.left.output_columns + extra
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DrillAcrossQuery(on={list(self.join_on)}, outer={self.outer}, "
+            f"left={self.left!r}, right={self.right!r})"
+        )
+
+
+class PivotQuery:
+    """An aggregate subquery pivoted on one grouping column (POP, Listing 5).
+
+    ``pivot_alias`` names the grouping column whose slices are pivoted;
+    ``reference`` is the member kept as the row identity; ``members`` maps
+    every *other* member to per-aggregate renames, e.g.
+    ``{"France": {"quantity": "bc_quantity"}}``.  With ``require_all=True``
+    rows missing any pivoted value are filtered out (the ``is not null``
+    of Listing 5); reference rows are always required.
+    """
+
+    __slots__ = ("base", "pivot_alias", "reference", "members", "require_all")
+
+    def __init__(
+        self,
+        base: AggregateQuery,
+        pivot_alias: str,
+        reference,
+        members: Mapping[object, Mapping[str, str]],
+        require_all: bool = True,
+    ):
+        if pivot_alias not in {gb.alias for gb in base.group_by}:
+            raise EngineError(
+                f"pivot alias {pivot_alias!r} is not a grouping column of the base query"
+            )
+        self.base = base
+        self.pivot_alias = pivot_alias
+        self.reference = reference
+        self.members = {member: dict(renames) for member, renames in members.items()}
+        self.require_all = bool(require_all)
+
+    @property
+    def output_columns(self) -> Tuple[str, ...]:
+        kept = tuple(
+            gb.alias for gb in self.base.group_by
+        ) + tuple(agg.alias for agg in self.base.aggregates)
+        extra = tuple(
+            new_name
+            for renames in self.members.values()
+            for new_name in renames.values()
+        )
+        return kept + extra
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PivotQuery(on={self.pivot_alias!r}, reference={self.reference!r}, "
+            f"members={list(self.members)}, base={self.base!r})"
+        )

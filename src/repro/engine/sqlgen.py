@@ -1,0 +1,150 @@
+"""SQL text generation for pushed queries.
+
+Renders the engine's query objects as the SQL the paper's prototype sends to
+Oracle: Listing 1 (a get), Listing 4 (the JOP drill-across) and Listing 5
+(the POP pivot with an ``is not null`` filter).  The text is used by the
+formulation-effort experiment (Table 1), by ``explain()`` output, and by the
+hand-written-code generator of :mod:`repro.codegen`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.query import Predicate, PredicateOp
+from .query import AggregateQuery, DrillAcrossQuery, FACT, PivotQuery
+
+
+def render_sql(query) -> str:
+    """Render any pushed query object to SQL text."""
+    if isinstance(query, AggregateQuery):
+        return render_aggregate(query)
+    if isinstance(query, DrillAcrossQuery):
+        return render_drill_across(query)
+    if isinstance(query, PivotQuery):
+        return render_pivot(query)
+    raise TypeError(f"cannot render query of type {type(query).__name__}")
+
+
+def _literal(value) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return str(value)
+
+
+def _render_predicate(column: str, predicate: Predicate) -> str:
+    if predicate.op is PredicateOp.EQ:
+        return f"{column} = {_literal(predicate.values[0])}"
+    if predicate.op is PredicateOp.IN:
+        rendered = ", ".join(_literal(v) for v in predicate.values)
+        return f"{column} in ({rendered})"
+    low, high = predicate.values
+    return f"{column} between {_literal(low)} and {_literal(high)}"
+
+
+def _qualify(table: str, column: str, fact: str, alias_map) -> str:
+    if table in (FACT, fact):
+        return f"{alias_map[fact]}.{column}"
+    return f"{alias_map[table]}.{column}"
+
+
+def render_aggregate(query: AggregateQuery, indent: str = "") -> str:
+    """Render a get as a star-join GROUP BY query (Listing 1 style)."""
+    alias_map = {query.fact: "f"}
+    for i, join in enumerate(query.joins):
+        alias_map[join.table] = f"d{i}"
+
+    referenced = {gb.table for gb in query.group_by} | {cp.table for cp in query.where}
+    referenced.discard(FACT)
+    referenced.discard(query.fact)
+
+    select_parts: List[str] = []
+    for gb in query.group_by:
+        qualified = _qualify(gb.table, gb.column, query.fact, alias_map)
+        select_parts.append(f"{qualified} as {gb.alias}")
+    for agg in query.aggregates:
+        op = agg.op if agg.op != "avg" else "avg"
+        select_parts.append(f"{op}(f.{agg.column}) as {agg.alias}")
+
+    lines = [f"{indent}select {', '.join(select_parts)}"]
+    lines.append(f"{indent}from {query.fact} f")
+    for join in query.joins:
+        if join.table not in referenced:
+            continue
+        alias = alias_map[join.table]
+        lines.append(
+            f"{indent}  join {join.table} {alias} "
+            f"on {alias}.{join.dim_key} = f.{join.fact_fk}"
+        )
+    if query.where:
+        conditions = [
+            _render_predicate(
+                _qualify(cp.table, cp.column, query.fact, alias_map), cp.predicate
+            )
+            for cp in query.where
+        ]
+        lines.append(f"{indent}where {' and '.join(conditions)}")
+    if query.group_by:
+        grouped = ", ".join(
+            _qualify(gb.table, gb.column, query.fact, alias_map)
+            for gb in query.group_by
+        )
+        lines.append(f"{indent}group by {grouped}")
+    return "\n".join(lines)
+
+
+def render_drill_across(query: DrillAcrossQuery) -> str:
+    """Render the JOP join of two subqueries (Listing 4 style)."""
+    left_cols = [f"t1.{alias}" for alias in query.left.output_columns]
+    right_cols = [
+        f"t2.{agg.alias} as {query.renames.get(agg.alias, agg.alias)}"
+        if agg.alias in query.renames
+        else f"t2.{agg.alias}"
+        for agg in query.right.aggregates
+    ]
+    join_kind = "left outer join" if query.outer else "join"
+    conditions = " and ".join(f"t1.{alias} = t2.{alias}" for alias in query.join_on)
+    lines = [f"select {', '.join(left_cols + right_cols)}"]
+    lines.append("from (")
+    lines.append(render_aggregate(query.left, indent="  "))
+    lines.append(f") t1 {join_kind} (")
+    lines.append(render_aggregate(query.right, indent="  "))
+    lines.append(f") t2 on {conditions}")
+    return "\n".join(lines)
+
+
+def render_pivot(query: PivotQuery) -> str:
+    """Render the POP pivot (Listing 5 style, Oracle PIVOT syntax)."""
+    base = render_aggregate(query.base, indent="  ")
+    kept = [gb.alias for gb in query.base.group_by if gb.alias != query.pivot_alias]
+    value_aliases = [agg.alias for agg in query.base.aggregates]
+    pivoted: List[str] = list(value_aliases)
+    for renames in query.members.values():
+        pivoted.extend(renames.values())
+    select_cols = (
+        [f"{_literal(query.reference)} as {query.pivot_alias}"] + kept + pivoted
+    )
+
+    in_items = [f"{_literal(query.reference)} as _ref"]
+    for member, renames in query.members.items():
+        suffix = "_".join(renames.values()) or str(member)
+        in_items.append(f"{_literal(member)} as {suffix}")
+
+    agg_exprs = ", ".join(
+        f"{agg.op}({agg.alias})" for agg in query.base.aggregates
+    )
+    lines = [f"select {', '.join(select_cols)}"]
+    lines.append("from (")
+    lines.append(base)
+    lines.append(")")
+    lines.append("pivot (")
+    lines.append(f"  {agg_exprs} for {query.pivot_alias}")
+    lines.append(f"  in ({', '.join(in_items)})")
+    lines.append(")")
+    if query.require_all:
+        not_null = " and ".join(f"{col} is not null" for col in pivoted)
+        lines.append(f"where {not_null}")
+    return "\n".join(lines)

@@ -1,0 +1,207 @@
+"""Columnar tables — the storage layer of the relational engine substrate.
+
+The paper's prototype stores the star schema in Oracle 11g; our substitute
+is a column store on NumPy arrays.  A :class:`Table` is an ordered mapping
+from column names to equal-length arrays.  Key columns used as join targets
+can expose a *position index* so foreign keys resolve to row positions in
+O(1) (the moral equivalent of the paper's B-tree indexes on primary keys).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import EngineError
+
+
+class Table:
+    """An immutable-ish columnar table.
+
+    Columns are NumPy arrays: integer/float columns keep their dtype, string
+    columns are object arrays.  All columns share the same length.
+    """
+
+    def __init__(self, name: str, columns: Mapping[str, np.ndarray]):
+        if not columns:
+            raise EngineError(f"table {name!r} needs at least one column")
+        self.name = name
+        self.columns: Dict[str, np.ndarray] = {}
+        length: Optional[int] = None
+        for column_name, values in columns.items():
+            array = values if isinstance(values, np.ndarray) else _to_array(values)
+            if length is None:
+                length = len(array)
+            elif len(array) != length:
+                raise EngineError(
+                    f"table {name!r}: column {column_name!r} has {len(array)} rows, "
+                    f"expected {length}"
+                )
+            self.columns[column_name] = array
+        self._n = length or 0
+        self._key_indexes: Dict[str, "KeyIndex"] = {}
+        self._dictionaries: Dict[str, Tuple[np.ndarray, int]] = {}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(self.columns.keys())
+
+    def column(self, name: str) -> np.ndarray:
+        """Return a column by name."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise EngineError(
+                f"table {self.name!r} has no column {name!r} "
+                f"(columns: {', '.join(self.column_names)})"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self.columns
+
+    # ------------------------------------------------------------------
+    # Key indexes (the engine's "B-trees")
+    # ------------------------------------------------------------------
+    def create_key_index(self, column_name: str) -> "KeyIndex":
+        """Index a unique-key column so lookups by key become O(1).
+
+        Dimension tables index their surrogate key; the common case of a
+        dense ``0..n-1`` key is recognised and costs no memory at all.
+        """
+        if column_name not in self._key_indexes:
+            self._key_indexes[column_name] = KeyIndex(self, column_name)
+        return self._key_indexes[column_name]
+
+    def key_index(self, column_name: str) -> "KeyIndex":
+        """Return (building on demand) the key index of a column."""
+        return self.create_key_index(column_name)
+
+    def dictionary(self, column_name: str) -> Tuple[np.ndarray, int]:
+        """Dictionary-encode a column: ``(codes, cardinality)``, cached.
+
+        Codes follow the sorted order of the distinct values.  This is the
+        column-store dictionary encoding real engines keep per column; the
+        executor uses it so repeated group-bys on the same stored column
+        never re-factorize member strings.
+        """
+        if column_name not in self._dictionaries:
+            _, codes = np.unique(self.column(column_name), return_inverse=True)
+            cardinality = int(codes.max()) + 1 if len(codes) else 0
+            self._dictionaries[column_name] = (
+                codes.astype(np.int64, copy=False),
+                max(cardinality, 1),
+            )
+        return self._dictionaries[column_name]
+
+    # ------------------------------------------------------------------
+    def head(self, k: int = 10) -> List[Dict[str, object]]:
+        """First ``k`` rows as dicts (debugging helper)."""
+        k = min(k, self._n)
+        return [
+            {name: self.columns[name][row] for name in self.columns}
+            for row in range(k)
+        ]
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={self._n}, columns={list(self.columns)})"
+
+
+class KeyIndex:
+    """Maps key values of a unique column to their row positions.
+
+    ``positions_of(keys)`` vectorises the lookup for a whole foreign-key
+    column.  Dense integer keys (``key == row`` or ``key == row + base``)
+    are detected and served by arithmetic; anything else falls back to a
+    hash map.
+    """
+
+    def __init__(self, table: Table, column_name: str):
+        column = table.column(column_name)
+        self.table_name = table.name
+        self.column_name = column_name
+        self._dense_base: Optional[int] = None
+        self._mapping: Optional[Dict] = None
+        if np.issubdtype(column.dtype, np.integer) and len(column) > 0:
+            base = int(column[0])
+            expected = np.arange(base, base + len(column), dtype=column.dtype)
+            if np.array_equal(column, expected):
+                self._dense_base = base
+        if self._dense_base is None:
+            mapping: Dict = {}
+            for position, key in enumerate(column):
+                if key in mapping:
+                    raise EngineError(
+                        f"key column {column_name!r} of table {table.name!r} "
+                        f"has duplicate value {key!r}"
+                    )
+                mapping[key] = position
+            self._mapping = mapping
+        self._n = len(column)
+
+    @property
+    def is_dense(self) -> bool:
+        """Whether the index is served arithmetically (dense surrogate keys)."""
+        return self._dense_base is not None
+
+    def positions_of(self, keys: np.ndarray) -> np.ndarray:
+        """Row positions of each key; raises on unknown keys."""
+        if self._dense_base is not None:
+            positions = np.asarray(keys, dtype=np.int64) - self._dense_base
+            if len(positions) and (positions.min() < 0 or positions.max() >= self._n):
+                raise EngineError(
+                    f"foreign key value outside table {self.table_name!r} "
+                    f"key range"
+                )
+            return positions
+        mapping = self._mapping
+        assert mapping is not None
+        try:
+            return np.fromiter(
+                (mapping[key] for key in keys), dtype=np.int64, count=len(keys)
+            )
+        except KeyError as exc:
+            raise EngineError(
+                f"foreign key value {exc.args[0]!r} not found in "
+                f"{self.table_name}.{self.column_name}"
+            ) from None
+
+
+def _to_array(values: Sequence) -> np.ndarray:
+    """Coerce a python sequence to the narrowest sensible NumPy column."""
+    values = list(values)
+    if not values:
+        return np.empty(0, dtype=object)
+    first = values[0]
+    if isinstance(first, bool):
+        return np.asarray(values, dtype=bool)
+    if isinstance(first, (int, np.integer)) and all(
+        isinstance(v, (int, np.integer)) for v in values
+    ):
+        return np.asarray(values, dtype=np.int64)
+    if isinstance(first, (float, np.floating)) and all(
+        isinstance(v, (int, float, np.integer, np.floating)) for v in values
+    ):
+        return np.asarray(values, dtype=np.float64)
+    array = np.empty(len(values), dtype=object)
+    for i, value in enumerate(values):
+        array[i] = value
+    return array
+
+
+def table_from_rows(name: str, rows: Iterable[Mapping[str, object]]) -> Table:
+    """Build a table from an iterable of row dicts (tests/examples)."""
+    rows = list(rows)
+    if not rows:
+        raise EngineError(f"cannot infer columns of empty table {name!r}")
+    columns: Dict[str, List] = {key: [] for key in rows[0]}
+    for row in rows:
+        if set(row) != set(columns):
+            raise EngineError(f"ragged rows for table {name!r}")
+        for key, value in row.items():
+            columns[key].append(value)
+    return Table(name, {key: _to_array(values) for key, values in columns.items()})

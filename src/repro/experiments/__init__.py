@@ -1,0 +1,43 @@
+"""The experiment harness: reference intentions, runner, paper comparison.
+
+Regenerates every table and figure of the paper's Section 6 — see
+``benchmarks/harness.py`` for the command-line entry point and
+EXPERIMENTS.md for a recorded run.
+"""
+
+from .paper_reference import (
+    FEASIBLE_PLANS,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    SCALES,
+)
+from .report import (
+    render_fig3,
+    render_fig4,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from .runner import DEFAULT_LADDER, ExperimentRunner, ladder_from_env
+from .statements import BUDGET_LEVELS, INTENTIONS, prepare_engine, statement_text
+
+__all__ = [
+    "BUDGET_LEVELS",
+    "DEFAULT_LADDER",
+    "ExperimentRunner",
+    "FEASIBLE_PLANS",
+    "INTENTIONS",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "SCALES",
+    "ladder_from_env",
+    "prepare_engine",
+    "render_fig3",
+    "render_fig4",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "statement_text",
+]

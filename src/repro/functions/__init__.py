@@ -1,0 +1,80 @@
+"""Function libraries: comparison, transformation, labeling, prediction.
+
+Implements the libraries Section 3.2/3.3 assumes the system makes available,
+plus the expression evaluator that composes them per the Section 4.3
+semantics.
+"""
+
+from .comparison import (
+    absolute_difference,
+    difference,
+    normalized_difference,
+    percentage,
+    ratio,
+    signed_log_ratio,
+)
+from .evaluate import apply_using, classify_expression, evaluate
+from .labeling import (
+    cluster_labels,
+    equi_width_labels,
+    kmeans_1d,
+    optimal_cluster_count,
+    quantile_labels,
+    top_k_labels,
+    zscore_likert_labels,
+)
+from .prediction import (
+    exponential_smoothing,
+    holt_linear,
+    linear_regression,
+    moving_average,
+    naive_last,
+    seasonal_naive,
+)
+from .registry import FunctionRegistry, RegisteredFunction, default_registry
+from .transform import (
+    identity,
+    min_max_norm,
+    min_max_norm_sym,
+    perc_of_total,
+    percentile_rank,
+    rank,
+    signed_min_max_norm,
+    zscore,
+)
+
+__all__ = [
+    "FunctionRegistry",
+    "RegisteredFunction",
+    "absolute_difference",
+    "apply_using",
+    "classify_expression",
+    "cluster_labels",
+    "default_registry",
+    "difference",
+    "equi_width_labels",
+    "evaluate",
+    "exponential_smoothing",
+    "holt_linear",
+    "identity",
+    "kmeans_1d",
+    "linear_regression",
+    "min_max_norm",
+    "min_max_norm_sym",
+    "moving_average",
+    "naive_last",
+    "normalized_difference",
+    "optimal_cluster_count",
+    "perc_of_total",
+    "percentage",
+    "percentile_rank",
+    "quantile_labels",
+    "rank",
+    "ratio",
+    "seasonal_naive",
+    "signed_log_ratio",
+    "signed_min_max_norm",
+    "top_k_labels",
+    "zscore",
+    "zscore_likert_labels",
+]

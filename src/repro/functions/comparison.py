@@ -1,0 +1,77 @@
+"""Cell-wise comparison functions ``δ : R × R → R`` (Section 3.2).
+
+These implement the "basic way" comparisons the paper lists — algebraic,
+absolute and normalized differences, ratios and percentages — all evaluated
+independently per cell (logical operator ``⊟``).
+
+Every function takes and returns NumPy float columns; NaNs propagate, which
+gives ``assess*`` its null-comparison semantics for unmatched cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .registry import FunctionRegistry
+
+
+def difference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Algebraic difference ``a - b`` (Listing 2 of the paper)."""
+    return np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64)
+
+
+def absolute_difference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Absolute difference ``|a - b|``."""
+    return np.abs(difference(a, b))
+
+
+def normalized_difference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Difference normalised by the benchmark: ``(a - b) / b``.
+
+    A zero benchmark yields ``inf``/``nan`` rather than raising, matching
+    floating-point SQL semantics.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return (a - b) / b
+
+
+def ratio(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Ratio ``a / b`` (used by Examples 1.1 and 4.1)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return a / b
+
+
+def percentage(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Percentage ``100 * a / b``."""
+    return 100.0 * ratio(a, b)
+
+
+def signed_log_ratio(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``log(a / b)`` for positive pairs; symmetric around 0.
+
+    Useful when over- and under-performance should be penalised equally in
+    multiplicative terms.  Non-positive inputs yield NaN.
+    """
+    r = ratio(a, b)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.log(r)
+    out[~np.isfinite(r) | (r <= 0)] = np.nan
+    return out
+
+
+def register_all(registry: FunctionRegistry) -> None:
+    """Register every comparison function into a registry."""
+    registry.register("difference", "cell", difference, arity=2,
+                      doc="algebraic difference a - b")
+    registry.register("absoluteDifference", "cell", absolute_difference, arity=2,
+                      doc="absolute difference |a - b|")
+    registry.register("normalizedDifference", "cell", normalized_difference, arity=2,
+                      doc="(a - b) / b")
+    registry.register("ratio", "cell", ratio, arity=2, doc="a / b")
+    registry.register("percentage", "cell", percentage, arity=2, doc="100 * a / b")
+    registry.register("signedLogRatio", "cell", signed_log_ratio, arity=2,
+                      doc="log(a / b)")

@@ -1,0 +1,124 @@
+"""Evaluation of ``using``-clause expressions over cubes.
+
+The semantics of Section 4.3 composes the comparison/transformation
+functions of the ``using`` clause into ``⊡_{Δ,·}(·)``.  This module performs
+that composition: it walks the expression AST bottom-up, binds measure
+references to cube columns, resolves function names against a registry, and
+returns the comparison column ``m_Δ``.
+
+Whether an applied function is a cell-wise ``⊟`` or a holistic ``⊡`` is
+metadata on the registry entry; evaluation itself is uniform because both
+kinds consume and produce whole columns (the cell-wise ones just happen to
+be pointwise).  :func:`classify_expression` exposes the distinction for the
+planner and for rule P2 (a join can be pushed through *cell* transforms
+only).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.cube import Cube
+from ..core.errors import FunctionError
+from ..core.expression import BinaryOp, Expression, FunctionCall, Literal, MeasureRef
+from .registry import FunctionRegistry, default_registry
+
+
+def evaluate(
+    expression: Expression,
+    cube: Cube,
+    registry: Optional[FunctionRegistry] = None,
+) -> np.ndarray:
+    """Evaluate an expression over a cube, returning a float column.
+
+    Measure references resolve against the cube's measure columns (including
+    alias-qualified benchmark columns added by joins); literals broadcast to
+    the cube's cell count.
+    """
+    registry = registry or default_registry()
+    n = len(cube)
+
+    def walk(node: Expression) -> np.ndarray:
+        if isinstance(node, Literal):
+            return np.full(n, node.value, dtype=np.float64)
+        if isinstance(node, MeasureRef):
+            column = cube.measure(node.column_name)
+            if column.dtype == object:
+                raise FunctionError(
+                    f"measure {node.column_name!r} is not numeric and cannot "
+                    "be used in a using clause"
+                )
+            return column.astype(np.float64, copy=False)
+        if isinstance(node, BinaryOp):
+            left, right = walk(node.left), walk(node.right)
+            if node.op == "+":
+                return left + right
+            if node.op == "-":
+                return left - right
+            if node.op == "*":
+                return left * right
+            with np.errstate(divide="ignore", invalid="ignore"):
+                return left / right
+        if isinstance(node, FunctionCall):
+            entry = registry.get(node.name)
+            if entry.kind not in ("cell", "holistic"):
+                raise FunctionError(
+                    f"function {node.name!r} has kind {entry.kind!r} and cannot "
+                    "appear in a using clause"
+                )
+            if entry.arity is not None and entry.arity != len(node.args):
+                raise FunctionError(
+                    f"function {node.name!r} expects {entry.arity} argument(s), "
+                    f"got {len(node.args)}"
+                )
+            args = [walk(arg) for arg in node.args]
+            result = np.asarray(entry(*args), dtype=np.float64)
+            if result.shape != (n,):
+                raise FunctionError(
+                    f"function {node.name!r} returned shape {result.shape}, "
+                    f"expected ({n},)"
+                )
+            return result
+        raise FunctionError(f"cannot evaluate expression node {node!r}")
+
+    return walk(expression)
+
+
+def apply_using(
+    cube: Cube,
+    expression: Expression,
+    out_name: str = "comparison",
+    registry: Optional[FunctionRegistry] = None,
+) -> Cube:
+    """Append the comparison measure ``m_Δ`` computed by an expression."""
+    column = evaluate(expression, cube, registry)
+    return cube.with_measure(out_name, column)
+
+
+def classify_expression(
+    expression: Expression,
+    registry: Optional[FunctionRegistry] = None,
+) -> str:
+    """Classify a using expression as ``"cell"`` or ``"holistic"``.
+
+    An expression is holistic as soon as any nested call is; pure arithmetic
+    and literals are cell-wise.  Rule P2 only pushes a join through
+    *cell-wise* transformations, so the planner consults this.
+    """
+    registry = registry or default_registry()
+
+    def walk(node: Expression) -> bool:
+        if isinstance(node, (Literal, MeasureRef)):
+            return False
+        if isinstance(node, BinaryOp):
+            return walk(node.left) or walk(node.right)
+        if isinstance(node, FunctionCall):
+            entry = registry.get(node.name)
+            if entry.is_holistic:
+                return True
+            return any(walk(arg) for arg in node.args)
+        raise FunctionError(f"cannot classify expression node {node!r}")
+
+    return "holistic" if walk(expression) else "cell"

@@ -1,0 +1,228 @@
+"""Distribution-based labeling functions (Section 3.3.2).
+
+These labelers avoid predefined ranges and "allow labels to adapt to the
+distribution of the comparison values".  The paper sketches several schemes,
+all implemented here:
+
+* quantile splits (``quartiles``, ``quintiles``, ``deciles``) — equi-depth;
+* ``top-k`` ranking splits (``top3`` … ``top10``) labeled ``top-1 … top-k``;
+* equi-width histograms (``equiwidth5`` etc.);
+* rounding the z-score onto a Likert-like 5-point scale (``zscoreLikert``);
+* 1-D k-means clustering where "the system comes up with the optimal number
+  of clusters" (``cluster``), with the cluster count chosen by a simple
+  elbow criterion.
+
+All labelers map a float column to an object column of labels; NaNs receive
+``None`` (the null label of ``assess*``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .registry import FunctionRegistry
+
+
+def _empty_labels(n: int) -> np.ndarray:
+    return np.full(n, None, dtype=object)
+
+
+def quantile_labels(values: np.ndarray, k: int, names: Sequence[str]) -> np.ndarray:
+    """Split values into ``k`` equal-frequency groups and label each group.
+
+    ``names[0]`` is the group of *smallest* values.  Ties at a boundary go to
+    the lower group, mirroring ``pandas.qcut`` semantics loosely.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    out = _empty_labels(len(values))
+    valid = ~np.isnan(values)
+    data = values[valid]
+    if data.size == 0:
+        return out
+    edges = np.quantile(data, np.linspace(0, 1, k + 1)[1:-1]) if k > 1 else []
+    groups = np.searchsorted(edges, data, side="left") if k > 1 else np.zeros(
+        data.size, dtype=np.intp
+    )
+    labels = np.array(list(names), dtype=object)
+    out[valid] = labels[groups]
+    return out
+
+
+def equi_width_labels(values: np.ndarray, k: int, names: Sequence[str]) -> np.ndarray:
+    """Split the value *range* into ``k`` equal-width bins and label them."""
+    values = np.asarray(values, dtype=np.float64)
+    out = _empty_labels(len(values))
+    valid = ~np.isnan(values)
+    data = values[valid]
+    if data.size == 0:
+        return out
+    low, high = float(np.min(data)), float(np.max(data))
+    if low == high:
+        out[valid] = names[0]
+        return out
+    edges = np.linspace(low, high, k + 1)[1:-1]
+    groups = np.searchsorted(edges, data, side="right")
+    labels = np.array(list(names), dtype=object)
+    out[valid] = labels[groups]
+    return out
+
+
+def top_k_labels(values: np.ndarray, k: int) -> np.ndarray:
+    """Rank values and split the ordered set into ``k`` groups ``top-1 …
+    top-k`` — ``top-1`` holds the *largest* values (Section 3.3.2)."""
+    names = [f"top-{i + 1}" for i in range(k)][::-1]  # smallest group last name
+    return quantile_labels(values, k, names)
+
+
+def zscore_likert_labels(values: np.ndarray) -> np.ndarray:
+    """Round z-scores onto a 5-point Likert-like scale.
+
+    ``much below`` (z ≤ -1.5), ``below`` (-1.5 < z ≤ -0.5), ``average``
+    (|z| < 0.5), ``above`` (0.5 ≤ z < 1.5), ``much above`` (z ≥ 1.5).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    out = _empty_labels(len(values))
+    valid = ~np.isnan(values)
+    data = values[valid]
+    if data.size == 0:
+        return out
+    std = np.std(data)
+    z = (data - np.mean(data)) / std if std > 0 else np.zeros_like(data)
+    labels = np.full(data.size, "average", dtype=object)
+    labels[z <= -0.5] = "below"
+    labels[z <= -1.5] = "much below"
+    labels[z >= 0.5] = "above"
+    labels[z >= 1.5] = "much above"
+    out[valid] = labels
+    return out
+
+
+# ----------------------------------------------------------------------
+# 1-D k-means clustering labeler
+# ----------------------------------------------------------------------
+def kmeans_1d(values: np.ndarray, k: int, max_iter: int = 100) -> np.ndarray:
+    """Lloyd's algorithm specialised to one dimension.
+
+    Deterministic: centroids start at evenly spaced quantiles.  Returns the
+    cluster index of each value, clusters numbered by ascending centroid.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return np.zeros(0, dtype=np.intp)
+    k = min(k, len(np.unique(values)))
+    centroids = np.quantile(values, np.linspace(0, 1, k * 2 + 1)[1::2])
+    centroids = np.unique(centroids)
+    k = len(centroids)
+    assignment = np.zeros(values.size, dtype=np.intp)
+    for _ in range(max_iter):
+        distances = np.abs(values[:, None] - centroids[None, :])
+        new_assignment = np.argmin(distances, axis=1)
+        if np.array_equal(new_assignment, assignment) and _ > 0:
+            break
+        assignment = new_assignment
+        for j in range(k):
+            members = values[assignment == j]
+            if members.size:
+                centroids[j] = members.mean()
+    order = np.argsort(centroids)
+    remap = np.empty_like(order)
+    remap[order] = np.arange(k)
+    return remap[assignment]
+
+
+def _kmeans_inertia(values: np.ndarray, k: int) -> float:
+    assignment = kmeans_1d(values, k)
+    total = 0.0
+    for j in range(assignment.max() + 1 if assignment.size else 0):
+        members = values[assignment == j]
+        if members.size:
+            total += float(np.sum((members - members.mean()) ** 2))
+    return total
+
+
+def optimal_cluster_count(values: np.ndarray, max_k: int = 6) -> int:
+    """Pick a cluster count by the largest relative inertia drop (elbow)."""
+    values = np.asarray(values, dtype=np.float64)
+    distinct = len(np.unique(values))
+    if distinct <= 1:
+        return 1
+    max_k = min(max_k, distinct)
+    inertias = [float("inf")] + [_kmeans_inertia(values, k) for k in range(1, max_k + 1)]
+    best_k, best_drop = 1, -1.0
+    for k in range(2, max_k + 1):
+        previous = inertias[k - 1]
+        drop = (previous - inertias[k]) / previous if previous > 0 else 0.0
+        if drop > best_drop + 1e-12:
+            best_k, best_drop = k, drop
+    return best_k
+
+
+def cluster_labels(values: np.ndarray, k: int = 0) -> np.ndarray:
+    """Cluster comparison values and label each cluster ``cluster-1 … -k``
+    (ascending by centroid).  ``k=0`` lets the system pick ``k``."""
+    values = np.asarray(values, dtype=np.float64)
+    out = _empty_labels(len(values))
+    valid = ~np.isnan(values)
+    data = values[valid]
+    if data.size == 0:
+        return out
+    if k <= 0:
+        k = optimal_cluster_count(data)
+    assignment = kmeans_1d(data, k)
+    labels = np.array([f"cluster-{j + 1}" for j in range(int(assignment.max()) + 1)],
+                      dtype=object)
+    out[valid] = labels[assignment]
+    return out
+
+
+# ----------------------------------------------------------------------
+# Registration
+# ----------------------------------------------------------------------
+def _quantile_labeler(k: int, names: Sequence[str]) -> Callable[[np.ndarray], np.ndarray]:
+    def labeler(values: np.ndarray) -> np.ndarray:
+        return quantile_labels(values, k, names)
+
+    return labeler
+
+
+def _equiwidth_labeler(k: int) -> Callable[[np.ndarray], np.ndarray]:
+    names = [f"bin-{i + 1}" for i in range(k)]
+
+    def labeler(values: np.ndarray) -> np.ndarray:
+        return equi_width_labels(values, k, names)
+
+    return labeler
+
+
+def _topk_labeler(k: int) -> Callable[[np.ndarray], np.ndarray]:
+    def labeler(values: np.ndarray) -> np.ndarray:
+        return top_k_labels(values, k)
+
+    return labeler
+
+
+QUANTILE_SCHEMES = {
+    "quartiles": (4, ("Q1", "Q2", "Q3", "Q4")),
+    "quintiles": (5, ("Q1", "Q2", "Q3", "Q4", "Q5")),
+    "terciles": (3, ("low", "medium", "high")),
+    "deciles": (10, tuple(f"D{i + 1}" for i in range(10))),
+    "median": (2, ("below-median", "above-median")),
+}
+
+
+def register_all(registry: FunctionRegistry) -> None:
+    """Register every distribution-based labeler into a registry."""
+    for name, (k, names) in QUANTILE_SCHEMES.items():
+        registry.register(name, "labeling", _quantile_labeler(k, names), arity=1,
+                          doc=f"equi-depth split into {k} groups")
+    for k in range(2, 11):
+        registry.register(f"top{k}", "labeling", _topk_labeler(k), arity=1,
+                          doc=f"ranked split into top-1..top-{k}")
+        registry.register(f"equiwidth{k}", "labeling", _equiwidth_labeler(k), arity=1,
+                          doc=f"equi-width split into {k} bins")
+    registry.register("zscoreLikert", "labeling", zscore_likert_labels, arity=1,
+                      doc="5-point Likert scale on rounded z-scores")
+    registry.register("cluster", "labeling", cluster_labels, arity=1,
+                      doc="1-D k-means with system-chosen k")

@@ -1,0 +1,169 @@
+"""Time-series predictors for past benchmarks (Sections 3.1 and 4.3).
+
+A past benchmark replaces the actual values of a measure with "those that
+can be predicted ... based on a number of past time slices".  The paper's
+prototype applies linear regression (via scikit-learn); we implement
+ordinary least squares directly on NumPy, plus cheaper alternatives used by
+the ablation bench (`benchmarks/bench_ablation_regression.py`).
+
+All predictors share the signature ``f(history) -> predictions`` where
+``history`` is an ``(n, k)`` matrix: row ``i`` holds the measure values of
+cell ``i`` at the k past time slices, ordered oldest → newest (NaN where a
+past slice had no data).  The result is the length-``n`` column of values
+predicted for the *next* slice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .registry import FunctionRegistry
+
+
+def _as_history(history: np.ndarray) -> np.ndarray:
+    history = np.asarray(history, dtype=np.float64)
+    if history.ndim == 1:
+        history = history[:, None]
+    return history
+
+
+def linear_regression(history: np.ndarray) -> np.ndarray:
+    """OLS extrapolation: fit ``value = a + b * t`` per row, predict ``t=k``.
+
+    Time indices are ``0 .. k-1`` for the history and ``k`` for the predicted
+    slice.  Rows with fewer than 2 non-NaN points fall back to the mean of
+    the available points (a flat line); all-NaN rows predict NaN.
+
+    The closed-form per-row solution is fully vectorised over rows, which is
+    what makes the transform step of the Past intention scale linearly.
+    """
+    history = _as_history(history)
+    n, k = history.shape
+    t = np.arange(k, dtype=np.float64)
+    valid = ~np.isnan(history)
+    counts = valid.sum(axis=1).astype(np.float64)
+
+    safe = np.where(valid, history, 0.0)
+    sum_y = safe.sum(axis=1)
+    sum_t = (valid * t).sum(axis=1)
+    sum_tt = (valid * t * t).sum(axis=1)
+    sum_ty = (safe * t).sum(axis=1)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        denom = counts * sum_tt - sum_t * sum_t
+        slope = (counts * sum_ty - sum_t * sum_y) / denom
+        intercept = (sum_y - slope * sum_t) / counts
+        mean = sum_y / counts
+
+    prediction = intercept + slope * k
+    degenerate = (counts < 2) | ~np.isfinite(prediction)
+    prediction = np.where(degenerate, mean, prediction)
+    prediction[counts == 0] = np.nan
+    return prediction
+
+
+def moving_average(history: np.ndarray) -> np.ndarray:
+    """Predict the mean of the available past values."""
+    history = _as_history(history)
+    with np.errstate(invalid="ignore"):
+        result = np.nanmean(history, axis=1)
+    return result
+
+
+def exponential_smoothing(history: np.ndarray, alpha: float = 0.5) -> np.ndarray:
+    """Simple exponential smoothing with factor ``alpha``.
+
+    ``s_0 = y_0``, ``s_t = alpha * y_t + (1 - alpha) * s_{t-1}``; the
+    prediction is the final smoothed value.  NaN gaps keep the previous
+    smoothed value.
+    """
+    history = _as_history(history)
+    n, k = history.shape
+    state = np.full(n, np.nan)
+    for col in range(k):
+        y = history[:, col]
+        fresh = np.isnan(state) & ~np.isnan(y)
+        state[fresh] = y[fresh]
+        update = ~np.isnan(state) & ~np.isnan(y) & ~fresh
+        state[update] = alpha * y[update] + (1 - alpha) * state[update]
+    return state
+
+
+def seasonal_naive(history: np.ndarray, season: int = 12) -> np.ndarray:
+    """Predict the value observed one season ago.
+
+    With a k-slice history and season length ``s``, the prediction for the
+    next slice is the value at position ``k - s`` (e.g. the same month last
+    year).  Histories shorter than a season, or NaN at the seasonal lag,
+    fall back to the most recent value.
+    """
+    history = _as_history(history)
+    n, k = history.shape
+    fallback = naive_last(history)
+    if k < season:
+        return fallback
+    seasonal = history[:, k - season]
+    return np.where(np.isnan(seasonal), fallback, seasonal)
+
+
+def holt_linear(history: np.ndarray, alpha: float = 0.5, beta: float = 0.3) -> np.ndarray:
+    """Holt's linear trend method (double exponential smoothing).
+
+    Maintains a level and a trend per row; the prediction is
+    ``level + trend`` one step ahead.  NaN gaps keep the previous state;
+    rows with fewer than two observations fall back to the last value.
+    """
+    history = _as_history(history)
+    n, k = history.shape
+    level = np.full(n, np.nan)
+    trend = np.zeros(n)
+    observed = np.zeros(n, dtype=np.int64)
+    for col in range(k):
+        y = history[:, col]
+        has = ~np.isnan(y)
+        first = has & (observed == 0)
+        level[first] = y[first]
+        second = has & (observed == 1)
+        trend[second] = y[second] - level[second]
+        level[second] = y[second]
+        update = has & (observed >= 2)
+        if update.any():
+            previous = level[update]
+            level[update] = alpha * y[update] + (1 - alpha) * (
+                previous + trend[update]
+            )
+            trend[update] = beta * (level[update] - previous) + (
+                1 - beta
+            ) * trend[update]
+        observed[has] += 1
+    prediction = level + trend
+    fallback = naive_last(history)
+    return np.where(observed >= 2, prediction, fallback)
+
+
+def naive_last(history: np.ndarray) -> np.ndarray:
+    """Predict the most recent non-NaN past value (random-walk forecast)."""
+    history = _as_history(history)
+    n, k = history.shape
+    result = np.full(n, np.nan)
+    for col in range(k):
+        y = history[:, col]
+        has = ~np.isnan(y)
+        result[has] = y[has]
+    return result
+
+
+def register_all(registry: FunctionRegistry) -> None:
+    """Register every predictor into a registry."""
+    registry.register("linearRegression", "prediction", linear_regression, arity=1,
+                      doc="per-row OLS extrapolation to the next slice")
+    registry.register("movingAverage", "prediction", moving_average, arity=1,
+                      doc="mean of the past values")
+    registry.register("exponentialSmoothing", "prediction", exponential_smoothing,
+                      arity=1, doc="simple exponential smoothing, alpha=0.5")
+    registry.register("naiveLast", "prediction", naive_last, arity=1,
+                      doc="most recent past value")
+    registry.register("seasonalNaive", "prediction", seasonal_naive, arity=1,
+                      doc="value one season (12 slices) ago")
+    registry.register("holtLinear", "prediction", holt_linear, arity=1,
+                      doc="double exponential smoothing with linear trend")

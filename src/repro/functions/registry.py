@@ -1,0 +1,149 @@
+"""The function registry (Section 3.2).
+
+The paper assumes "a library of comparison functions ... is available to the
+users" plus transformations that are either *cell-wise* (appliable one cell
+at a time, the ``⊟`` operator) or *holistic* (needing a scan of the whole
+cube, the ``⊡`` operator).  The registry records every library function with
+its kind, so the planner knows which logical operator each ``using``-clause
+call maps to, and rule P2 knows which transformations a join can be pushed
+through.
+
+Function kinds
+--------------
+
+``cell``
+    ``f(col1, col2, …) -> col`` evaluated independently per cell.
+``holistic``
+    ``f(col1, …, cube_columns) -> col`` — the last positional argument is the
+    full set of argument columns again, emphasising that the output of a cell
+    may depend on every cell (ranking, normalisation, percentages of totals).
+    Implementations simply receive the argument columns and return a column;
+    what makes them holistic is *declared*, not inferred.
+``labeling``
+    distribution-based labeling functions ``f(col) -> object col`` used by
+    the ``labels`` clause (quartiles, top-k, …).
+``prediction``
+    time-series predictors used by past benchmarks:
+    ``f(history_matrix) -> col`` where ``history_matrix`` is ``(n, k)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from ..core.errors import FunctionError
+
+KINDS = ("cell", "holistic", "labeling", "prediction")
+
+
+class RegisteredFunction:
+    """A registry entry: the callable plus its metadata."""
+
+    __slots__ = ("name", "kind", "func", "arity", "doc")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        func: Callable,
+        arity: Optional[int],
+        doc: str,
+    ):
+        if kind not in KINDS:
+            raise FunctionError(f"unknown function kind {kind!r} (known: {KINDS})")
+        self.name = name
+        self.kind = kind
+        self.func = func
+        self.arity = arity
+        self.doc = doc
+
+    @property
+    def is_holistic(self) -> bool:
+        """Whether the function needs the whole cube (``⊡`` vs ``⊟``)."""
+        return self.kind == "holistic"
+
+    def __call__(self, *args, **kwargs):
+        return self.func(*args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RegisteredFunction({self.name!r}, kind={self.kind!r})"
+
+
+class FunctionRegistry:
+    """A case-insensitive name → function mapping.
+
+    Lookups are case-insensitive because the paper's examples freely mix
+    spellings (``minMaxNorm`` vs ``minmaxnorm``).  Users can register their
+    own functions; re-registering an existing name raises unless
+    ``replace=True``.
+    """
+
+    def __init__(self):
+        self._functions: Dict[str, RegisteredFunction] = {}
+
+    def register(
+        self,
+        name: str,
+        kind: str,
+        func: Callable,
+        arity: Optional[int] = None,
+        doc: str = "",
+        replace: bool = False,
+    ) -> RegisteredFunction:
+        """Register a function under a name; returns the registry entry."""
+        key = name.lower()
+        if key in self._functions and not replace:
+            raise FunctionError(f"function {name!r} is already registered")
+        entry = RegisteredFunction(name, kind, func, arity, doc or (func.__doc__ or ""))
+        self._functions[key] = entry
+        return entry
+
+    def get(self, name: str) -> RegisteredFunction:
+        """Look a function up by (case-insensitive) name."""
+        try:
+            return self._functions[name.lower()]
+        except KeyError:
+            known = ", ".join(sorted(self._functions))
+            raise FunctionError(
+                f"unknown function {name!r} (registered: {known})"
+            ) from None
+
+    def has(self, name: str) -> bool:
+        """Whether a function with that name is registered."""
+        return name.lower() in self._functions
+
+    def names(self, kind: Optional[str] = None) -> Tuple[str, ...]:
+        """Registered function names, optionally filtered by kind."""
+        entries: Iterable[RegisteredFunction] = self._functions.values()
+        if kind is not None:
+            entries = (entry for entry in entries if entry.kind == kind)
+        return tuple(sorted(entry.name for entry in entries))
+
+    def copy(self) -> "FunctionRegistry":
+        """A shallow copy; sessions copy the default registry so user
+        registrations stay session-local."""
+        clone = FunctionRegistry()
+        clone._functions = dict(self._functions)
+        return clone
+
+
+_default_registry: Optional[FunctionRegistry] = None
+
+
+def default_registry() -> FunctionRegistry:
+    """The library registry with all built-in functions pre-registered.
+
+    Built lazily on first use (and then cached) to avoid import cycles
+    between the registry and the function modules.
+    """
+    global _default_registry
+    if _default_registry is None:
+        registry = FunctionRegistry()
+        from . import comparison, labeling, prediction, transform
+
+        comparison.register_all(registry)
+        transform.register_all(registry)
+        labeling.register_all(registry)
+        prediction.register_all(registry)
+        _default_registry = registry
+    return _default_registry

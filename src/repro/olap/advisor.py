@@ -1,0 +1,128 @@
+"""Materialized-view advisor: recommend views for a statement workload.
+
+Ties together the cost model and the view subsystem: given the assess
+statements a user (or dashboard) runs repeatedly, the advisor derives the
+candidate view per distinct *get signature* — the set of levels a get needs
+(group-by ∪ predicate levels) — estimates each candidate's benefit with the
+:mod:`repro.algebra.cost` statistics (fact rows scanned today vs view rows
+scanned after), and returns recommendations ranked by total estimated
+saving across the workload.
+
+Typical use::
+
+    recommendations = advise_views(engine, statements)
+    for r in recommendations[:2]:
+        engine.materialize(r.source, r.levels)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..algebra.cost import Statistics
+from ..algebra.plan import GetNode
+from ..algebra.planner import build_plan, feasible_plans
+from ..core.statement import AssessStatement
+from .engine import MultidimensionalEngine
+
+
+class ViewRecommendation:
+    """One recommended view with its estimated benefit."""
+
+    __slots__ = ("source", "levels", "estimated_rows", "queries_covered",
+                 "estimated_saving")
+
+    def __init__(
+        self,
+        source: str,
+        levels: Tuple[str, ...],
+        estimated_rows: float,
+        queries_covered: int,
+        estimated_saving: float,
+    ):
+        self.source = source
+        self.levels = levels
+        self.estimated_rows = estimated_rows
+        self.queries_covered = queries_covered
+        self.estimated_saving = estimated_saving
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ViewRecommendation({self.source} on {list(self.levels)}, "
+            f"~{self.estimated_rows:,.0f} rows, covers {self.queries_covered} "
+            f"get(s), saving ~{self.estimated_saving:,.0f})"
+        )
+
+
+def workload_gets(
+    statements: Sequence[AssessStatement], engine: MultidimensionalEngine
+):
+    """Every get the workload's best plans would push, across statements."""
+    gets = []
+    for statement in statements:
+        plan_name = feasible_plans(statement)[-1]
+        plan = build_plan(statement, engine, plan_name)
+        for node in plan.nodes():
+            if isinstance(node, GetNode):
+                gets.append(node.query)
+    return gets
+
+
+def advise_views(
+    engine: MultidimensionalEngine,
+    statements: Sequence[AssessStatement],
+    min_compression: float = 2.0,
+) -> List[ViewRecommendation]:
+    """Rank candidate views by estimated workload saving.
+
+    A candidate is kept only when it compresses the fact table by at least
+    ``min_compression`` (a view nearly as large as the fact costs storage
+    without saving scans).  Savings are the summed per-get difference
+    between scanning the fact table and scanning the view.
+    """
+    stats = Statistics(engine)
+    candidates: Dict[Tuple[str, Tuple[str, ...]], Dict] = {}
+
+    for query in workload_gets(statements, engine):
+        source = query.source
+        needed = set(query.group_by.levels) | {
+            predicate.level for predicate in query.predicates
+        }
+        # Only levels of the source cube can be materialized for it.
+        schema = engine.cube(source).schema
+        if not all(schema.has_level(level) for level in needed):
+            continue
+        levels = tuple(sorted(needed))
+        key = (source, levels)
+        entry = candidates.setdefault(
+            key, {"gets": 0, "scan_saving": 0.0}
+        )
+        entry["gets"] += 1
+        fact_rows = stats.fact_rows(source)
+        # view cardinality at these levels ≈ result cells of an
+        # unpredicated get at this group-by
+        from ..core.groupby import GroupBySet
+        from ..core.query import CubeQuery
+
+        view_query = CubeQuery(source, GroupBySet(schema, levels), (), ())
+        view_rows = stats.result_cells(view_query)
+        entry["view_rows"] = view_rows
+        entry["scan_saving"] += max(fact_rows - view_rows, 0.0)
+
+    recommendations = []
+    for (source, levels), entry in candidates.items():
+        fact_rows = stats.fact_rows(source)
+        view_rows = entry["view_rows"]
+        if view_rows <= 0 or fact_rows / view_rows < min_compression:
+            continue
+        recommendations.append(
+            ViewRecommendation(
+                source=source,
+                levels=levels,
+                estimated_rows=view_rows,
+                queries_covered=entry["gets"],
+                estimated_saving=entry["scan_saving"],
+            )
+        )
+    recommendations.sort(key=lambda r: r.estimated_saving, reverse=True)
+    return recommendations

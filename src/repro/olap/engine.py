@@ -1,0 +1,379 @@
+"""The multidimensional engine: cube queries → star-schema SQL.
+
+This is our implementation of the component the paper reuses from [6]
+("Towards Conversational OLAP"): it owns the multidimensional metadata —
+which cube schemas are stored as which star schemas — and rewrites the
+logical *get*, *drill-across* and *pivot* operations into engine queries,
+wrapping results back into :class:`~repro.core.cube.Cube` objects.
+
+It is the single point through which plans touch the DBMS substrate, so the
+executor can attribute time to "get the target cube", "get the benchmark",
+"get C+B" exactly as Figure 4 does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.cube import Cube
+from ..core.errors import EngineError, SchemaError
+from ..core.groupby import GroupBySet
+from ..core.query import CubeQuery
+from ..core.schema import CubeSchema
+from ..engine.catalog import Catalog
+from ..engine.executor import EngineExecutor, ResultSet
+from ..engine.query import (
+    Aggregate,
+    AggregateQuery,
+    ColumnPredicate,
+    DrillAcrossQuery,
+    PivotQuery,
+)
+from ..engine.sqlgen import render_sql
+from ..engine.star import StarSchema
+
+
+class RegisteredCube:
+    """A detailed cube known to the engine: logical schema + physical star."""
+
+    __slots__ = ("name", "schema", "star")
+
+    def __init__(self, name: str, schema: CubeSchema, star: StarSchema):
+        self.name = name
+        self.schema = schema
+        self.star = star
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RegisteredCube({self.name!r})"
+
+
+class MultidimensionalEngine:
+    """Rewrites OLAP-level operations to engine queries and executes them."""
+
+    def __init__(self, catalog: Catalog):
+        from .materialized import ViewRegistry
+
+        self.catalog = catalog
+        self.executor = EngineExecutor(catalog)
+        self._cubes: Dict[str, RegisteredCube] = {}
+        self._views = ViewRegistry()
+        self.use_materialized_views = True
+
+    # ------------------------------------------------------------------
+    # Registration & lookup
+    # ------------------------------------------------------------------
+    def register_cube(self, name: str, schema: CubeSchema, star: StarSchema) -> RegisteredCube:
+        """Register a detailed cube under a name usable in ``with`` clauses."""
+        if name in self._cubes:
+            raise EngineError(f"cube {name!r} is already registered")
+        registered = RegisteredCube(name, schema, star)
+        self._cubes[name] = registered
+        return registered
+
+    def cube(self, name: str) -> RegisteredCube:
+        """Look a registered cube up by name."""
+        try:
+            return self._cubes[name]
+        except KeyError:
+            raise EngineError(
+                f"unknown cube {name!r} (registered: {', '.join(sorted(self._cubes))})"
+            ) from None
+
+    def has_cube(self, name: str) -> bool:
+        return name in self._cubes
+
+    def cube_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._cubes))
+
+    # ------------------------------------------------------------------
+    # Query rewriting
+    # ------------------------------------------------------------------
+    def build_aggregate_query(
+        self, query: CubeQuery, allow_views: bool = True
+    ) -> AggregateQuery:
+        """Rewrite a cube query (a logical *get*) into a star SQL query.
+
+        When a materialized view covers the query (same-or-finer levels,
+        all predicate levels stored, distributive measures only), the query
+        is rewritten onto the view table instead — the routing the paper's
+        Oracle setup obtained from its materialized views.
+        """
+        registered = self.cube(query.source)
+        star = registered.star
+        schema = registered.schema
+
+        if allow_views and self.use_materialized_views:
+            from .materialized import rewrite_on_view
+
+            view = self._views.best_for(query, schema)
+            if view is not None:
+                return rewrite_on_view(query, view, schema)
+
+        group_by = []
+        for level_name in query.group_by.levels:
+            table, column = star.column_for_level(level_name)
+            group_by.append(_group_by_column(table, column, level_name))
+
+        where = []
+        for predicate in query.predicates:
+            table, column = star.column_for_level(predicate.level)
+            where.append(ColumnPredicate(table, column, predicate))
+
+        measures = query.measures or schema.measure_names()
+        aggregates = []
+        for measure_name in measures:
+            measure = schema.measure(measure_name)
+            column = star.column_for_measure(measure_name)
+            aggregates.append(Aggregate(column, measure.op, measure_name))
+
+        return AggregateQuery(
+            fact=star.fact_table,
+            joins=star.all_joins(),
+            where=where,
+            group_by=group_by,
+            aggregates=aggregates,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution entry points (one per pushable logical operator)
+    # ------------------------------------------------------------------
+    def get(self, query: CubeQuery) -> Cube:
+        """Execute a *get*: the derived cube of a cube query."""
+        aggregate = self.build_aggregate_query(query)
+        result = self.executor.execute_aggregate(aggregate)
+        return self._to_cube(result, query)
+
+    def drill_across(
+        self,
+        left: CubeQuery,
+        right: CubeQuery,
+        join_levels: Sequence[str],
+        alias: str = "benchmark",
+        outer: bool = False,
+        multi: bool = False,
+    ) -> Cube:
+        """Execute a pushed drill-across (the JOP join, Listing 4).
+
+        Measures of the right side appear in the result cube qualified with
+        ``alias`` (the statement syntax's ``benchmark.`` prefix).  With
+        ``multi=True`` a fan-in partial join appends one column per match
+        (``benchmark.m_1 …``), as the P2-rewritten past plan needs.
+        """
+        left_aggregate = self.build_aggregate_query(left)
+        right_aggregate = self.build_aggregate_query(right)
+        renames = {
+            agg.alias: f"{alias}.{agg.alias}" for agg in right_aggregate.aggregates
+        }
+        query = DrillAcrossQuery(
+            left_aggregate, right_aggregate, tuple(join_levels), renames,
+            outer=outer, multi=multi,
+        )
+        result = self.executor.execute_drill_across(query)
+        return self._to_cube(result, left, measure_aliases=None)
+
+    def pivot_get(
+        self,
+        base: CubeQuery,
+        pivot_level: str,
+        reference,
+        member_renames: Mapping[object, Mapping[str, str]],
+        require_all: bool = True,
+    ) -> Cube:
+        """Execute a pushed get+pivot (the POP rewrite, Listing 5).
+
+        ``base`` must select all the needed slices of ``pivot_level`` at
+        once (the widened predicate of property P3); ``member_renames`` maps
+        each non-reference member to ``{measure: new_column}``.
+        """
+        aggregate = self.build_aggregate_query(base)
+        query = PivotQuery(aggregate, pivot_level, reference, member_renames, require_all)
+        result = self.executor.execute_pivot(query)
+        return self._to_cube(result, base, measure_aliases=None)
+
+    # ------------------------------------------------------------------
+    # Materialized views
+    # ------------------------------------------------------------------
+    def materialize(
+        self,
+        source: str,
+        levels: Sequence[str],
+        name: str = "",
+    ):
+        """Pre-aggregate a cube at a group-by set and register the view.
+
+        Only distributive measures (sum/min/max/count) are stored; avg
+        measures keep hitting the fact table.  Returns the
+        :class:`~repro.olap.materialized.MaterializedView`.
+        """
+        from .materialized import MaterializedView, build_view_table
+
+        registered = self.cube(source)
+        schema = registered.schema
+        group_by = GroupBySet(schema, levels)
+        measures = tuple(
+            measure.name
+            for measure in schema.measures
+            if measure.is_distributive
+        )
+        if not measures:
+            raise EngineError(
+                f"cube {source!r} has no distributive measures to materialize"
+            )
+        query = CubeQuery(source, group_by, (), measures)
+        aggregate = self.build_aggregate_query(query, allow_views=False)
+        result = self.executor.execute_aggregate(aggregate)
+
+        view_name = name or f"mv_{source.lower()}_{'_'.join(group_by.levels)}"
+        table = build_view_table(view_name, group_by.levels, measures, result)
+        self.catalog.register(table)
+        view = MaterializedView(
+            name=view_name,
+            source=source,
+            levels=tuple(group_by.levels),
+            table_name=view_name,
+            measures=measures,
+            row_count=len(table),
+        )
+        self._views.add(view)
+        return view
+
+    def drop_view(self, name: str) -> None:
+        """Unregister a materialized view and drop its table."""
+        view = self._views.remove(name)
+        self.catalog.drop(view.table_name)
+
+    def view_names(self) -> Tuple[str, ...]:
+        """Names of all materialized views."""
+        return self._views.names()
+
+    # ------------------------------------------------------------------
+    # SQL rendering (for Table 1 and explain())
+    # ------------------------------------------------------------------
+    def sql_for_get(self, query: CubeQuery) -> str:
+        """The SQL text a *get* pushes to the DBMS."""
+        return render_sql(self.build_aggregate_query(query))
+
+    def sql_for_drill_across(
+        self,
+        left: CubeQuery,
+        right: CubeQuery,
+        join_levels: Sequence[str],
+        alias: str = "benchmark",
+        outer: bool = False,
+    ) -> str:
+        """The SQL text of the JOP drill-across."""
+        left_aggregate = self.build_aggregate_query(left)
+        right_aggregate = self.build_aggregate_query(right)
+        renames = {
+            agg.alias: f"bc_{agg.alias}" for agg in right_aggregate.aggregates
+        }
+        return render_sql(
+            DrillAcrossQuery(left_aggregate, right_aggregate, tuple(join_levels),
+                             renames, outer=outer)
+        )
+
+    def sql_for_pivot(
+        self,
+        base: CubeQuery,
+        pivot_level: str,
+        reference,
+        member_renames: Mapping[object, Mapping[str, str]],
+        require_all: bool = True,
+    ) -> str:
+        """The SQL text of the POP pivot."""
+        aggregate = self.build_aggregate_query(base)
+        return render_sql(
+            PivotQuery(aggregate, pivot_level, reference, member_renames, require_all)
+        )
+
+    # ------------------------------------------------------------------
+    # Level properties (§8 extension)
+    # ------------------------------------------------------------------
+    def property_lookup(self, source: str, property_name: str):
+        """The ``(level, {member: value})`` mapping of a level property.
+
+        Built from the dimension table holding the property; inconsistent
+        values for the same member (a violated functional dependency) raise.
+        """
+        registered = self.cube(source)
+        level, table_name, column = registered.star.property_binding(property_name)
+        _, level_column = registered.star.column_for_level(level)
+        table = self.catalog.table(table_name)
+        members = table.column(level_column)
+        values = table.column(column)
+        lookup: Dict = {}
+        for member, value in zip(members, values):
+            known = lookup.get(member)
+            if known is None:
+                lookup[member] = value
+            elif known != value:
+                raise EngineError(
+                    f"property {property_name!r} is not functionally dependent "
+                    f"on level {level!r}: member {member!r} has values "
+                    f"{known!r} and {value!r}"
+                )
+        return level, lookup
+
+    def has_property(self, source: str, property_name: str) -> bool:
+        """Whether a cube's star binds a descriptive property."""
+        return self.cube(source).star.has_property(property_name)
+
+    # ------------------------------------------------------------------
+    # Domain helpers (used by sibling/past planning)
+    # ------------------------------------------------------------------
+    def ordered_members(self, source: str, level_name: str) -> List:
+        """The distinct members of a level, sorted ascending.
+
+        Past benchmarks use this ordering to find the k predecessors of the
+        target time slice; member encodings must therefore sort temporally
+        (ISO dates and zero-padded month strings do).
+        """
+        registered = self.cube(source)
+        table_token, column = registered.star.column_for_level(level_name)
+        if table_token == "__fact__" or table_token == registered.star.fact_table:
+            table = self.catalog.table(registered.star.fact_table)
+        else:
+            table = self.catalog.table(table_token)
+        return list(np.unique(table.column(column)))
+
+    def predecessors(self, source: str, level_name: str, member, k: int) -> List:
+        """The ``k`` members immediately preceding ``member`` in the level's
+        order (fewer if the history is shorter), oldest first."""
+        members = self.ordered_members(source, level_name)
+        try:
+            position = members.index(member)
+        except ValueError:
+            raise SchemaError(
+                f"member {member!r} not found in level {level_name!r}"
+            ) from None
+        start = max(0, position - k)
+        return members[start:position]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _to_cube(
+        self,
+        result: ResultSet,
+        query: CubeQuery,
+        measure_aliases: Optional[Sequence[str]] = None,
+    ) -> Cube:
+        registered = self.cube(query.source)
+        levels = set(query.group_by.levels)
+        if measure_aliases is None:
+            # Every non-coordinate result column is a measure; this covers
+            # drill-across renames and pivot-created columns uniformly.
+            measure_aliases = [
+                name for name in result.column_names if name not in levels
+            ]
+        coords = {level: result.column(level) for level in query.group_by.levels}
+        measures = {alias: result.column(alias) for alias in measure_aliases}
+        return Cube(registered.schema, query.group_by, coords, measures)
+
+
+def _group_by_column(table: str, column: str, alias: str):
+    from ..engine.query import GroupByColumn
+
+    return GroupByColumn(table, column, alias)

@@ -1,0 +1,60 @@
+"""Hydration of hierarchy part-of orders from dimension tables.
+
+Cube schemas declare the *shape* of hierarchies (levels and roll-up order);
+the actual part-of mappings between members live in the dimension tables.
+:func:`hydrate_hierarchies` reads them back into the
+:class:`~repro.core.hierarchy.Hierarchy` objects so that in-memory roll-ups
+(``rup``), ancestor benchmarks, and the brute-force oracle used in tests all
+work against the same data the engine queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.errors import SchemaError
+from ..core.hierarchy import Hierarchy
+from ..core.schema import CubeSchema
+from ..engine.catalog import Catalog
+from ..engine.star import StarSchema
+
+
+def hydrate_hierarchies(schema: CubeSchema, star: StarSchema, catalog: Catalog) -> None:
+    """Populate every hierarchy's parent maps from the dimension tables.
+
+    For each pair of consecutive levels bound to columns of the same
+    dimension table, records ``child_member → parent_member`` for every
+    dimension row.  Levels not bound in the star schema (or bound as
+    degenerate fact columns, which cannot carry a multi-level hierarchy)
+    are skipped.
+    """
+    for hierarchy in schema.hierarchies:
+        _hydrate_one(hierarchy, star, catalog)
+
+
+def _hydrate_one(hierarchy: Hierarchy, star: StarSchema, catalog: Catalog) -> None:
+    levels = hierarchy.levels
+    for depth in range(len(levels) - 1):
+        child, parent = levels[depth].name, levels[depth + 1].name
+        if not (star.has_level(child) and star.has_level(parent)):
+            continue
+        child_table, child_column = star.column_for_level(child)
+        parent_table, parent_column = star.column_for_level(parent)
+        if child_table != parent_table or child_table == "__fact__":
+            continue
+        table = catalog.table(child_table)
+        child_values = table.column(child_column)
+        parent_values = table.column(parent_column)
+        seen: Dict = {}
+        for child_member, parent_member in zip(child_values, parent_values):
+            known = seen.get(child_member)
+            if known is not None:
+                if known != parent_member:
+                    raise SchemaError(
+                        f"dimension {child_table!r} violates the part-of order: "
+                        f"member {child_member!r} of level {child!r} has parents "
+                        f"{known!r} and {parent_member!r}"
+                    )
+                continue
+            seen[child_member] = parent_member
+            hierarchy.set_parent(child, child_member, parent_member)

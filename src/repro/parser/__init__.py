@@ -1,0 +1,6 @@
+"""The assess statement language: tokenizer and parser (Section 4.1)."""
+
+from .parser import parse_statement
+from .tokenizer import Token, TokenType, tokenize
+
+__all__ = ["Token", "TokenType", "parse_statement", "tokenize"]

@@ -1,0 +1,417 @@
+"""Recursive-descent parser for assess statements (Section 4.1).
+
+Grammar (keywords case-insensitive)::
+
+    statement   := "with" IDENT [forClause] byClause assessClause
+                   [againstClause] [usingClause] labelsClause
+    forClause   := "for" predicate ("," predicate)*
+    predicate   := level "=" value
+                 | level "in" "(" value ("," value)* ")"
+                 | level "between" value "and" value
+    byClause    := "by" level ("," level)*
+    assessClause:= "assess" ["*"] measure
+    againstClause := "against" ( NUMBER                       -- constant
+                               | "past" NUMBER                -- past
+                               | "ancestor" level             -- ancestor (ext.)
+                               | cube "." measure             -- external
+                               | level "=" value )            -- sibling
+    usingClause := "using" expression
+    expression  := term (("+"|"-") term)*
+    term        := factor (("*"|"/") factor)*
+    factor      := NUMBER | ["-"] factor | ref | call | "(" expression ")"
+    call        := IDENT "(" [expression ("," expression)*] ")"
+    ref         := IDENT ["." IDENT]          -- e.g. benchmark.quantity
+    labelsClause:= "labels" (IDENT | rangeSet)
+    rangeSet    := "{" range ":" label ("," range ":" label)* "}"
+    range       := ("["|"(") bound "," bound ("]"|")")
+    bound       := ["-"] (NUMBER | "inf")
+    label       := IDENT | STRING | "*"+
+
+The parser resolves the ``with`` cube name against a schema mapping and
+returns a fully validated :class:`~repro.core.statement.AssessStatement`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Mapping, Optional, Union
+
+from ..core.errors import ParseError
+from ..core.expression import BinaryOp, Expression, FunctionCall, Literal, MeasureRef
+from ..core.groupby import GroupBySet
+from ..core.labels import (
+    Interval,
+    LabelRule,
+    LabelingSpec,
+    NamedLabeling,
+    RangeLabeling,
+)
+from ..core.query import Predicate
+from ..core.schema import CubeSchema
+from ..core.statement import (
+    AncestorBenchmark,
+    AssessStatement,
+    BenchmarkSpec,
+    ConstantBenchmark,
+    ExternalBenchmark,
+    PastBenchmark,
+    SiblingBenchmark,
+)
+from .tokenizer import Token, TokenType, tokenize
+
+SchemaResolver = Union[Mapping[str, CubeSchema], Callable[[str], CubeSchema]]
+
+
+def parse_statement(text: str, schemas: SchemaResolver) -> AssessStatement:
+    """Parse statement text into a validated :class:`AssessStatement`.
+
+    ``schemas`` maps cube names to their schemas (a dict, or any callable
+    returning a schema for a name — e.g. ``lambda n: engine.cube(n).schema``).
+    """
+    return _Parser(text, schemas).parse()
+
+
+class _Parser:
+    def __init__(self, text: str, schemas: SchemaResolver):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.position = 0
+        self._schemas = schemas
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.END:
+            self.position += 1
+        return token
+
+    def _expect(self, token_type: TokenType, what: str) -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise ParseError(
+                f"expected {what}, found {token.value!r}",
+                position=token.position,
+                text=self.text,
+            )
+        return self._advance()
+
+    def _expect_keyword(self, keyword: str) -> Token:
+        token = self._peek()
+        if not token.matches_keyword(keyword):
+            raise ParseError(
+                f"expected keyword {keyword!r}, found {token.value!r}",
+                position=token.position,
+                text=self.text,
+            )
+        return self._advance()
+
+    def _accept_keyword(self, keyword: str) -> bool:
+        if self._peek().matches_keyword(keyword):
+            self._advance()
+            return True
+        return False
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(message, position=token.position, text=self.text)
+
+    def _resolve_schema(self, cube_name: str) -> CubeSchema:
+        if callable(self._schemas):
+            return self._schemas(cube_name)
+        try:
+            return self._schemas[cube_name]
+        except KeyError:
+            known = ", ".join(sorted(self._schemas))
+            raise self._error(
+                f"unknown cube {cube_name!r} (known: {known})"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Statement
+    # ------------------------------------------------------------------
+    def parse(self) -> AssessStatement:
+        self._expect_keyword("with")
+        source = self._expect(TokenType.IDENT, "a cube name").value
+        schema = self._resolve_schema(source)
+
+        predicates: List[Predicate] = []
+        if self._accept_keyword("for"):
+            predicates.append(self._parse_predicate())
+            while self._peek().type is TokenType.COMMA:
+                self._advance()
+                predicates.append(self._parse_predicate())
+
+        self._expect_keyword("by")
+        levels = [self._expect(TokenType.IDENT, "a level name").value]
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            levels.append(self._expect(TokenType.IDENT, "a level name").value)
+        group_by = GroupBySet(schema, levels)
+
+        self._expect_keyword("assess")
+        star = False
+        if self._peek().type is TokenType.STAR:
+            self._advance()
+            star = True
+        measure = self._expect(TokenType.IDENT, "a measure name").value
+
+        benchmark: Optional[BenchmarkSpec] = None
+        if self._accept_keyword("against"):
+            benchmark = self._parse_against()
+            if isinstance(benchmark, _DeferredAncestor):
+                benchmark = _resolve_deferred_ancestor(schema, group_by, benchmark)
+
+        using: Optional[Expression] = None
+        if self._accept_keyword("using"):
+            using = self._parse_expression()
+
+        self._expect_keyword("labels")
+        labels = self._parse_labels()
+
+        end = self._peek()
+        if end.type is not TokenType.END:
+            raise self._error(f"unexpected trailing input {end.value!r}")
+
+        return AssessStatement(
+            source=source,
+            schema=schema,
+            group_by=group_by,
+            measure=measure,
+            predicates=tuple(predicates),
+            benchmark=benchmark,
+            using=using,
+            labels=labels,
+            star=star,
+        )
+
+    # ------------------------------------------------------------------
+    # for clause
+    # ------------------------------------------------------------------
+    def _parse_predicate(self) -> Predicate:
+        level = self._expect(TokenType.IDENT, "a level name").value
+        token = self._peek()
+        if token.type is TokenType.EQUALS:
+            self._advance()
+            return Predicate.eq(level, self._parse_value())
+        if token.matches_keyword("in"):
+            self._advance()
+            self._expect(TokenType.LPAREN, "'('")
+            members = [self._parse_value()]
+            while self._peek().type is TokenType.COMMA:
+                self._advance()
+                members.append(self._parse_value())
+            self._expect(TokenType.RPAREN, "')'")
+            return Predicate.isin(level, members)
+        if token.matches_keyword("between"):
+            self._advance()
+            low = self._parse_value()
+            self._expect_keyword("and")
+            high = self._parse_value()
+            return Predicate.between(level, low, high)
+        raise self._error(f"expected '=', 'in' or 'between' after level {level!r}")
+
+    def _parse_value(self):
+        token = self._peek()
+        if token.type is TokenType.STRING:
+            return self._advance().value
+        if token.type is TokenType.NUMBER:
+            return _numeric(self._advance().value)
+        if token.type is TokenType.IDENT:
+            return self._advance().value
+        raise self._error(f"expected a value, found {token.value!r}")
+
+    # ------------------------------------------------------------------
+    # against clause
+    # ------------------------------------------------------------------
+    def _parse_against(self) -> BenchmarkSpec:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            return ConstantBenchmark(_numeric(self._advance().value))
+        if token.matches_keyword("past"):
+            self._advance()
+            count = self._expect(TokenType.NUMBER, "the past window length")
+            return PastBenchmark(int(float(count.value)))
+        if token.matches_keyword("ancestor"):
+            self._advance()
+            # The slice level of the ancestor comparison is recovered at
+            # validation time from the group-by set; the syntax names only
+            # the ancestor level (e.g. "against ancestor type").
+            ancestor = self._expect(TokenType.IDENT, "an ancestor level").value
+            return _DeferredAncestor(ancestor)
+        if token.type is TokenType.IDENT:
+            name = self._advance().value
+            follow = self._peek()
+            if follow.type is TokenType.DOT:
+                self._advance()
+                measure = self._expect(TokenType.IDENT, "a measure name").value
+                return ExternalBenchmark(name, measure)
+            if follow.type is TokenType.EQUALS:
+                self._advance()
+                return SiblingBenchmark(name, self._parse_value())
+            raise self._error(
+                "expected '.' (external benchmark) or '=' (sibling benchmark)"
+            )
+        raise self._error(f"cannot parse against clause at {token.value!r}")
+
+    # ------------------------------------------------------------------
+    # using clause — expression grammar
+    # ------------------------------------------------------------------
+    def _parse_expression(self) -> Expression:
+        left = self._parse_term()
+        while self._peek().type in (TokenType.PLUS, TokenType.MINUS):
+            op = self._advance().value
+            right = self._parse_term()
+            left = BinaryOp(op, left, right)
+        return left
+
+    def _parse_term(self) -> Expression:
+        left = self._parse_factor()
+        while self._peek().type in (TokenType.STAR, TokenType.SLASH):
+            op = self._advance().value
+            right = self._parse_factor()
+            left = BinaryOp(op, left, right)
+        return left
+
+    def _parse_factor(self) -> Expression:
+        token = self._peek()
+        if token.type is TokenType.MINUS:
+            self._advance()
+            inner = self._parse_factor()
+            return BinaryOp("-", Literal(0.0), inner)
+        if token.type is TokenType.NUMBER:
+            return Literal(_numeric(self._advance().value))
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            inner = self._parse_expression()
+            self._expect(TokenType.RPAREN, "')'")
+            return inner
+        if token.type is TokenType.IDENT:
+            name = self._advance().value
+            follow = self._peek()
+            if follow.type is TokenType.LPAREN:
+                self._advance()
+                args: List[Expression] = []
+                if self._peek().type is not TokenType.RPAREN:
+                    args.append(self._parse_expression())
+                    while self._peek().type is TokenType.COMMA:
+                        self._advance()
+                        args.append(self._parse_expression())
+                self._expect(TokenType.RPAREN, "')'")
+                return FunctionCall(name, args)
+            if follow.type is TokenType.DOT:
+                self._advance()
+                measure = self._expect(TokenType.IDENT, "a measure name").value
+                return MeasureRef(measure, qualifier=name)
+            return MeasureRef(name)
+        raise self._error(f"cannot parse expression at {token.value!r}")
+
+    # ------------------------------------------------------------------
+    # labels clause
+    # ------------------------------------------------------------------
+    def _parse_labels(self) -> LabelingSpec:
+        token = self._peek()
+        if token.type is TokenType.LBRACE:
+            return self._parse_range_set()
+        if token.type is TokenType.IDENT:
+            return NamedLabeling(self._advance().value)
+        raise self._error(
+            "expected a labeling function name or an inline range set"
+        )
+
+    def _parse_range_set(self) -> RangeLabeling:
+        self._expect(TokenType.LBRACE, "'{'")
+        rules = [self._parse_rule()]
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            # Tolerate a trailing comma before the closing brace (the
+            # paper's own examples end the set with one).
+            if self._peek().type is TokenType.RBRACE:
+                break
+            rules.append(self._parse_rule())
+        self._expect(TokenType.RBRACE, "'}'")
+        return RangeLabeling(rules)
+
+    def _parse_rule(self) -> LabelRule:
+        open_token = self._peek()
+        if open_token.type is TokenType.LBRACKET:
+            low_closed = True
+        elif open_token.type is TokenType.LPAREN:
+            low_closed = False
+        else:
+            raise self._error("expected '[' or '(' to open a label range")
+        self._advance()
+        low = self._parse_bound()
+        self._expect(TokenType.COMMA, "','")
+        high = self._parse_bound()
+        close_token = self._peek()
+        if close_token.type is TokenType.RBRACKET:
+            high_closed = True
+        elif close_token.type is TokenType.RPAREN:
+            high_closed = False
+        else:
+            raise self._error("expected ']' or ')' to close a label range")
+        self._advance()
+        self._expect(TokenType.COLON, "':'")
+        label = self._parse_label()
+        return LabelRule(Interval(low, high, low_closed, high_closed), label)
+
+    def _parse_bound(self) -> float:
+        sign = 1.0
+        if self._peek().type is TokenType.MINUS:
+            self._advance()
+            sign = -1.0
+        token = self._peek()
+        if token.matches_keyword("inf"):
+            self._advance()
+            return sign * float("inf")
+        if token.type is TokenType.NUMBER:
+            return sign * _numeric(self._advance().value)
+        raise self._error(f"expected a numeric bound, found {token.value!r}")
+
+    def _parse_label(self) -> str:
+        token = self._peek()
+        if token.type is TokenType.STRING:
+            return self._advance().value
+        if token.type is TokenType.IDENT:
+            return self._advance().value
+        if token.type is TokenType.STAR:
+            stars = 0
+            while self._peek().type is TokenType.STAR:
+                self._advance()
+                stars += 1
+            return "*" * stars
+        raise self._error(f"expected a label, found {token.value!r}")
+
+
+class _DeferredAncestor(BenchmarkSpec):
+    """Placeholder the parser uses before the slice level is known."""
+
+    kind = "ancestor"
+
+    def __init__(self, ancestor_level: str):
+        self.ancestor_level = ancestor_level
+
+
+def _numeric(text: str) -> float:
+    return float(text)
+
+
+# ----------------------------------------------------------------------
+# Post-parse fixups
+# ----------------------------------------------------------------------
+def _resolve_deferred_ancestor(
+    schema: CubeSchema, group_by: GroupBySet, spec: _DeferredAncestor
+) -> AncestorBenchmark:
+    hierarchy = schema.hierarchy_of_level(spec.ancestor_level)
+    for level_name in group_by.levels:
+        if hierarchy.has_level(level_name) and level_name != spec.ancestor_level:
+            return AncestorBenchmark(level_name, spec.ancestor_level)
+    raise ParseError(
+        f"ancestor benchmark on {spec.ancestor_level!r} requires a finer "
+        f"level of hierarchy {hierarchy.name!r} in the by clause"
+    )

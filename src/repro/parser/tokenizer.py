@@ -1,0 +1,135 @@
+"""Tokenizer for the assess statement language (Section 4.1 syntax).
+
+Turns statement text into a stream of typed tokens.  Keywords are
+recognised case-insensitively at parse time (the tokenizer only emits
+IDENT); string literals use single quotes with ``''`` escaping, numbers are
+unsigned (sign handling belongs to the grammar, e.g. in label ranges), and
+``*`` is a plain punctuation token so that both ``assess*`` and star labels
+(``***``) can be assembled by the parser.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, NamedTuple
+
+from ..core.errors import ParseError
+
+PUNCTUATION = {
+    ",": "COMMA",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "{": "LBRACE",
+    "}": "RBRACE",
+    "[": "LBRACKET",
+    "]": "RBRACKET",
+    ":": "COLON",
+    ".": "DOT",
+    "=": "EQUALS",
+    "+": "PLUS",
+    "-": "MINUS",
+    "*": "STAR",
+    "/": "SLASH",
+}
+
+
+class TokenType(enum.Enum):
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    COMMA = "COMMA"
+    LPAREN = "LPAREN"
+    RPAREN = "RPAREN"
+    LBRACE = "LBRACE"
+    RBRACE = "RBRACE"
+    LBRACKET = "LBRACKET"
+    RBRACKET = "RBRACKET"
+    COLON = "COLON"
+    DOT = "DOT"
+    EQUALS = "EQUALS"
+    PLUS = "PLUS"
+    MINUS = "MINUS"
+    STAR = "STAR"
+    SLASH = "SLASH"
+    END = "END"
+
+
+class Token(NamedTuple):
+    type: TokenType
+    value: str
+    position: int
+
+    def matches_keyword(self, keyword: str) -> bool:
+        """Case-insensitive keyword check (keywords are IDENT tokens)."""
+        return self.type is TokenType.IDENT and self.value.lower() == keyword.lower()
+
+
+def _is_ident_start(char: str) -> bool:
+    return char.isalpha() or char == "_"
+
+
+def _is_ident_char(char: str) -> bool:
+    return char.isalnum() or char in "_#"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize statement text; raises :class:`ParseError` on bad input."""
+    tokens: List[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        char = text[i]
+        if char.isspace():
+            i += 1
+            continue
+        if char == "'":
+            value, i = _read_string(text, i)
+            tokens.append(Token(TokenType.STRING, value, i))
+            continue
+        if char.isdigit():
+            value, i = _read_number(text, i)
+            tokens.append(Token(TokenType.NUMBER, value, i))
+            continue
+        if _is_ident_start(char):
+            start = i
+            while i < n and _is_ident_char(text[i]):
+                i += 1
+            tokens.append(Token(TokenType.IDENT, text[start:i], start))
+            continue
+        if char in PUNCTUATION:
+            tokens.append(Token(TokenType[PUNCTUATION[char]], char, i))
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {char!r}", position=i, text=text)
+    tokens.append(Token(TokenType.END, "", n))
+    return tokens
+
+
+def _read_string(text: str, start: int) -> tuple:
+    """Read a single-quoted string literal starting at ``start``."""
+    i = start + 1
+    n = len(text)
+    parts: List[str] = []
+    while i < n:
+        char = text[i]
+        if char == "'":
+            if i + 1 < n and text[i + 1] == "'":  # escaped quote
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(char)
+        i += 1
+    raise ParseError("unterminated string literal", position=start, text=text)
+
+
+def _read_number(text: str, start: int) -> tuple:
+    """Read an unsigned numeric literal (integer or decimal)."""
+    i = start
+    n = len(text)
+    while i < n and text[i].isdigit():
+        i += 1
+    if i < n and text[i] == "." and i + 1 < n and text[i + 1].isdigit():
+        i += 1
+        while i < n and text[i].isdigit():
+            i += 1
+    return text[start:i], i

@@ -1,0 +1,245 @@
+"""Partial-statement completion (the paper's §8 future work).
+
+"Devise strategies for effectively completing partial assess statements,
+for instance, ones where the against, using or benchmark clauses are not
+specified by the user.  Interestingly, this could require different
+possibilities to be tested and ranked based on their expected interest for
+the user."
+
+:func:`complete_statement` accepts a statement whose ``using`` and/or
+``labels`` clause is missing, enumerates sensible candidates for the
+missing clauses (driven by the benchmark type), *executes* each candidate,
+and ranks the outcomes by an interest score:
+
+* the labeling should actually discriminate — a label distribution with
+  high normalised entropy beats one that puts every cell in one class;
+* a moderate number of classes (3–5) is preferred;
+* null labels (comparison values falling outside every range) and
+  non-finite comparison values are penalised.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .api import AssessSession
+from .core.errors import ReproError
+from .core.expression import Expression, FunctionCall, Literal, MeasureRef
+from .core.labels import Interval, LabelRule, NamedLabeling, RangeLabeling
+from .core.statement import (
+    AssessStatement,
+    ConstantBenchmark,
+    SiblingBenchmark,
+    ZeroBenchmark,
+)
+
+PENDING_LABELS = "__pending__"
+
+
+class Completion:
+    """One ranked completion: the full statement, its score, a rationale."""
+
+    __slots__ = ("statement", "score", "rationale", "result")
+
+    def __init__(self, statement: AssessStatement, score: float,
+                 rationale: str, result):
+        self.statement = statement
+        self.score = score
+        self.rationale = rationale
+        self.result = result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Completion(score={self.score:.3f}, {self.rationale})"
+
+
+def complete_statement(
+    session: AssessSession, text: str, top_k: int = 3
+) -> List[Completion]:
+    """Complete a partial statement, returning the top-k ranked candidates.
+
+    ``text`` may omit the ``using`` clause, the ``labels`` clause, or both.
+    Candidates are executed against the session's data (with the best
+    feasible plan) and ranked by the interest score described in the module
+    docstring.  Raises :class:`ParseError` if the statement is broken in
+    any other way.
+    """
+    base = _parse_partial(session, text)
+    using_candidates = _using_candidates(base)
+    label_candidates = _label_candidates(base)
+
+    completions: List[Completion] = []
+    for using, using_why in using_candidates:
+        for labels, labels_why in label_candidates:
+            candidate = AssessStatement(
+                source=base.source,
+                schema=base.schema,
+                group_by=base.group_by,
+                measure=base.measure,
+                predicates=base.predicates,
+                benchmark=base.benchmark,
+                using=using,
+                labels=labels,
+                star=base.star,
+            )
+            try:
+                result = session.assess(candidate)
+            except ReproError:
+                continue
+            score = _interest_score(result)
+            rationale = f"{using_why}; {labels_why}"
+            completions.append(Completion(candidate, score, rationale, result))
+
+    completions.sort(key=lambda completion: completion.score, reverse=True)
+    return completions[:top_k]
+
+
+# ----------------------------------------------------------------------
+# Partial parsing
+# ----------------------------------------------------------------------
+def _parse_partial(session: AssessSession, text: str) -> AssessStatement:
+    """Parse text that may be missing its labels clause.
+
+    The grammar makes ``labels`` mandatory, so a placeholder is appended
+    when absent; the placeholder labeling is replaced during completion.
+    """
+    lowered = text.lower()
+    if "labels" not in lowered.split():
+        text = f"{text.rstrip()} labels {PENDING_LABELS}"
+    statement = session.parse(text)
+    return statement
+
+
+def _has_pending_labels(statement: AssessStatement) -> bool:
+    return (
+        isinstance(statement.labels, NamedLabeling)
+        and statement.labels.name == PENDING_LABELS
+    )
+
+
+def _has_default_using(statement: AssessStatement) -> bool:
+    rendered = statement.using.render()
+    return rendered == (
+        f"difference({statement.measure}, benchmark.{statement.benchmark_measure})"
+    )
+
+
+# ----------------------------------------------------------------------
+# Candidate enumeration
+# ----------------------------------------------------------------------
+def _using_candidates(
+    statement: AssessStatement,
+) -> List[Tuple[Expression, str]]:
+    """Comparison expressions that make sense for the benchmark type."""
+    if not _has_default_using(statement):
+        return [(statement.using, "using clause as given")]
+    m = statement.measure
+    m_b = statement.benchmark_measure
+    target = MeasureRef(m)
+    bench = MeasureRef(m_b, "benchmark")
+    candidates: List[Tuple[Expression, str]] = []
+    benchmark = statement.benchmark
+    if isinstance(benchmark, ZeroBenchmark):
+        # no reference value: label the raw measure
+        candidates.append((FunctionCall("identity", [target]), "raw value"))
+        candidates.append((FunctionCall("zscore", [target]), "z-scored value"))
+        return candidates
+    if isinstance(benchmark, ConstantBenchmark):
+        constant = Literal(benchmark.value)
+        candidates.append((FunctionCall("ratio", [target, constant]),
+                           "ratio to the KPI"))
+        candidates.append((FunctionCall("difference", [target, constant]),
+                           "gap to the KPI"))
+        return candidates
+    candidates.append((FunctionCall("ratio", [target, bench]),
+                       "ratio to the benchmark"))
+    candidates.append((FunctionCall("normalizedDifference", [target, bench]),
+                       "normalized gap to the benchmark"))
+    if isinstance(benchmark, SiblingBenchmark):
+        candidates.append(
+            (
+                FunctionCall(
+                    "percOfTotal",
+                    [FunctionCall("difference", [target, bench]), target],
+                ),
+                "gap as share of total",
+            )
+        )
+    return candidates
+
+
+def _ratio_ranges() -> RangeLabeling:
+    inf = float("inf")
+    return RangeLabeling(
+        [
+            LabelRule(Interval(0.0, 0.9, True, False), "worse"),
+            LabelRule(Interval(0.9, 1.1, True, True), "comparable"),
+            LabelRule(Interval(1.1, inf, False, False), "better"),
+        ]
+    )
+
+
+def _signed_ranges() -> RangeLabeling:
+    inf = float("inf")
+    return RangeLabeling(
+        [
+            LabelRule(Interval(-inf, -0.1, False, False), "below"),
+            LabelRule(Interval(-0.1, 0.1, True, True), "around"),
+            LabelRule(Interval(0.1, inf, False, False), "above"),
+        ]
+    )
+
+
+def _label_candidates(
+    statement: AssessStatement,
+) -> List[Tuple[object, str]]:
+    """Labelings to try: distribution-based plus type-appropriate ranges."""
+    if not _has_pending_labels(statement):
+        return [(statement.labels, "labels clause as given")]
+    candidates: List[Tuple[object, str]] = [
+        (NamedLabeling("quartiles"), "quartile split"),
+        (NamedLabeling("terciles"), "tercile split"),
+        (NamedLabeling("zscoreLikert"), "Likert scale on z-scores"),
+        (NamedLabeling("cluster"), "system-chosen clusters"),
+        (_ratio_ranges(), "ratio ranges around 1"),
+        (_signed_ranges(), "signed ranges around 0"),
+    ]
+    return candidates
+
+
+# ----------------------------------------------------------------------
+# Interest scoring
+# ----------------------------------------------------------------------
+def _interest_score(result) -> float:
+    """Score a completed assessment's usefulness in [0, 1]."""
+    counts: Dict[Optional[str], int] = result.label_counts()
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    nulls = counts.pop(None, 0)
+    classes = len(counts)
+    if classes == 0:
+        return 0.0
+
+    # normalised entropy of the label distribution: 1 = perfectly balanced
+    probabilities = [count / (total - nulls) for count in counts.values() if count]
+    entropy = -sum(p * math.log(p) for p in probabilities)
+    balance = entropy / math.log(classes) if classes > 1 else 0.0
+
+    # class-count preference: 3-5 classes are ideal
+    if 3 <= classes <= 5:
+        class_factor = 1.0
+    elif classes == 2:
+        class_factor = 0.8
+    else:
+        class_factor = 0.6
+
+    null_penalty = 1.0 - (nulls / total)
+
+    comparisons = np.asarray(result.cube.measure(result.comparison_measure),
+                             dtype=np.float64)
+    finite = np.isfinite(comparisons).mean() if len(comparisons) else 0.0
+
+    return float(balance * class_factor * null_penalty * finite)

@@ -1,0 +1,136 @@
+"""Shared fixtures: the SALES example engine, a small SSB engine, and the
+exact mini-cube of the paper's Figure 1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import AssessSession
+from repro.core import CubeSchema, Hierarchy, Level, Measure
+from repro.datagen import sales_engine, ssb_engine
+from repro.engine import Catalog, DimensionBinding, StarSchema, Table
+from repro.olap import MultidimensionalEngine, hydrate_hierarchies
+
+
+@pytest.fixture(scope="session")
+def sales():
+    """The SALES example engine (20k fact rows, hydrated hierarchies)."""
+    return sales_engine(n_rows=20_000, seed=42)
+
+
+@pytest.fixture(scope="session")
+def ssb():
+    """A small SSB engine with the BUDGET external cube."""
+    return ssb_engine(lineorder_rows=30_000, seed=7)
+
+
+@pytest.fixture()
+def sales_session(sales):
+    return AssessSession(sales)
+
+
+@pytest.fixture()
+def ssb_session(ssb):
+    return AssessSession(ssb)
+
+
+# ----------------------------------------------------------------------
+# The exact cube of Figure 1 / Example 2.7: fresh-fruit quantities in
+# Italy and France, one fact row per cell.
+# ----------------------------------------------------------------------
+FIGURE1_QUANTITIES = {
+    ("Apple", "Italy"): 100,
+    ("Pear", "Italy"): 90,
+    ("Lemon", "Italy"): 30,
+    ("Apple", "France"): 150,
+    ("Pear", "France"): 110,
+    ("Lemon", "France"): 20,
+}
+
+
+def build_figure1_engine() -> MultidimensionalEngine:
+    """A tiny SALES star holding exactly the Figure 1 numbers."""
+    catalog = Catalog()
+    products = ["Apple", "Pear", "Lemon", "Milk"]
+    catalog.register(
+        Table(
+            "f1_product",
+            {
+                "pkey": np.arange(4, dtype=np.int64),
+                "p_name": np.array(products, dtype=object),
+                "p_type": np.array(
+                    ["Fresh Fruit", "Fresh Fruit", "Fresh Fruit", "Dairy"],
+                    dtype=object,
+                ),
+                "p_category": np.array(
+                    ["Fruit", "Fruit", "Fruit", "Drinks"], dtype=object
+                ),
+            },
+        )
+    )
+    countries = ["Italy", "France", "Spain"]
+    catalog.register(
+        Table(
+            "f1_store",
+            {
+                "skey": np.arange(3, dtype=np.int64),
+                "s_name": np.array(["ItStore", "FrStore", "EsStore"], dtype=object),
+                "s_country": np.array(countries, dtype=object),
+            },
+        )
+    )
+    pkeys, skeys, quantities = [], [], []
+    for (product, country), quantity in FIGURE1_QUANTITIES.items():
+        pkeys.append(products.index(product))
+        skeys.append(countries.index(country))
+        quantities.append(float(quantity))
+    # a Milk row in Spain exercises predicate filtering
+    pkeys.append(3)
+    skeys.append(2)
+    quantities.append(55.0)
+    catalog.register(
+        Table(
+            "f1_fact",
+            {
+                "pkey": np.asarray(pkeys, dtype=np.int64),
+                "skey": np.asarray(skeys, dtype=np.int64),
+                "quantity": np.asarray(quantities, dtype=np.float64),
+            },
+        )
+    )
+
+    schema = CubeSchema(
+        "SALES",
+        [
+            Hierarchy("Product", [Level("product"), Level("type"), Level("category")]),
+            Hierarchy("Store", [Level("store"), Level("country")]),
+        ],
+        [Measure("quantity", "sum")],
+    )
+    star = StarSchema(
+        name="SALES",
+        fact_table="f1_fact",
+        dimensions=[
+            DimensionBinding("Product", "f1_product", "pkey", "pkey",
+                             {"product": "p_name", "type": "p_type",
+                              "category": "p_category"}),
+            DimensionBinding("Store", "f1_store", "skey", "skey",
+                             {"store": "s_name", "country": "s_country"}),
+        ],
+        measure_columns={"quantity": "quantity"},
+    )
+    engine = MultidimensionalEngine(catalog)
+    engine.register_cube("SALES", schema, star)
+    hydrate_hierarchies(schema, star, catalog)
+    return engine
+
+
+@pytest.fixture()
+def figure1():
+    return build_figure1_engine()
+
+
+@pytest.fixture()
+def figure1_session(figure1):
+    return AssessSession(figure1)

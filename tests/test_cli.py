@@ -1,0 +1,112 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_session, main, run_statement
+
+
+class TestBuildSession:
+    def test_sales_cube(self):
+        session = build_session("sales", rows=2_000)
+        assert "SALES" in session.engine.cube_names()
+
+    def test_ssb_cube(self):
+        session = build_session("ssb", rows=5_000)
+        assert {"SSB", "BUDGET"} <= set(session.engine.cube_names())
+
+    def test_unknown_cube(self):
+        with pytest.raises(ValueError):
+            build_session("mondrian", rows=None)
+
+
+class TestOneShot:
+    STATEMENT = "with SALES by month assess storeSales labels quartiles"
+
+    def test_statement_prints_table(self, capsys):
+        code = main(["--cube", "sales", "--rows", "3000", self.STATEMENT])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "label" in captured.out
+        assert "plan" in captured.out
+
+    def test_explain_flag(self, capsys):
+        code = main(
+            ["--cube", "sales", "--rows", "3000", "--explain", self.STATEMENT]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Plan NP" in captured.out
+        assert "select" in captured.out
+
+    def test_plan_flag(self, capsys):
+        statement = (
+            "with SALES for country = 'Italy' by product, country "
+            "assess quantity against country = 'France' labels quartiles"
+        )
+        code = main(["--cube", "sales", "--rows", "3000", "--plan", "JOP", statement])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "plan JOP" in captured.out
+
+    def test_limit_flag(self, capsys):
+        code = main(["--cube", "sales", "--rows", "3000", "--limit", "2",
+                     self.STATEMENT])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "more cells" in captured.out
+
+    def test_bad_statement_returns_nonzero(self, capsys):
+        code = main(["--cube", "sales", "--rows", "3000", "with NOPE by x"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error" in captured.err
+
+
+class TestRunStatement:
+    def test_error_path(self, sales_session, capsys):
+        code = run_statement(
+            sales_session, "with SALES by month assess storeSales labels nope",
+            plan="best", explain=False, limit=5,
+        )
+        assert code == 1
+
+    def test_success_path(self, sales_session, capsys):
+        code = run_statement(
+            sales_session, "with SALES by year assess storeSales labels median",
+            plan="best", explain=False, limit=5,
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "2 cells" in captured.out
+
+
+class TestRepl:
+    def test_repl_executes_then_quits(self, monkeypatch, capsys):
+        lines = iter([
+            "with SALES by year assess storeSales labels median;",
+            "quit",
+        ])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        code = main(["--cube", "sales", "--rows", "3000"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "median" in captured.out or "label" in captured.out
+
+    def test_repl_multiline_statement(self, monkeypatch, capsys):
+        lines = iter([
+            "with SALES by year",
+            "assess storeSales labels median;",
+            "exit",
+        ])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        code = main(["--cube", "sales", "--rows", "3000"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "label" in captured.out
+
+    def test_repl_eof_exits(self, monkeypatch):
+        def raise_eof(prompt=""):
+            raise EOFError
+
+        monkeypatch.setattr("builtins.input", raise_eof)
+        assert main(["--cube", "sales", "--rows", "3000"]) == 0

@@ -1,0 +1,129 @@
+"""Unit tests for coordinate-dependent labeling (§8 expressiveness item)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CoordinateLabeling,
+    ExecutionError,
+    RangeLabeling,
+    ValidationError,
+)
+
+
+def strict():
+    return RangeLabeling.from_cutpoints([0.95, 1.05], ["miss", "hit", "exceed"])
+
+
+def lenient():
+    return RangeLabeling.from_cutpoints([0.8, 1.2], ["miss", "hit", "exceed"])
+
+
+class TestFromCutpoints:
+    def test_partition_shape(self):
+        labeling = strict()
+        assert labeling.labels == ("miss", "hit", "exceed")
+        assert labeling.apply_scalar(0.9) == "miss"
+        assert labeling.apply_scalar(1.0) == "hit"
+        assert labeling.apply_scalar(1.05) == "exceed"  # [b, inf) closed low
+
+    def test_every_value_labeled(self):
+        labeling = strict()
+        for value in (-1e9, 0.95, 1.0, 1.049999, 2.0, 1e9):
+            assert labeling.apply_scalar(value) is not None
+
+    def test_wrong_label_count_rejected(self):
+        with pytest.raises(ValidationError):
+            RangeLabeling.from_cutpoints([0.0], ["only-one"])
+
+
+class TestCoordinateLabelingUnit:
+    def test_case_selection(self):
+        labeling = CoordinateLabeling(
+            "country", {"Italy": strict()}, default=lenient()
+        )
+        values = np.array([0.9, 0.9])
+        members = ["Italy", "France"]
+        labels = labeling.apply(values, members)
+        assert labels.tolist() == ["miss", "hit"]  # Italy strict, France lenient
+
+    def test_missing_case_without_default_gets_null(self):
+        labeling = CoordinateLabeling("country", {"Italy": strict()})
+        labels = labeling.apply(np.array([1.0]), ["Spain"])
+        assert labels[0] is None
+
+    def test_needs_cases_or_default(self):
+        with pytest.raises(ValidationError):
+            CoordinateLabeling("country", {})
+
+    def test_cases_must_be_range_labelings(self):
+        with pytest.raises(ValidationError):
+            CoordinateLabeling("country", {"Italy": "strict"})
+
+    def test_vocabulary_merged(self):
+        labeling = CoordinateLabeling(
+            "country",
+            {"Italy": RangeLabeling.from_cutpoints([0], ["low", "high"])},
+            default=RangeLabeling.from_cutpoints([0], ["below", "above"]),
+        )
+        assert set(labeling.labels) == {"low", "high", "below", "above"}
+
+    def test_render(self):
+        text = CoordinateLabeling("country", {"Italy": strict()}).render()
+        assert "case country = 'Italy'" in text
+
+
+class TestEndToEnd:
+    STATEMENT = """
+        with SALES by year, country
+        assess storeSales against 30000
+        using ratio(storeSales, 30000)
+        labels perCountryGoals
+    """
+
+    def session_with_spec(self, sales_session):
+        sales_session.define_labeling_spec(
+            "perCountryGoals",
+            CoordinateLabeling(
+                "country",
+                {"Italy": strict()},  # Italy judged strictly
+                default=lenient(),
+            ),
+        )
+        return sales_session
+
+    def test_named_spec_substituted_and_applied(self, sales_session):
+        session = self.session_with_spec(sales_session)
+        result = session.assess(self.STATEMENT)
+        assert len(result) == 6  # 2 years × 3 countries
+        by_country = {}
+        for cell in result:
+            by_country.setdefault(cell.coordinate[1], []).append(cell)
+        # same comparison value can label differently across countries
+        assert all(cell.label in ("miss", "hit", "exceed") for cell in result)
+
+    def test_stricter_case_actually_stricter(self, sales_session):
+        session = self.session_with_spec(sales_session)
+        result = session.assess(self.STATEMENT)
+        for cell in result:
+            country = cell.coordinate[1]
+            expected = (strict() if country == "Italy" else lenient()).apply_scalar(
+                cell.comparison
+            )
+            assert cell.label == expected
+
+    def test_level_must_be_in_group_by(self, sales_session):
+        session = self.session_with_spec(sales_session)
+        with pytest.raises(ExecutionError, match="group-by"):
+            session.assess(
+                """with SALES by year assess storeSales against 30000
+                   using ratio(storeSales, 30000) labels perCountryGoals"""
+            )
+
+    def test_unknown_named_spec_still_checks_registry(self, sales_session):
+        from repro.core import FunctionError
+
+        with pytest.raises(FunctionError):
+            sales_session.assess(
+                "with SALES by year assess storeSales labels noSuchSpec"
+            )

@@ -1,0 +1,127 @@
+"""Unit tests for the cost model and cost-based plan selection."""
+
+import pytest
+
+from repro.algebra import build_plan
+from repro.algebra.cost import (
+    CostEstimate,
+    Statistics,
+    choose_plan,
+    estimate_plan_cost,
+)
+from repro.core import Predicate
+
+
+SIBLING = """
+with SALES for type = 'Fresh Fruit', country = 'Italy' by product, country
+assess quantity against country = 'France'
+using percOfTotal(difference(quantity, benchmark.quantity))
+labels {[-inf, -0.2): bad, [-0.2, 0.2]: ok, (0.2, inf): good}
+"""
+PAST = """
+with SALES for month = '1997-07', store = 'SmartMart' by month, store
+assess storeSales against past 4
+using ratio(storeSales, benchmark.storeSales)
+labels {[0, 0.9): worse, [0.9, 1.1]: fine, (1.1, inf): better}
+"""
+CONSTANT = """
+with SALES by month assess storeSales against 1000
+using ratio(storeSales, 1000) labels {[0, 1): under, [1, inf): over}
+"""
+
+
+class TestStatistics:
+    def test_fact_rows(self, sales):
+        stats = Statistics(sales)
+        assert stats.fact_rows("SALES") == 20_000
+
+    def test_level_cardinality(self, sales):
+        stats = Statistics(sales)
+        assert stats.level_cardinality("SALES", "country") == 3
+        assert stats.level_cardinality("SALES", "month") == 24
+        assert stats.level_cardinality("SALES", "product") == 12
+
+    def test_selectivity_eq_and_in(self, sales):
+        stats = Statistics(sales)
+        eq = stats.selectivity("SALES", Predicate.eq("country", "Italy"))
+        assert eq == pytest.approx(1 / 3)
+        isin = stats.selectivity(
+            "SALES", Predicate.isin("country", ["Italy", "France"])
+        )
+        assert isin == pytest.approx(2 / 3)
+
+    def test_scanned_rows_applies_selectivities(self, sales_session):
+        stats = Statistics(sales_session.engine)
+        statement = sales_session.parse(SIBLING)
+        from repro.algebra.planner import _target_query
+
+        scanned = stats.scanned_rows(_target_query(statement))
+        # type (1/7 of products... by member count 1/7? type has 7 distinct)
+        assert 0 < scanned < 20_000
+
+    def test_result_cells_bounded_by_slots(self, sales_session):
+        stats = Statistics(sales_session.engine)
+        statement = sales_session.parse(CONSTANT)
+        from repro.algebra.planner import _target_query
+
+        cells = stats.result_cells(_target_query(statement))
+        assert 0 < cells <= 24  # at most one cell per month
+
+
+class TestEstimates:
+    def test_breakdown_sums_to_total(self, sales_session):
+        statement = sales_session.parse(SIBLING)
+        plan = build_plan(statement, sales_session.engine, "NP")
+        estimate = estimate_plan_cost(plan, sales_session.engine)
+        assert estimate.total == pytest.approx(sum(estimate.breakdown.values()))
+        assert estimate.total > 0
+
+    def test_optimized_plans_estimated_cheaper(self, sales_session):
+        statement = sales_session.parse(SIBLING)
+        engine = sales_session.engine
+        totals = {
+            name: estimate_plan_cost(build_plan(statement, engine, name), engine).total
+            for name in ("NP", "JOP", "POP")
+        }
+        assert totals["JOP"] < totals["NP"]
+        assert totals["POP"] < totals["NP"]
+
+    def test_estimates_scale_with_data(self, sales_session):
+        from repro.datagen import sales_engine
+
+        small = sales_engine(n_rows=2_000, seed=1)
+        big = sales_engine(n_rows=40_000, seed=1)
+        from repro.api import AssessSession
+
+        cost = {}
+        for engine in (small, big):
+            session = AssessSession(engine)
+            statement = session.parse(SIBLING)
+            plan = build_plan(statement, engine, "NP")
+            cost[engine] = estimate_plan_cost(plan, engine).total
+        assert cost[big] > cost[small]
+
+
+class TestChoosePlan:
+    def test_constant_chooses_np(self, sales_session):
+        statement = sales_session.parse(CONSTANT)
+        plan, totals = choose_plan(statement, sales_session.engine)
+        assert plan.name == "NP"
+        assert set(totals) == {"NP"}
+
+    @pytest.mark.parametrize("text", [SIBLING, PAST])
+    def test_optimized_plan_chosen(self, sales_session, text):
+        statement = sales_session.parse(text)
+        plan, totals = choose_plan(statement, sales_session.engine)
+        assert plan.name in ("JOP", "POP")
+        assert totals[plan.name] == min(totals.values())
+
+    def test_auto_plan_through_session(self, sales_session):
+        result = sales_session.assess(SIBLING, plan="auto")
+        assert result.plan_name in ("JOP", "POP")
+        assert len(result) > 0
+
+    def test_auto_agrees_with_best_results(self, sales_session):
+        auto = sales_session.assess(PAST, plan="auto")
+        best = sales_session.assess(PAST, plan="best")
+        assert auto.label_counts() == best.label_counts()

@@ -1,0 +1,151 @@
+"""Unit tests for the data generators (SALES, SSB, BUDGET, random cubes)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CubeQuery, GroupBySet
+from repro.datagen import (
+    build_sales_catalog,
+    build_ssb_catalog,
+    dimension_cardinalities,
+    random_detailed_cube,
+    random_hierarchy,
+    random_schema,
+    sales_engine,
+    ssb_engine,
+)
+
+
+class TestSalesGenerator:
+    def test_fact_cardinality(self):
+        catalog, schema, star = build_sales_catalog(n_rows=1000, seed=1)
+        assert len(catalog.table("sales_fact")) == 1000
+
+    def test_paper_members_exist(self, sales):
+        catalog = sales.catalog
+        products = set(catalog.table("sales_product").column("p_name"))
+        assert {"Apple", "Pear", "Lemon", "milk"} <= products
+        stores = set(catalog.table("sales_store").column("s_name"))
+        assert "SmartMart" in stores
+        countries = set(catalog.table("sales_store").column("s_country"))
+        assert {"Italy", "France", "Spain"} == countries
+
+    def test_months_cover_1996_1997(self, sales):
+        months = sales.ordered_members("SALES", "month")
+        assert "1996-01" in months and "1997-12" in months
+        assert len(months) == 24
+
+    def test_deterministic_by_seed(self):
+        a, _, _ = build_sales_catalog(n_rows=500, seed=9)
+        b, _, _ = build_sales_catalog(n_rows=500, seed=9)
+        assert np.array_equal(
+            a.table("sales_fact").column("quantity"),
+            b.table("sales_fact").column("quantity"),
+        )
+
+    def test_different_seed_differs(self):
+        a, _, _ = build_sales_catalog(n_rows=500, seed=1)
+        b, _, _ = build_sales_catalog(n_rows=500, seed=2)
+        assert not np.array_equal(
+            a.table("sales_fact").column("quantity"),
+            b.table("sales_fact").column("quantity"),
+        )
+
+    def test_profit_positive_on_average(self, sales):
+        fact = sales.catalog.table("sales_fact")
+        profit = fact.column("storeSales") - fact.column("storeCost")
+        assert profit.mean() > 0
+
+
+class TestSsbGenerator:
+    def test_dimension_cardinalities_scale(self):
+        small = dimension_cardinalities(60_000)
+        large = dimension_cardinalities(600_000)
+        assert large[0] == 10 * small[0]  # customers scale with the fact
+        assert small == (300, 50, 2000)
+
+    def test_star_layout(self, ssb):
+        catalog = ssb.catalog
+        assert len(catalog.table("ssb_lineorder")) == 30_000
+        for name in ("ssb_date", "ssb_customer", "ssb_supplier", "ssb_part"):
+            assert catalog.has_table(name)
+
+    def test_hierarchy_consistency_brand_category_mfgr(self, ssb):
+        part = ssb.catalog.table("ssb_part")
+        for brand, category, mfgr in zip(
+            part.column("p_brand1"), part.column("p_category"), part.column("p_mfgr")
+        ):
+            assert brand.startswith(category)
+            assert category.startswith(mfgr)
+
+    def test_geo_hierarchy_consistency(self, ssb):
+        customer = ssb.catalog.table("ssb_customer")
+        nation_region = {}
+        for nation, region in zip(
+            customer.column("c_nation"), customer.column("c_region")
+        ):
+            assert nation_region.setdefault(nation, region) == region
+
+    def test_revenue_formula(self, ssb):
+        fact = ssb.catalog.table("ssb_lineorder")
+        revenue = fact.column("lo_revenue")
+        expected = np.round(
+            fact.column("lo_extendedprice") * (100.0 - fact.column("lo_discount")) / 100.0,
+            2,
+        )
+        assert np.allclose(revenue, expected)
+
+    def test_budget_cube_joinable_with_ssb(self, ssb):
+        budget_schema = ssb.cube("BUDGET").schema
+        ssb_schema = ssb.cube("SSB").schema
+        query = CubeQuery("SSB", GroupBySet(ssb_schema, ["month", "category"]), (),
+                          ("revenue",))
+        budget_query = CubeQuery(
+            "BUDGET", GroupBySet(budget_schema, ["month", "category"]), (),
+            ("expected_revenue",),
+        )
+        actual = ssb.get(query)
+        expected = ssb.get(budget_query)
+        assert actual.is_joinable_with(expected)
+        joined = actual.natural_join(expected)
+        assert len(joined) == len(actual)  # budget covers every cell
+
+    def test_budget_close_to_actual(self, ssb):
+        ssb_schema = ssb.cube("SSB").schema
+        budget_schema = ssb.cube("BUDGET").schema
+        actual = ssb.get(
+            CubeQuery("SSB", GroupBySet(ssb_schema, ["month", "category"]), (),
+                      ("revenue",))
+        )
+        budget = ssb.get(
+            CubeQuery("BUDGET", GroupBySet(budget_schema, ["month", "category"]), (),
+                      ("expected_revenue",))
+        )
+        joined = actual.natural_join(budget)
+        ratio = joined.measure("benchmark.expected_revenue") / joined.measure("revenue")
+        assert 0.5 < np.median(ratio) < 1.5
+
+
+class TestRandomCube:
+    def test_random_hierarchy_part_of_consistent(self):
+        rng = np.random.default_rng(3)
+        hierarchy = random_hierarchy(rng, "H", depth=3)
+        for member in hierarchy.members_of(hierarchy.finest_level.name):
+            top = hierarchy.rollup_member(
+                member, hierarchy.finest_level.name, hierarchy.coarsest_level.name
+            )
+            assert top in hierarchy.members_of(hierarchy.coarsest_level.name)
+
+    def test_random_schema_shape(self):
+        rng = np.random.default_rng(5)
+        schema = random_schema(rng, n_hierarchies=3, n_measures=2)
+        assert len(schema.hierarchies) == 3
+        assert len(schema.measures) == 2
+
+    def test_random_cube_density(self):
+        rng = np.random.default_rng(7)
+        schema = random_schema(rng)
+        cube = random_detailed_cube(rng, schema, density=1.0)
+        sparse = random_detailed_cube(rng, schema, density=0.2)
+        assert len(sparse) <= len(cube)
+        assert len(cube) >= 1

@@ -1,0 +1,189 @@
+"""Edge-case tests across layers: empty selections, degenerate cubes,
+unusual-but-legal statements, and result presentation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Cube,
+    CubeQuery,
+    CubeSchema,
+    GroupBySet,
+    Hierarchy,
+    Level,
+    Measure,
+    Predicate,
+)
+
+
+class TestEmptySelections:
+    def test_get_with_impossible_predicate(self, sales):
+        schema = sales.cube("SALES").schema
+        result = sales.get(
+            CubeQuery(
+                "SALES",
+                GroupBySet(schema, ["month"]),
+                (Predicate.eq("country", "Atlantis"),),
+                ("quantity",),
+            )
+        )
+        assert len(result) == 0
+
+    def test_assess_on_empty_target(self, sales_session):
+        result = sales_session.assess(
+            """with SALES for country = 'Atlantis' by month, country
+               assess quantity against 10
+               using ratio(quantity, 10)
+               labels {[0, 1): low, [1, inf): high}"""
+        )
+        assert len(result) == 0
+        assert result.label_counts() == {}
+
+    def test_empty_sibling_benchmark_inner(self, sales_session):
+        """A sibling slice with no data leaves an empty inner result."""
+        result = sales_session.assess(
+            """with SALES for product = 'milk', country = 'Italy'
+               by product, country
+               assess quantity against country = 'Atlantis'
+               using difference(quantity, benchmark.quantity)
+               labels {[-inf, 0): below, [0, inf): above}"""
+        )
+        assert len(result) == 0
+
+    def test_empty_sibling_benchmark_outer(self, sales_session):
+        result = sales_session.assess(
+            """with SALES for product = 'milk', country = 'Italy'
+               by product, country
+               assess* quantity against country = 'Atlantis'
+               using difference(quantity, benchmark.quantity)
+               labels {[-inf, 0): below, [0, inf): above}"""
+        )
+        assert len(result) == 1
+        assert result.cells()[0].label is None
+
+
+class TestSingleCellCubes:
+    def test_complete_aggregation_group_by(self, sales_session):
+        """An empty by clause is not allowed by the grammar, but a fully
+        constrained statement reduces to one cell."""
+        result = sales_session.assess(
+            """with SALES for year = '1997' by year
+               assess storeSales against 10000
+               using ratio(storeSales, 10000)
+               labels {[0, 1): low, [1, inf): high}"""
+        )
+        assert len(result) == 1
+
+    def test_holistic_functions_on_single_cell(self, sales_session):
+        result = sales_session.assess(
+            """with SALES for year = '1997' by year
+               assess storeSales against 10000
+               using minMaxNorm(difference(storeSales, 10000))
+               labels {[0, 0.5): low, [0.5, 1]: high}"""
+        )
+        # a constant column min-max-normalises to 0
+        assert result.cells()[0].comparison == 0.0
+
+
+class TestUnusualStatements:
+    def test_same_statement_different_aliases_of_levels(self, sales_session):
+        """by clause order does not change results (canonical ordering)."""
+        a = sales_session.assess(
+            "with SALES by country, year assess quantity labels median"
+        )
+        b = sales_session.assess(
+            "with SALES by year, country assess quantity labels median"
+        )
+        assert {c.coordinate for c in a} == {c.coordinate for c in b}
+
+    def test_predicate_on_level_not_in_group_by(self, sales_session):
+        result = sales_session.assess(
+            """with SALES for category = 'Fruit' by month
+               assess quantity labels quartiles"""
+        )
+        assert len(result) == 24
+
+    def test_numeric_literal_arithmetic_only_using(self, sales_session):
+        result = sales_session.assess(
+            """with SALES by year assess quantity
+               using quantity / 1000 labels median"""
+        )
+        for cell in result:
+            assert cell.comparison == pytest.approx(cell.value / 1000)
+
+    def test_deeply_nested_using(self, sales_session):
+        result = sales_session.assess(
+            """with SALES by month assess storeSales against 1000
+               using minMaxNorm(absoluteDifference(
+                   ratio(storeSales, 1000), identity(storeSales) / storeSales))
+               labels quartiles"""
+        )
+        assert len(result) == 24
+
+    def test_between_predicate_end_to_end(self, sales_session):
+        result = sales_session.assess(
+            """with SALES for month between '1997-01' and '1997-03' by month
+               assess storeSales labels terciles"""
+        )
+        assert len(result) == 3
+
+    def test_past_window_larger_than_history(self, sales_session):
+        result = sales_session.assess(
+            """with SALES for month = '1996-03', store = 'SmartMart'
+               by month, store
+               assess storeSales against past 12
+               using ratio(storeSales, benchmark.storeSales)
+               labels {[0, 0.9): worse, [0.9, 1.1]: fine, (1.1, inf): better}"""
+        )
+        assert len(result) == 1  # only two past months exist; still works
+
+
+class TestResultPresentation:
+    def test_to_table_with_null_labels(self, sales_session):
+        result = sales_session.assess(
+            """with SALES for product = 'milk', country = 'Italy'
+               by product, country
+               assess* quantity against country = 'Atlantis'
+               using difference(quantity, benchmark.quantity)
+               labels {[-inf, 0): below, [0, inf): above}"""
+        )
+        text = result.to_table()
+        assert "null" in text
+        assert "None" in text  # the label column
+
+    def test_to_table_limit_zero_like(self, sales_session):
+        result = sales_session.assess(
+            "with SALES by year assess quantity labels median"
+        )
+        text = result.to_table(limit=1)
+        assert len(text.splitlines()) == 3
+
+    def test_assessed_cell_equality_with_nan(self, sales_session):
+        result = sales_session.assess(
+            """with SALES for product = 'milk', country = 'Italy'
+               by product, country
+               assess* quantity against country = 'Atlantis'
+               using difference(quantity, benchmark.quantity)
+               labels {[-inf, 0): below, [0, inf): above}"""
+        )
+        cells = result.cells()
+        assert cells[0] == cells[0]
+        assert math.isnan(cells[0].benchmark)
+
+
+class TestMeasureColumnDtypes:
+    def test_integer_measure_input_coerced_to_float(self):
+        schema = CubeSchema(
+            "S", [Hierarchy("H", [Level("a")])], [Measure("m")]
+        )
+        gb = GroupBySet(schema, ["a"])
+        cube = Cube(schema, gb, {"a": ["x"]}, {"m": np.array([5])})
+        assert cube.measure("m").dtype == np.float64
+
+    def test_label_column_stays_object(self, sales_session):
+        result = sales_session.assess(
+            "with SALES by year assess quantity labels median"
+        )
+        assert result.cube.measure("label").dtype == object

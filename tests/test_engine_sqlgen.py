@@ -1,0 +1,169 @@
+"""Unit tests for SQL text rendering (Listings 1, 4 and 5 of the paper)."""
+
+import pytest
+
+from repro.core import Predicate
+from repro.engine import (
+    Aggregate,
+    AggregateQuery,
+    ColumnPredicate,
+    DimensionJoin,
+    DrillAcrossQuery,
+    FACT,
+    GroupByColumn,
+    PivotQuery,
+    render_sql,
+)
+
+JOINS = (
+    DimensionJoin("customer", "ckey", "ckey"),
+    DimensionJoin("product", "pkey", "pkey"),
+)
+
+
+def listing1_query():
+    """The get of Example 2.7 (Listing 1)."""
+    return AggregateQuery(
+        fact="sales",
+        joins=JOINS,
+        where=(
+            ColumnPredicate("product", "type", Predicate.eq("type", "Fresh Fruit")),
+            ColumnPredicate("product", "country", Predicate.eq("country", "Italy")),
+        ),
+        group_by=(
+            GroupByColumn("product", "country", "country"),
+            GroupByColumn("product", "product", "product"),
+        ),
+        aggregates=(Aggregate("quantity", "sum", "quantity"),),
+    )
+
+
+class TestAggregateSql:
+    def test_listing1_shape(self):
+        sql = render_sql(listing1_query())
+        assert sql.startswith("select ")
+        assert "sum(f.quantity) as quantity" in sql
+        assert "from sales f" in sql
+        assert "join product" in sql
+        assert "where" in sql and "= 'Fresh Fruit'" in sql and "= 'Italy'" in sql
+        assert "group by" in sql
+
+    def test_unreferenced_dimensions_eliminated(self):
+        sql = render_sql(listing1_query())
+        # the customer dimension is joined in the star but not referenced
+        assert "join customer" not in sql
+
+    def test_in_predicate_rendering(self):
+        query = AggregateQuery(
+            "sales", JOINS,
+            (ColumnPredicate("product", "country",
+                             Predicate.isin("country", ["Italy", "France"])),),
+            (GroupByColumn("product", "country", "country"),),
+            (Aggregate("quantity", "sum", "quantity"),),
+        )
+        sql = render_sql(query)
+        assert "in ('France', 'Italy')" in sql
+
+    def test_between_predicate_rendering(self):
+        query = AggregateQuery(
+            "sales", JOINS,
+            (ColumnPredicate("product", "country",
+                             Predicate.between("country", "A", "M")),),
+            (GroupByColumn("product", "country", "country"),),
+            (Aggregate("quantity", "sum", "quantity"),),
+        )
+        assert "between 'A' and 'M'" in render_sql(query)
+
+    def test_fact_column_predicate_uses_fact_alias(self):
+        query = AggregateQuery(
+            "sales", JOINS,
+            (ColumnPredicate(FACT, "quantity",
+                             Predicate.between("quantity", 1, 10)),),
+            (),
+            (Aggregate("quantity", "sum", "quantity"),),
+        )
+        assert "f.quantity between 1 and 10" in render_sql(query)
+
+    def test_string_escaping(self):
+        query = AggregateQuery(
+            "sales", JOINS,
+            (ColumnPredicate("product", "type",
+                             Predicate.eq("type", "O'Brien")),),
+            (),
+            (Aggregate("quantity", "sum", "quantity"),),
+        )
+        assert "'O''Brien'" in render_sql(query)
+
+    def test_complete_aggregation_has_no_group_by(self):
+        query = AggregateQuery(
+            "sales", JOINS, (), (), (Aggregate("quantity", "sum", "q"),)
+        )
+        assert "group by" not in render_sql(query)
+
+
+class TestDrillAcrossSql:
+    def test_listing4_shape(self):
+        left = listing1_query()
+        right = AggregateQuery(
+            "sales", JOINS,
+            (
+                ColumnPredicate("product", "type", Predicate.eq("type", "Fresh Fruit")),
+                ColumnPredicate("product", "country", Predicate.eq("country", "France")),
+            ),
+            left.group_by,
+            left.aggregates,
+        )
+        sql = render_sql(
+            DrillAcrossQuery(left, right, ("product",), {"quantity": "bc_quantity"})
+        )
+        assert "t1.product = t2.product" in sql
+        assert "t2.quantity as bc_quantity" in sql
+        assert sql.count("select") == 3  # outer + two subqueries
+
+    def test_outer_join_keyword(self):
+        left = listing1_query()
+        sql = render_sql(
+            DrillAcrossQuery(left, left, ("product",), {}, outer=True)
+        )
+        assert "left outer join" in sql
+
+
+class TestPivotSql:
+    def test_listing5_shape(self):
+        base = AggregateQuery(
+            "sales", JOINS,
+            (
+                ColumnPredicate("product", "type", Predicate.eq("type", "Fresh Fruit")),
+                ColumnPredicate("product", "country",
+                                Predicate.isin("country", ["Italy", "France"])),
+            ),
+            (
+                GroupByColumn("product", "country", "country"),
+                GroupByColumn("product", "product", "product"),
+            ),
+            (Aggregate("quantity", "sum", "quantity"),),
+        )
+        sql = render_sql(
+            PivotQuery(base, "country", "Italy",
+                       {"France": {"quantity": "bc_quantity"}})
+        )
+        assert "pivot (" in sql
+        assert "sum(quantity) for country" in sql
+        assert "'France' as bc_quantity" in sql
+        assert "is not null" in sql
+
+    def test_require_all_false_drops_null_filter(self):
+        base = AggregateQuery(
+            "sales", JOINS, (),
+            (GroupByColumn("product", "country", "country"),),
+            (Aggregate("quantity", "sum", "quantity"),),
+        )
+        sql = render_sql(
+            PivotQuery(base, "country", "Italy", {"France": {"quantity": "bc"}},
+                       require_all=False)
+        )
+        assert "is not null" not in sql
+
+    def test_unknown_query_type_rejected(self):
+        with pytest.raises(TypeError):
+            render_sql("select 1")

@@ -1,0 +1,168 @@
+"""Unit tests for plan execution: timings, assess*, labeling dispatch."""
+
+import math
+
+import pytest
+
+from repro.algebra import (
+    ALL_STEPS,
+    PlanExecutor,
+    STEP_COMPARE,
+    STEP_GET_BENCHMARK,
+    STEP_GET_COMBINED,
+    STEP_GET_TARGET,
+    STEP_JOIN,
+    STEP_LABEL,
+    STEP_TRANSFORM,
+    build_plan,
+)
+from repro.core import FunctionError
+
+
+SIBLING = """
+with SALES for type = 'Fresh Fruit', country = 'Italy' by product, country
+assess quantity against country = 'France'
+using percOfTotal(difference(quantity, benchmark.quantity))
+labels {[-inf, -0.2): bad, [-0.2, 0.2]: ok, (0.2, inf): good}
+"""
+PAST = """
+with SALES for month = '1997-07', store = 'SmartMart' by month, store
+assess storeSales against past 4
+using ratio(storeSales, benchmark.storeSales)
+labels {[0, 0.9): worse, [0.9, 1.1]: fine, (1.1, inf): better}
+"""
+
+
+class TestTimingBuckets:
+    def test_np_buckets(self, sales_session):
+        result = sales_session.assess(SIBLING, plan="NP")
+        assert STEP_GET_TARGET in result.timings
+        assert STEP_GET_BENCHMARK in result.timings
+        assert STEP_JOIN in result.timings
+        assert STEP_COMPARE in result.timings
+        assert STEP_LABEL in result.timings
+        assert STEP_GET_COMBINED not in result.timings
+        assert all(v >= 0 for v in result.timings.values())
+
+    def test_jop_buckets(self, sales_session):
+        result = sales_session.assess(SIBLING, plan="JOP")
+        assert STEP_GET_COMBINED in result.timings
+        assert STEP_GET_TARGET not in result.timings
+        assert STEP_JOIN not in result.timings
+
+    def test_past_np_has_transform(self, sales_session):
+        result = sales_session.assess(PAST, plan="NP")
+        assert STEP_TRANSFORM in result.timings  # pivot + regression + project
+
+    def test_total_time_sums_buckets(self, sales_session):
+        result = sales_session.assess(SIBLING, plan="NP")
+        assert result.total_time() == pytest.approx(sum(result.timings.values()))
+
+    def test_all_buckets_are_known_steps(self, sales_session):
+        for plan in ("NP", "JOP", "POP"):
+            result = sales_session.assess(PAST, plan=plan)
+            assert set(result.timings) <= set(ALL_STEPS)
+
+
+class TestResultContract:
+    def test_five_components_per_cell(self, sales_session):
+        result = sales_session.assess(SIBLING)
+        for cell in result:
+            assert len(cell.coordinate) == 2
+            assert isinstance(cell.value, float)
+            assert isinstance(cell.benchmark, float)
+            assert isinstance(cell.comparison, float)
+            assert cell.label in ("bad", "ok", "good")
+
+    def test_plan_name_recorded(self, sales_session):
+        assert sales_session.assess(SIBLING, plan="POP").plan_name == "POP"
+
+    def test_label_of_lookup(self, sales_session):
+        result = sales_session.assess(SIBLING)
+        first = result.cells()[0]
+        assert result.label_of(first.coordinate) == first.label
+
+    def test_to_table_renders(self, sales_session):
+        text = sales_session.assess(SIBLING).to_table(limit=2)
+        assert "product" in text and "label" in text
+        assert len(text.splitlines()) == 4  # header + rule + 2 rows
+
+
+class TestAssessStar:
+    def test_unmatched_cells_get_null_labels(self, figure1_session):
+        # France has no 'Banana'; extend Italy with one so assess* shows nulls
+        engine = figure1_session.engine
+        # Italy slice has Apple/Pear/Lemon; France benchmark misses nothing.
+        # Slice on France against Italy instead, after removing a French row:
+        result = figure1_session.assess(
+            """with SALES for type = 'Fresh Fruit', country = 'Italy'
+               by product, country
+               assess* quantity against country = 'Spain'
+               using difference(quantity, benchmark.quantity)
+               labels {[-inf, 0): below, [0, inf): above}"""
+        )
+        # Spain sells no fresh fruit at all: every cell survives with nulls.
+        assert len(result) == 3
+        for cell in result:
+            assert cell.label is None
+            assert math.isnan(cell.benchmark)
+
+    def test_inner_assess_drops_unmatched(self, figure1_session):
+        result = figure1_session.assess(
+            """with SALES for type = 'Fresh Fruit', country = 'Italy'
+               by product, country
+               assess quantity against country = 'Spain'
+               using difference(quantity, benchmark.quantity)
+               labels {[-inf, 0): below, [0, inf): above}"""
+        )
+        assert len(result) == 0
+
+
+class TestLabelingDispatch:
+    def test_named_labeling_from_registry(self, sales_session):
+        result = sales_session.assess(
+            "with SALES by month assess storeSales labels quartiles"
+        )
+        assert set(result.label_counts()) == {"Q1", "Q2", "Q3", "Q4"}
+
+    def test_non_labeling_function_rejected(self, sales_session):
+        with pytest.raises(FunctionError):
+            sales_session.assess(
+                "with SALES by month assess storeSales labels minMaxNorm"
+            )
+
+    def test_unknown_labeling_function_rejected(self, sales_session):
+        with pytest.raises(FunctionError):
+            sales_session.assess(
+                "with SALES by month assess storeSales labels fancyLabels"
+            )
+
+    def test_predeclared_range_labeling(self, sales_session):
+        from repro.core import five_stars_rules
+
+        sales_session.define_labeling("fivestars", five_stars_rules())
+        result = sales_session.assess(
+            """with SALES by month assess storeSales against 50000
+               using signedMinMaxNorm(difference(storeSales, 50000))
+               labels fivestars"""
+        )
+        assert set(result.label_counts()) <= {"*", "**", "***", "****", "*****"}
+
+
+class TestPredictionDispatch:
+    def test_non_prediction_method_rejected(self, sales_session):
+        statement = sales_session.parse(PAST)
+        statement.benchmark.method = "difference"  # not a prediction function
+        plan = build_plan(statement, sales_session.engine, "NP")
+        executor = PlanExecutor(sales_session.engine, sales_session.registry)
+        with pytest.raises(FunctionError):
+            executor.execute(plan, statement)
+
+    def test_alternative_predictors_run(self, sales_session):
+        statement = sales_session.parse(PAST)
+        for method in ("movingAverage", "naiveLast", "exponentialSmoothing"):
+            statement.benchmark.method = method
+            plan = build_plan(statement, sales_session.engine, "NP")
+            executor = PlanExecutor(sales_session.engine, sales_session.registry)
+            result = executor.execute(plan, statement)
+            assert len(result) == 1

@@ -1,0 +1,78 @@
+"""Unit tests for harness plumbing: ladder config and claim checkers."""
+
+import pytest
+
+from repro.experiments.report import _check_linear_scaling, _check_plan_ordering
+from repro.experiments.runner import DEFAULT_LADDER, ladder_from_env
+
+
+class TestLadderFromEnv:
+    def test_default_ladder(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LADDER", raising=False)
+        ladder = ladder_from_env()
+        assert list(ladder.values()) == list(DEFAULT_LADDER)
+        assert list(ladder) == ["SSB1", "SSB10", "SSB100"]
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LADDER", "100,200,300")
+        assert ladder_from_env() == {"SSB1": 100, "SSB10": 200, "SSB100": 300}
+
+    def test_short_ladder(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LADDER", "5000")
+        assert ladder_from_env() == {"SSB1": 5000}
+
+    def test_whitespace_tolerated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LADDER", " 10 , 20 ")
+        assert ladder_from_env() == {"SSB1": 10, "SSB10": 20}
+
+
+def fig3_data(sibling_pop_time):
+    """Synthetic fig3 measurements with a controllable POP time."""
+    return {
+        "Constant": {"NP": {"A": 1.0, "B": 10.0}},
+        "External": {"NP": {"A": 2.0, "B": 20.0}, "JOP": {"A": 1.0, "B": 10.0}},
+        "Sibling": {
+            "NP": {"A": 2.0, "B": 20.0},
+            "JOP": {"A": 1.0, "B": 10.0},
+            "POP": {"A": 0.5, "B": sibling_pop_time},
+        },
+        "Past": {
+            "NP": {"A": 2.0, "B": 20.0},
+            "JOP": {"A": 1.0, "B": 10.0},
+            "POP": {"A": 0.5, "B": 5.0},
+        },
+    }
+
+
+LADDER = {"A": 1_000, "B": 10_000}
+
+
+class TestClaimCheckers:
+    def test_ordering_all_pass(self):
+        line = _check_plan_ordering(fig3_data(5.0), list(LADDER))
+        assert line.count("✓") == 4
+        assert "✗" not in line
+
+    def test_ordering_detects_violation(self):
+        # POP slower than JOP beyond the 5% noise allowance
+        line = _check_plan_ordering(fig3_data(12.0), list(LADDER))
+        assert "Sibling: ✗" in line
+
+    def test_ordering_tolerates_noise(self):
+        # 10.4 vs JOP's 10.0 is within the 0.95 noise factor
+        line = _check_plan_ordering(fig3_data(10.4), list(LADDER))
+        assert "Sibling: ✓" in line
+
+    def test_linear_scaling_pass(self):
+        line = _check_linear_scaling(fig3_data(5.0), LADDER)
+        assert line.count("✓") == 4
+
+    def test_linear_scaling_detects_blowup(self):
+        data = fig3_data(5.0)
+        data["Past"]["POP"]["B"] = 200.0  # 400x time for 10x rows
+        line = _check_linear_scaling(data, LADDER)
+        assert "Past: worst rung 40.00x-of-linear ✗" in line
+
+    def test_single_rung_not_checked(self):
+        line = _check_linear_scaling(fig3_data(5.0), {"A": 1_000})
+        assert "not checked" in line

@@ -1,0 +1,92 @@
+"""Unit tests for the using-clause expression AST."""
+
+import pytest
+
+from repro.core import BinaryOp, FunctionCall, Literal, MeasureRef
+from repro.core.expression import default_using
+
+
+class TestLiteral:
+    def test_render_integers_without_decimal(self):
+        assert Literal(1000).render() == "1000"
+        assert Literal(0.5).render() == "0.5"
+
+    def test_no_references(self):
+        assert Literal(1).references() == ()
+
+    def test_equality(self):
+        assert Literal(1) == Literal(1.0)
+        assert Literal(1) != Literal(2)
+
+
+class TestMeasureRef:
+    def test_unqualified(self):
+        ref = MeasureRef("quantity")
+        assert ref.column_name == "quantity"
+        assert ref.render() == "quantity"
+
+    def test_qualified(self):
+        ref = MeasureRef("quantity", "benchmark")
+        assert ref.column_name == "benchmark.quantity"
+        assert ref.render() == "benchmark.quantity"
+
+    def test_references_self(self):
+        ref = MeasureRef("m")
+        assert ref.references() == (ref,)
+
+    def test_equality_includes_qualifier(self):
+        assert MeasureRef("m") != MeasureRef("m", "benchmark")
+        assert MeasureRef("m", "b") == MeasureRef("m", "b")
+
+
+class TestFunctionCall:
+    def test_render_nested(self):
+        expr = FunctionCall(
+            "minMaxNorm",
+            [FunctionCall("difference", [MeasureRef("storeSales"), Literal(1000)])],
+        )
+        assert expr.render() == "minMaxNorm(difference(storeSales, 1000))"
+
+    def test_references_collected_left_to_right(self):
+        expr = FunctionCall(
+            "percOfTotal",
+            [
+                FunctionCall(
+                    "difference",
+                    [MeasureRef("quantity"), MeasureRef("quantity", "benchmark")],
+                ),
+                MeasureRef("quantity"),
+            ],
+        )
+        names = [r.column_name for r in expr.references()]
+        assert names == ["quantity", "benchmark.quantity", "quantity"]
+
+    def test_equality(self):
+        a = FunctionCall("f", [Literal(1)])
+        assert a == FunctionCall("f", [Literal(1)])
+        assert a != FunctionCall("g", [Literal(1)])
+        assert a != FunctionCall("f", [Literal(2)])
+
+
+class TestBinaryOp:
+    def test_render_parenthesised(self):
+        expr = BinaryOp("-", MeasureRef("storeSales"), MeasureRef("storeCost"))
+        assert expr.render() == "(storeSales - storeCost)"
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryOp("%", Literal(1), Literal(2))
+
+    def test_references_from_both_sides(self):
+        expr = BinaryOp("*", MeasureRef("a"), BinaryOp("+", MeasureRef("b"), Literal(1)))
+        assert [r.name for r in expr.references()] == ["a", "b"]
+
+
+class TestDefaultUsing:
+    def test_shape(self):
+        expr = default_using("quantity", "constant")
+        assert expr.render() == "difference(quantity, benchmark.constant)"
+
+    def test_against_own_measure(self):
+        expr = default_using("storeSales", "storeSales")
+        assert expr.render() == "difference(storeSales, benchmark.storeSales)"

@@ -1,0 +1,167 @@
+"""Unit tests for CSV ingestion and the flat→star builder."""
+
+import numpy as np
+import pytest
+
+from repro.api import AssessSession
+from repro.core import EngineError, SchemaError
+from repro.datagen.flat import star_from_flat, table_from_csv
+from repro.engine import Catalog, Table
+from repro.olap import MultidimensionalEngine
+
+CSV_CONTENT = """product,type,store,country,quantity,price
+Apple,Fruit,Roma1,Italy,10,2.5
+Apple,Fruit,Paris1,France,4,2.8
+Pear,Fruit,Roma1,Italy,6,3.0
+Milk,Dairy,Roma1,Italy,8,1.2
+Milk,Dairy,Paris1,France,9,1.1
+Pear,Fruit,Paris1,France,5,3.1
+"""
+
+
+@pytest.fixture()
+def csv_path(tmp_path):
+    path = tmp_path / "mini_sales.csv"
+    path.write_text(CSV_CONTENT)
+    return str(path)
+
+
+@pytest.fixture()
+def flat(csv_path):
+    return table_from_csv(csv_path)
+
+
+class TestTableFromCsv:
+    def test_header_and_rows(self, flat):
+        assert flat.name == "mini_sales"
+        assert len(flat) == 6
+        assert flat.column_names == (
+            "product", "type", "store", "country", "quantity", "price"
+        )
+
+    def test_type_inference(self, flat):
+        assert flat.column("quantity").dtype == np.float64
+        assert flat.column("product").dtype == object
+
+    def test_empty_numeric_cell_becomes_nan(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("a,b\n1,\n2,3\n")
+        table = table_from_csv(str(path))
+        assert np.isnan(table.column("b")[0])
+        assert table.column("b")[1] == 3.0
+
+    def test_mixed_column_stays_string(self, tmp_path):
+        path = tmp_path / "mixed.csv"
+        path.write_text("a\n1\nx\n")
+        table = table_from_csv(str(path))
+        assert table.column("a").dtype == object
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(EngineError, match="line 2"):
+            table_from_csv(str(path))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(EngineError):
+            table_from_csv(str(path))
+
+    def test_explicit_name(self, csv_path):
+        assert table_from_csv(csv_path, name="custom").name == "custom"
+
+
+class TestStarFromFlat:
+    def build(self, flat):
+        engine = MultidimensionalEngine(Catalog())
+        schema, star = star_from_flat(
+            engine,
+            "MINI",
+            flat,
+            hierarchies={
+                "Product": ["product", "type"],
+                "Store": ["store", "country"],
+            },
+            measures={"quantity": "sum", "price": "avg"},
+        )
+        return engine, schema, star
+
+    def test_dimensions_deduplicated(self, flat):
+        engine, _, _ = self.build(flat)
+        product_dim = engine.catalog.table("mini_product_dim")
+        assert len(product_dim) == 3  # Apple, Pear, Milk
+        store_dim = engine.catalog.table("mini_store_dim")
+        assert len(store_dim) == 2
+
+    def test_fact_preserves_row_count(self, flat):
+        engine, _, _ = self.build(flat)
+        assert len(engine.catalog.table("mini_fact")) == 6
+
+    def test_aggregation_correct(self, flat):
+        engine, schema, _ = self.build(flat)
+        session = AssessSession(engine)
+        result = session.assess(
+            "with MINI by type assess quantity against 20 "
+            "using ratio(quantity, 20) labels {[0, 1): under, [1, inf): over}"
+        )
+        cells = {cell.coordinate[0]: cell.value for cell in result}
+        assert cells == {"Fruit": 25.0, "Dairy": 17.0}
+
+    def test_avg_measure(self, flat):
+        engine, schema, _ = self.build(flat)
+        session = AssessSession(engine)
+        result = session.assess(
+            "with MINI by product assess price labels terciles"
+        )
+        prices = {cell.coordinate[0]: cell.value for cell in result}
+        assert prices["Apple"] == pytest.approx((2.5 + 2.8) / 2)
+
+    def test_hydrated_hierarchies(self, flat):
+        engine, schema, _ = self.build(flat)
+        product = schema.hierarchy("Product")
+        assert product.parent_of("product", "Apple") == "Fruit"
+
+    def test_sibling_statement_end_to_end(self, flat):
+        engine, _, _ = self.build(flat)
+        session = AssessSession(engine)
+        result = session.assess(
+            """with MINI for country = 'Italy' by product, country
+               assess quantity against country = 'France'
+               using difference(quantity, benchmark.quantity)
+               labels {[-inf, 0): behind, [0, inf): ahead}""",
+            plan="POP",
+        )
+        assert len(result) == 3
+
+    def test_functional_dependency_violation_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "product,type,quantity\nApple,Fruit,1\nApple,Dairy,2\n"
+        )
+        flat = table_from_csv(str(path))
+        engine = MultidimensionalEngine(Catalog())
+        with pytest.raises(SchemaError, match="not functional"):
+            star_from_flat(
+                engine, "BAD", flat,
+                hierarchies={"Product": ["product", "type"]},
+                measures={"quantity": "sum"},
+            )
+
+    def test_unknown_level_column_rejected(self, flat):
+        engine = MultidimensionalEngine(Catalog())
+        with pytest.raises(EngineError):
+            star_from_flat(
+                engine, "X", flat,
+                hierarchies={"P": ["brand"]},
+                measures={"quantity": "sum"},
+            )
+
+    def test_non_numeric_measure_rejected(self, flat):
+        engine = MultidimensionalEngine(Catalog())
+        with pytest.raises(EngineError, match="not numeric"):
+            star_from_flat(
+                engine, "X", flat,
+                hierarchies={"P": ["product"]},
+                measures={"type": "sum"},
+            )

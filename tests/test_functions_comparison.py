@@ -1,0 +1,82 @@
+"""Unit tests for the cell-wise comparison library (Section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.functions import (
+    absolute_difference,
+    difference,
+    normalized_difference,
+    percentage,
+    ratio,
+    signed_log_ratio,
+)
+
+
+@pytest.fixture()
+def a():
+    return np.array([100.0, 90.0, 30.0])
+
+
+@pytest.fixture()
+def b():
+    return np.array([150.0, 110.0, 20.0])
+
+
+class TestDifference:
+    def test_basic(self, a, b):
+        assert difference(a, b).tolist() == [-50.0, -20.0, 10.0]
+
+    def test_nan_propagates(self):
+        out = difference(np.array([1.0, np.nan]), np.array([0.5, 1.0]))
+        assert out[0] == 0.5
+        assert np.isnan(out[1])
+
+    def test_accepts_lists(self):
+        assert difference([3, 1], [1, 1]).tolist() == [2.0, 0.0]
+
+
+class TestAbsoluteDifference:
+    def test_non_negative(self, a, b):
+        assert absolute_difference(a, b).tolist() == [50.0, 20.0, 10.0]
+
+
+class TestNormalizedDifference:
+    def test_basic(self, a, b):
+        out = normalized_difference(a, b)
+        assert out[0] == pytest.approx(-1 / 3)
+        assert out[2] == pytest.approx(0.5)
+
+    def test_zero_benchmark_no_raise(self):
+        out = normalized_difference(np.array([1.0, 0.0]), np.array([0.0, 0.0]))
+        assert np.isinf(out[0])
+        assert np.isnan(out[1])
+
+
+class TestRatio:
+    def test_basic(self, a, b):
+        out = ratio(a, b)
+        assert out[2] == pytest.approx(1.5)
+
+    def test_division_by_zero(self):
+        out = ratio(np.array([1.0]), np.array([0.0]))
+        assert np.isinf(out[0])
+
+
+class TestPercentage:
+    def test_is_100x_ratio(self, a, b):
+        assert percentage(a, b).tolist() == (100.0 * ratio(a, b)).tolist()
+
+
+class TestSignedLogRatio:
+    def test_symmetry(self):
+        up = signed_log_ratio(np.array([2.0]), np.array([1.0]))[0]
+        down = signed_log_ratio(np.array([1.0]), np.array([2.0]))[0]
+        assert up == pytest.approx(-down)
+
+    def test_equal_is_zero(self):
+        assert signed_log_ratio(np.array([5.0]), np.array([5.0]))[0] == 0.0
+
+    def test_non_positive_is_nan(self):
+        out = signed_log_ratio(np.array([-1.0, 0.0]), np.array([1.0, 1.0]))
+        assert np.isnan(out).all()

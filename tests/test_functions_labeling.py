@@ -1,0 +1,123 @@
+"""Unit tests for distribution-based labelers (Section 3.3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.functions import (
+    cluster_labels,
+    equi_width_labels,
+    kmeans_1d,
+    optimal_cluster_count,
+    quantile_labels,
+    top_k_labels,
+    zscore_likert_labels,
+)
+from repro.functions.registry import default_registry
+
+
+class TestQuantileLabels:
+    def test_quartile_split_is_equi_depth(self):
+        values = np.arange(100, dtype=float)
+        labels = quantile_labels(values, 4, ["Q1", "Q2", "Q3", "Q4"])
+        counts = {label: int((labels == label).sum()) for label in set(labels)}
+        assert counts == {"Q1": 25, "Q2": 25, "Q3": 25, "Q4": 25}
+
+    def test_order_respected(self):
+        values = np.array([1.0, 100.0])
+        labels = quantile_labels(values, 2, ["low", "high"])
+        assert labels.tolist() == ["low", "high"]
+
+    def test_nan_gets_none(self):
+        labels = quantile_labels(np.array([1.0, np.nan]), 2, ["a", "b"])
+        assert labels[1] is None
+
+    def test_single_group(self):
+        labels = quantile_labels(np.array([3.0, 4.0]), 1, ["all"])
+        assert labels.tolist() == ["all", "all"]
+
+    def test_empty(self):
+        assert quantile_labels(np.array([]), 4, list("abcd")).size == 0
+
+
+class TestEquiWidthLabels:
+    def test_bins_by_value_not_frequency(self):
+        # 9 small values, 1 large: equi-width puts the 9 in the first bin.
+        values = np.array([1.0] * 9 + [100.0])
+        labels = equi_width_labels(values, 2, ["low", "high"])
+        assert (labels[:9] == "low").all()
+        assert labels[9] == "high"
+
+    def test_constant_column(self):
+        labels = equi_width_labels(np.array([5.0, 5.0]), 3, list("abc"))
+        assert labels.tolist() == ["a", "a"]
+
+
+class TestTopK:
+    def test_top1_holds_largest(self):
+        values = np.arange(30, dtype=float)
+        labels = top_k_labels(values, 3)
+        assert labels[-1] == "top-1"
+        assert labels[0] == "top-3"
+
+    def test_vocabulary(self):
+        labels = set(top_k_labels(np.arange(20, dtype=float), 4).tolist())
+        assert labels == {"top-1", "top-2", "top-3", "top-4"}
+
+
+class TestZscoreLikert:
+    def test_five_point_scale(self):
+        values = np.concatenate([np.zeros(50), np.array([100.0, -100.0])])
+        labels = zscore_likert_labels(values)
+        assert labels[50] == "much above"
+        assert labels[51] == "much below"
+
+    def test_constant_is_average(self):
+        labels = zscore_likert_labels(np.array([3.0, 3.0, 3.0]))
+        assert set(labels.tolist()) == {"average"}
+
+
+class TestKMeans:
+    def test_two_obvious_clusters(self):
+        values = np.array([0.0, 0.1, 0.2, 10.0, 10.1, 10.2])
+        assignment = kmeans_1d(values, 2)
+        assert assignment.tolist() == [0, 0, 0, 1, 1, 1]
+
+    def test_clusters_ordered_by_centroid(self):
+        values = np.array([100.0, 0.0, 100.0, 0.0])
+        assignment = kmeans_1d(values, 2)
+        assert assignment.tolist() == [1, 0, 1, 0]
+
+    def test_k_capped_by_distinct_values(self):
+        assignment = kmeans_1d(np.array([1.0, 1.0]), 5)
+        assert assignment.max() == 0
+
+    def test_optimal_count_finds_obvious_gap(self):
+        values = np.concatenate([np.zeros(20), np.full(20, 50.0)])
+        assert optimal_cluster_count(values) == 2
+
+    def test_optimal_count_degenerate(self):
+        assert optimal_cluster_count(np.array([1.0, 1.0])) == 1
+
+    def test_cluster_labels_auto_k(self):
+        values = np.concatenate([np.zeros(10), np.full(10, 9.0)])
+        labels = cluster_labels(values)
+        assert set(labels.tolist()) == {"cluster-1", "cluster-2"}
+        assert labels[0] == "cluster-1"  # ascending by centroid
+
+    def test_cluster_labels_nan(self):
+        labels = cluster_labels(np.array([np.nan, 1.0, 2.0]), k=2)
+        assert labels[0] is None
+
+
+class TestRegisteredLabelers:
+    def test_builtin_vocabularies(self):
+        registry = default_registry()
+        for name in ("quartiles", "quintiles", "terciles", "deciles", "median",
+                     "top3", "equiwidth5", "zscoreLikert", "cluster"):
+            assert registry.has(name), name
+            assert registry.get(name).kind == "labeling"
+
+    def test_quartiles_function(self):
+        registry = default_registry()
+        labels = registry.get("quartiles")(np.arange(8, dtype=float))
+        assert labels.tolist() == ["Q1", "Q1", "Q2", "Q2", "Q3", "Q3", "Q4", "Q4"]

@@ -1,0 +1,146 @@
+"""Unit tests for time-series predictors (past benchmarks, Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.functions import (
+    exponential_smoothing,
+    linear_regression,
+    moving_average,
+    naive_last,
+)
+
+
+class TestLinearRegression:
+    def test_exact_on_linear_series(self):
+        # 10, 20, 30, 40 → next is 50
+        history = np.array([[10.0, 20.0, 30.0, 40.0]])
+        assert linear_regression(history)[0] == pytest.approx(50.0)
+
+    def test_declining_series(self):
+        history = np.array([[40.0, 30.0, 20.0, 10.0]])
+        assert linear_regression(history)[0] == pytest.approx(0.0)
+
+    def test_flat_series(self):
+        history = np.array([[7.0, 7.0, 7.0]])
+        assert linear_regression(history)[0] == pytest.approx(7.0)
+
+    def test_vectorised_over_rows(self):
+        history = np.array([[1.0, 2.0], [10.0, 10.0], [4.0, 2.0]])
+        out = linear_regression(history)
+        assert out.tolist() == pytest.approx([3.0, 10.0, 0.0])
+
+    def test_nan_gaps_use_available_points(self):
+        # points at t=0 and t=2 on the line y = t + 1 → predict y(3) = 4
+        history = np.array([[1.0, np.nan, 3.0]])
+        assert linear_regression(history)[0] == pytest.approx(4.0)
+
+    def test_single_point_falls_back_to_mean(self):
+        history = np.array([[np.nan, 5.0, np.nan]])
+        assert linear_regression(history)[0] == pytest.approx(5.0)
+
+    def test_all_nan_row_predicts_nan(self):
+        history = np.array([[np.nan, np.nan]])
+        assert np.isnan(linear_regression(history)[0])
+
+    def test_one_dimensional_input_promoted(self):
+        assert linear_regression(np.array([3.0, 4.0])).shape == (2,)
+
+
+class TestMovingAverage:
+    def test_mean_of_history(self):
+        history = np.array([[10.0, 20.0, 30.0]])
+        assert moving_average(history)[0] == pytest.approx(20.0)
+
+    def test_ignores_nan(self):
+        history = np.array([[10.0, np.nan, 30.0]])
+        assert moving_average(history)[0] == pytest.approx(20.0)
+
+
+class TestExponentialSmoothing:
+    def test_alpha_weighting(self):
+        history = np.array([[0.0, 10.0]])
+        # s0 = 0, s1 = 0.5*10 + 0.5*0 = 5
+        assert exponential_smoothing(history, alpha=0.5)[0] == pytest.approx(5.0)
+
+    def test_nan_keeps_previous_state(self):
+        history = np.array([[4.0, np.nan, np.nan]])
+        assert exponential_smoothing(history)[0] == pytest.approx(4.0)
+
+    def test_leading_nan(self):
+        history = np.array([[np.nan, 6.0]])
+        assert exponential_smoothing(history)[0] == pytest.approx(6.0)
+
+
+class TestNaiveLast:
+    def test_takes_latest(self):
+        history = np.array([[1.0, 2.0, 3.0]])
+        assert naive_last(history)[0] == 3.0
+
+    def test_skips_trailing_nan(self):
+        history = np.array([[1.0, 2.0, np.nan]])
+        assert naive_last(history)[0] == 2.0
+
+    def test_all_nan(self):
+        assert np.isnan(naive_last(np.array([[np.nan, np.nan]]))[0])
+
+
+class TestSeasonalNaive:
+    def test_uses_value_one_season_ago(self):
+        from repro.functions import seasonal_naive
+
+        history = np.arange(1.0, 13.0)[None, :]  # 12 months: 1..12
+        assert seasonal_naive(history, season=12)[0] == 1.0
+
+    def test_short_history_falls_back_to_last(self):
+        from repro.functions import seasonal_naive
+
+        history = np.array([[3.0, 7.0]])
+        assert seasonal_naive(history, season=12)[0] == 7.0
+
+    def test_nan_at_lag_falls_back(self):
+        from repro.functions import seasonal_naive
+
+        history = np.concatenate([[np.nan], np.arange(2.0, 13.0)])[None, :]
+        assert seasonal_naive(history, season=12)[0] == 12.0
+
+
+class TestHoltLinear:
+    def test_tracks_linear_trend(self):
+        from repro.functions import holt_linear
+
+        history = np.array([[10.0, 20.0, 30.0, 40.0]])
+        prediction = holt_linear(history)[0]
+        assert 40.0 < prediction <= 50.5  # continues upward
+
+    def test_flat_series_stays_flat(self):
+        from repro.functions import holt_linear
+
+        history = np.array([[5.0, 5.0, 5.0, 5.0]])
+        assert holt_linear(history)[0] == pytest.approx(5.0)
+
+    def test_single_point_falls_back(self):
+        from repro.functions import holt_linear
+
+        history = np.array([[np.nan, 8.0, np.nan]])
+        assert holt_linear(history)[0] == pytest.approx(8.0)
+
+    def test_all_nan(self):
+        from repro.functions import holt_linear
+
+        assert np.isnan(holt_linear(np.array([[np.nan, np.nan]]))[0])
+
+
+class TestNewPredictorsEndToEnd:
+    @pytest.mark.parametrize("method", ["seasonalNaive", "holtLinear"])
+    def test_usable_in_past_statements(self, sales_session, method):
+        statement = sales_session.parse(
+            """with SALES for month = '1997-07', store = 'SmartMart'
+               by month, store assess storeSales against past 6
+               using ratio(storeSales, benchmark.storeSales)
+               labels {[0, 0.9): worse, [0.9, 1.1]: fine, (1.1, inf): better}"""
+        )
+        statement.benchmark.method = method
+        result = sales_session.assess(statement)
+        assert len(result) == 1
+        assert result.cells()[0].benchmark > 0

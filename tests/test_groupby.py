@@ -1,0 +1,117 @@
+"""Unit tests for group-by sets, coordinates and roll-up (Definition 2.3)."""
+
+import pytest
+
+from repro.core import GroupBySet, SchemaError, top_group_by
+from repro.datagen import sales_schema
+
+
+@pytest.fixture(scope="module")
+def schema():
+    s = sales_schema()
+    # Wire the part-of members Example 2.5 uses.
+    product = s.hierarchy("Product")
+    product.set_parent("product", "Lemon", "Fresh Fruit")
+    product.set_parent("type", "Fresh Fruit", "Fruit")
+    date = s.hierarchy("Date")
+    date.set_parent("date", "1997-04-15", "1997-04")
+    date.set_parent("month", "1997-04", "1997")
+    store = s.hierarchy("Store")
+    store.set_parent("store", "SmartMart", "Bologna")
+    store.set_parent("city", "Bologna", "Italy")
+    return s
+
+
+class TestConstruction:
+    def test_canonical_ordering_is_schema_order(self, schema):
+        # Textual order does not matter: hierarchies order coordinates.
+        a = GroupBySet(schema, ["country", "month"])
+        b = GroupBySet(schema, ["month", "country"])
+        assert a.levels == ("month", "country")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_two_levels_same_hierarchy_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            GroupBySet(schema, ["product", "type"])
+
+    def test_same_level_twice_is_tolerated(self, schema):
+        gb = GroupBySet(schema, ["product", "product"])
+        assert gb.levels == ("product",)
+
+    def test_unknown_level_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            GroupBySet(schema, ["brand"])
+
+    def test_membership_and_positions(self, schema):
+        gb = GroupBySet(schema, ["month", "product", "country"])
+        assert "product" in gb
+        assert "year" not in gb
+        assert gb.position_of("month") == 0
+        assert gb.position_of("country") == 2
+        with pytest.raises(SchemaError):
+            gb.position_of("year")
+
+    def test_level_for_hierarchy(self, schema):
+        gb = GroupBySet(schema, ["month", "country"])
+        assert gb.level_for_hierarchy("Date") == "month"
+        with pytest.raises(SchemaError):
+            gb.level_for_hierarchy("Product")
+
+    def test_top_group_by(self, schema):
+        top = top_group_by(schema)
+        assert top.levels == ("date", "customer", "product", "store")
+
+
+class TestPartialOrder:
+    def test_example_2_5_chain(self, schema):
+        g0 = GroupBySet(schema, ["date", "customer", "product", "store"])
+        g1 = GroupBySet(schema, ["date", "type", "country"])
+        g2 = GroupBySet(schema, ["month", "category"])
+        assert g0.rolls_up_to(g1)
+        assert g1.rolls_up_to(g2)
+        assert g0.rolls_up_to(g2)  # transitivity
+        assert not g2.rolls_up_to(g1)
+        assert not g1.rolls_up_to(g0)
+
+    def test_reflexivity(self, schema):
+        g = GroupBySet(schema, ["month", "type"])
+        assert g.rolls_up_to(g)
+
+    def test_complete_aggregation_is_bottom(self, schema):
+        empty = GroupBySet(schema, [])
+        g = GroupBySet(schema, ["month"])
+        assert g.rolls_up_to(empty)
+        assert not empty.rolls_up_to(g)
+
+    def test_incomparable_group_bys(self, schema):
+        by_month = GroupBySet(schema, ["month"])
+        by_type = GroupBySet(schema, ["type"])
+        assert not by_month.rolls_up_to(by_type)
+        assert not by_type.rolls_up_to(by_month)
+
+
+class TestRup:
+    def test_example_2_5_rup(self, schema):
+        g1 = GroupBySet(schema, ["date", "type", "country"])
+        g2 = GroupBySet(schema, ["month", "category"])
+        gamma1 = ("1997-04-15", "Fresh Fruit", "Italy")
+        assert g1.rup(gamma1, g2) == ("1997-04", "Fruit")
+
+    def test_rup_identity(self, schema):
+        g = GroupBySet(schema, ["month", "type"])
+        assert g.rup(("1997-04", "Fresh Fruit"), g) == ("1997-04", "Fresh Fruit")
+
+    def test_rup_to_complete_aggregation(self, schema):
+        g = GroupBySet(schema, ["month"])
+        assert g.rup(("1997-04",), GroupBySet(schema, [])) == ()
+
+    def test_rup_wrong_arity_rejected(self, schema):
+        g = GroupBySet(schema, ["month", "type"])
+        with pytest.raises(SchemaError):
+            g.rup(("1997-04",), GroupBySet(schema, ["year"]))
+
+    def test_rup_incomparable_rejected(self, schema):
+        by_month = GroupBySet(schema, ["month"])
+        with pytest.raises(SchemaError):
+            by_month.rup(("1997-04",), GroupBySet(schema, ["type"]))

@@ -1,0 +1,137 @@
+"""Unit tests for hierarchies and the part-of order (Definition 2.1)."""
+
+import pytest
+
+from repro.core import Hierarchy, Level, MemberError, SchemaError
+
+
+def make_product_hierarchy() -> Hierarchy:
+    return Hierarchy(
+        "Product",
+        [Level("product"), Level("type"), Level("category")],
+        [
+            {"Apple": "Fresh Fruit", "Pear": "Fresh Fruit", "Milk": "Dairy"},
+            {"Fresh Fruit": "Fruit", "Dairy": "Drinks"},
+        ],
+    )
+
+
+class TestLevel:
+    def test_open_domain_accepts_everything(self):
+        level = Level("product")
+        assert level.contains("Apple")
+        assert level.contains(42)
+
+    def test_explicit_domain(self):
+        level = Level("gender", domain=["M", "F"])
+        assert level.contains("M")
+        assert not level.contains("X")
+
+    def test_equality_by_name(self):
+        assert Level("a") == Level("a")
+        assert Level("a") != Level("b")
+        assert hash(Level("a")) == hash(Level("a"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Level("")
+
+
+class TestHierarchyStructure:
+    def test_level_ordering(self):
+        h = make_product_hierarchy()
+        assert h.finest_level.name == "product"
+        assert h.coarsest_level.name == "category"
+        assert h.level_names() == ("product", "type", "category")
+
+    def test_depth_and_rollup_order(self):
+        h = make_product_hierarchy()
+        assert h.depth_of("product") == 0
+        assert h.rolls_up_to("product", "category")
+        assert h.rolls_up_to("type", "type")  # reflexive
+        assert not h.rolls_up_to("category", "product")
+
+    def test_unknown_level_raises(self):
+        h = make_product_hierarchy()
+        with pytest.raises(SchemaError):
+            h.level("brand")
+
+    def test_duplicate_level_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Hierarchy("H", [Level("a"), Level("a")])
+
+    def test_wrong_parent_map_count_rejected(self):
+        with pytest.raises(SchemaError):
+            Hierarchy("H", [Level("a"), Level("b")], [{}, {}])
+
+    def test_single_level_hierarchy(self):
+        h = Hierarchy("Gender", [Level("gender")])
+        assert h.finest_level is h.coarsest_level
+        assert h.members_of("gender") == frozenset()
+
+
+class TestPartOfOrder:
+    def test_parent_of(self):
+        h = make_product_hierarchy()
+        assert h.parent_of("product", "Apple") == "Fresh Fruit"
+        assert h.parent_of("type", "Dairy") == "Drinks"
+
+    def test_rollup_member_transitive(self):
+        h = make_product_hierarchy()
+        assert h.rollup_member("Apple", "product", "category") == "Fruit"
+        assert h.rollup_member("Milk", "product", "category") == "Drinks"
+
+    def test_rollup_member_identity(self):
+        h = make_product_hierarchy()
+        assert h.rollup_member("Apple", "product", "product") == "Apple"
+
+    def test_rollup_downwards_rejected(self):
+        h = make_product_hierarchy()
+        with pytest.raises(SchemaError):
+            h.rollup_member("Fruit", "category", "product")
+
+    def test_missing_parent_raises_member_error(self):
+        h = make_product_hierarchy()
+        with pytest.raises(MemberError):
+            h.parent_of("product", "Durian")
+
+    def test_set_parent_and_reassignment_guard(self):
+        h = make_product_hierarchy()
+        h.set_parent("product", "Lemon", "Fresh Fruit")
+        assert h.parent_of("product", "Lemon") == "Fresh Fruit"
+        # idempotent re-assignment of the same parent is fine
+        h.set_parent("product", "Lemon", "Fresh Fruit")
+        with pytest.raises(SchemaError):
+            h.set_parent("product", "Lemon", "Dairy")
+
+    def test_set_parent_on_coarsest_rejected(self):
+        h = make_product_hierarchy()
+        with pytest.raises(SchemaError):
+            h.set_parent("category", "Fruit", "Anything")
+
+    def test_members_of(self):
+        h = make_product_hierarchy()
+        assert h.members_of("product") == frozenset({"Apple", "Pear", "Milk"})
+        assert h.members_of("type") == frozenset({"Fresh Fruit", "Dairy"})
+        assert h.members_of("category") == frozenset({"Fruit", "Drinks"})
+
+    def test_descendants_of(self):
+        h = make_product_hierarchy()
+        assert h.descendants_of("category", "Fruit", "product") == frozenset(
+            {"Apple", "Pear"}
+        )
+        assert h.descendants_of("type", "Dairy", "product") == frozenset({"Milk"})
+        assert h.descendants_of("type", "Dairy", "type") == frozenset({"Dairy"})
+
+    def test_descendants_of_wrong_direction_rejected(self):
+        h = make_product_hierarchy()
+        with pytest.raises(SchemaError):
+            h.descendants_of("product", "Apple", "category")
+
+    def test_domain_violation_in_parent_map(self):
+        with pytest.raises(MemberError):
+            Hierarchy(
+                "H",
+                [Level("a", domain=["x"]), Level("b")],
+                [{"y": "p"}],  # y not in a's domain
+            )

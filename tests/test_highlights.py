@@ -1,0 +1,68 @@
+"""Unit tests for result highlights (IAM-style interesting subsets)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Cube, CubeSchema, GroupBySet, Hierarchy, Level, Measure
+from repro.core.result import AssessResult
+
+
+def make_result(comparisons, labels):
+    schema = CubeSchema("S", [Hierarchy("H", [Level("a")])], [Measure("m")])
+    gb = GroupBySet(schema, ["a"])
+    n = len(comparisons)
+    label_column = np.empty(n, dtype=object)
+    label_column[:] = labels
+    cube = Cube(
+        schema, gb,
+        {"a": [f"m{i}" for i in range(n)]},
+        {
+            "m": np.ones(n),
+            "b": np.ones(n),
+            "comparison": np.asarray(comparisons, dtype=np.float64),
+            "label": label_column,
+        },
+    )
+    return AssessResult(cube, "m", "b", "comparison", "label")
+
+
+class TestHighlights:
+    def test_extreme_cell_ranks_first(self):
+        comparisons = [1.0, 1.1, 0.9, 1.05, 10.0]
+        labels = ["ok", "ok", "ok", "ok", "ok"]
+        result = make_result(comparisons, labels)
+        top = result.highlights(k=1)
+        assert top[0].coordinate == ("m4",)
+
+    def test_minority_label_boosts_score(self):
+        comparisons = [1.0, 1.0, 1.0, 1.0]
+        labels = ["common", "common", "common", "rare"]
+        result = make_result(comparisons, labels)
+        top = result.highlights(k=1)
+        assert top[0].label == "rare"
+
+    def test_unlabeled_cells_excluded(self):
+        comparisons = [100.0, 1.0]
+        labels = [None, "ok"]
+        result = make_result(comparisons, labels)
+        highlights = result.highlights(k=5)
+        assert all(cell.label is not None for cell in highlights)
+        assert len(highlights) == 1
+
+    def test_k_caps_output(self):
+        result = make_result([1.0, 2.0, 3.0], ["a", "b", "c"])
+        assert len(result.highlights(k=2)) == 2
+
+    def test_empty_result(self):
+        result = make_result([], [])
+        assert result.highlights() == []
+
+    def test_end_to_end_on_sales(self, sales_session):
+        result = sales_session.assess(
+            "with SALES by month assess storeSales labels quartiles"
+        )
+        highlights = result.highlights(k=3)
+        assert len(highlights) == 3
+        # highlights come from the tails of the distribution
+        comparisons = sorted(abs(cell.comparison) for cell in result)
+        assert abs(highlights[0].comparison) >= comparisons[len(comparisons) // 2]

@@ -1,0 +1,136 @@
+"""Integration tests reproducing the paper's worked examples exactly.
+
+These tests pin the library's behaviour to the numbers printed in the
+paper: Figure 1 (sibling assessment of fresh fruit, Italy vs France),
+Example 3.3 (5-star labeling of gender store sales), and the logical-plan
+walkthrough of Example 4.5.
+"""
+
+import pytest
+
+from repro.algebra import build_plan
+from repro.core import (
+    Cube,
+    CubeSchema,
+    GroupBySet,
+    Hierarchy,
+    Level,
+    Measure,
+    RangeLabeling,
+    five_stars_rules,
+)
+from repro.functions import min_max_norm_sym
+
+
+class TestFigure1:
+    """The sibling intention of Example 4.5, cell by cell."""
+
+    STATEMENT = """
+        with SALES for type = 'Fresh Fruit', country = 'Italy'
+        by product, country
+        assess quantity against country = 'France'
+        using percOfTotal(difference(quantity, benchmark.quantity))
+        labels {[-inf, -0.2): bad, [-0.2, 0.2]: ok, (0.2, inf): good}
+    """
+
+    @pytest.mark.parametrize("plan", ["NP", "JOP", "POP"])
+    def test_exact_paper_numbers(self, figure1_session, plan):
+        result = figure1_session.assess(self.STATEMENT, plan=plan)
+        cells = {cell.coordinate[0]: cell for cell in result}
+        assert set(cells) == {"Apple", "Pear", "Lemon"}
+
+        apple, pear, lemon = cells["Apple"], cells["Pear"], cells["Lemon"]
+        # target and benchmark quantities (cube C and B of Figure 1)
+        assert (apple.value, apple.benchmark) == (100.0, 150.0)
+        assert (pear.value, pear.benchmark) == (90.0, 110.0)
+        assert (lemon.value, lemon.benchmark) == (30.0, 20.0)
+        # percOfTotal values: -50/220, -20/220, 10/220 → -0.23, -0.09, 0.05
+        assert apple.comparison == pytest.approx(-0.227, abs=0.001)
+        assert pear.comparison == pytest.approx(-0.091, abs=0.001)
+        assert lemon.comparison == pytest.approx(0.045, abs=0.001)
+        # labels of cube G in Figure 1
+        assert apple.label == "bad"
+        assert pear.label == "ok"
+        assert lemon.label == "ok"
+
+    def test_plan_step_count_matches_example_4_5(self, figure1_session):
+        """NP has 6 numbered steps: 2 gets, join, ⊟, ⊡, label-⊟."""
+        statement = figure1_session.parse(self.STATEMENT)
+        plan = build_plan(statement, figure1_session.engine, "NP")
+        assert len(plan.nodes()) == 5  # gets ×2, join, using, label
+        assert plan.count_pushed() == 2  # only the gets go to SQL
+
+    def test_pop_pushes_one_query(self, figure1_session):
+        statement = figure1_session.parse(self.STATEMENT)
+        plan = build_plan(statement, figure1_session.engine, "POP")
+        assert plan.count_pushed() == 1
+
+
+class TestExample33:
+    """5-star labeling over the min-max normalized difference."""
+
+    def test_gender_cells_get_one_and_five_stars(self):
+        schema = CubeSchema(
+            "SALES",
+            [Hierarchy("Customer", [Level("gender")])],
+            [Measure("storeSales")],
+        )
+        gb = GroupBySet(schema, ["gender"])
+        target = Cube(schema, gb, {"gender": ["male", "female"]},
+                      {"storeSales": [4400.0, 6900.0]})
+        benchmark = Cube(schema, gb, {"gender": ["male", "female"]},
+                         {"storeSales": [5400.0, 6400.0]})
+        joined = target.natural_join(benchmark)
+        difference = joined.measure("storeSales") - joined.measure(
+            "benchmark.storeSales"
+        )
+        normalized = min_max_norm_sym(difference)
+        labeling = RangeLabeling(five_stars_rules())
+        labels = labeling.apply(normalized)
+        assert labels.tolist() == ["*", "*****"]
+
+
+class TestListingsSql:
+    """The SQL pushed by each plan matches the listings' structure."""
+
+    def test_listing1_for_the_target_get(self, figure1_session):
+        statement = figure1_session.parse(TestFigure1.STATEMENT)
+        sql = figure1_session.pushed_sql(
+            figure1_session.plan(statement, "NP")
+        )[0]
+        assert "sum(f.quantity) as quantity" in sql
+        assert "= 'Fresh Fruit'" in sql
+        assert "group by" in sql
+
+    def test_listing4_for_jop(self, figure1_session):
+        statement = figure1_session.parse(TestFigure1.STATEMENT)
+        sql = figure1_session.pushed_sql(
+            figure1_session.plan(statement, "JOP")
+        )[0]
+        assert "t1.product = t2.product" in sql
+
+    def test_listing5_for_pop(self, figure1_session):
+        statement = figure1_session.parse(TestFigure1.STATEMENT)
+        sql = figure1_session.pushed_sql(
+            figure1_session.plan(statement, "POP")
+        )[0]
+        assert "pivot (" in sql
+        assert "in ('France', 'Italy')" in sql
+        assert "is not null" in sql
+
+
+class TestPastBenchmarkRegression:
+    """Past benchmarks predict from a per-cell linear regression."""
+
+    def test_prediction_on_constructed_trend(self, sales_session):
+        """On real data all plans agree and the ratio labels are sane."""
+        result = sales_session.assess(
+            """with SALES for month = '1997-07', store = 'SmartMart'
+               by month, store assess storeSales against past 4
+               using ratio(storeSales, benchmark.storeSales)
+               labels {[0, 0.9): worse, [0.9, 1.1]: fine, (1.1, inf): better}"""
+        )
+        cell = result.cells()[0]
+        assert cell.coordinate == ("1997-07", "SmartMart")
+        assert cell.benchmark > 0
+        assert cell.label in ("worse", "fine", "better")

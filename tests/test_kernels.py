@@ -1,0 +1,80 @@
+"""Unit tests for the group-by factorization kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.kernels import encode_column, factorize_numpy, factorize_python
+
+
+class TestEncodeColumn:
+    def test_codes_follow_sorted_order(self):
+        codes, cardinality = encode_column(np.array(["b", "a", "b"], dtype=object))
+        assert cardinality == 2
+        assert codes.tolist() == [1, 0, 1]
+
+    def test_numeric_column(self):
+        codes, cardinality = encode_column(np.array([30, 10, 20, 10]))
+        assert cardinality == 3
+        assert codes.tolist() == [2, 0, 1, 0]
+
+
+class TestFactorizeShapes:
+    def test_no_columns_single_group(self):
+        ids, count, first = factorize_numpy([], 5)
+        assert count == 1
+        assert ids.tolist() == [0] * 5
+        assert first.tolist() == [0]
+
+    def test_no_columns_no_rows(self):
+        ids, count, first = factorize_numpy([], 0)
+        assert count == 0
+        assert len(ids) == 0 and len(first) == 0
+
+    def test_python_kernel_no_columns(self):
+        ids, count, first = factorize_python([], 3)
+        assert count == 1 and ids.tolist() == [0, 0, 0]
+
+    def test_two_columns_cross_product(self):
+        a = np.array(["x", "x", "y", "y"], dtype=object)
+        b = np.array([1, 2, 1, 2])
+        ids, count, first = factorize_numpy([a, b], 4)
+        assert count == 4
+        assert sorted(ids.tolist()) == [0, 1, 2, 3]
+
+    def test_first_rows_are_representatives(self):
+        a = np.array(["x", "y", "x"], dtype=object)
+        ids, count, first = factorize_numpy([a], 3)
+        assert count == 2
+        # each first row's member matches its group's member
+        for group in range(count):
+            representative = a[first[group]]
+            members = {a[i] for i in range(3) if ids[i] == group}
+            assert members == {representative}
+
+
+class TestKernelAgreement:
+    @given(
+        seed=st.integers(0, 5_000),
+        n_rows=st.integers(0, 200),
+        n_cols=st.integers(1, 3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_numpy_and_python_kernels_agree(self, seed, n_rows, n_cols):
+        rng = np.random.default_rng(seed)
+        columns = []
+        for _ in range(n_cols):
+            if rng.random() < 0.5:
+                values = rng.integers(0, 5, n_rows).astype(np.int64)
+            else:
+                members = np.array(["a", "bb", "ccc", "dd"], dtype=object)
+                values = members[rng.integers(0, 4, n_rows)]
+            columns.append(values)
+        ids_np, count_np, first_np = factorize_numpy(columns, n_rows)
+        ids_py, count_py, first_py = factorize_python(columns, n_rows)
+        assert count_np == count_py
+        assert np.array_equal(ids_np, ids_py)
+        keys_np = [tuple(col[r] for col in columns) for r in first_np]
+        keys_py = [tuple(col[r] for col in columns) for r in first_py]
+        assert keys_np == keys_py

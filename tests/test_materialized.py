@@ -1,0 +1,137 @@
+"""Unit tests for materialized views and query routing."""
+
+import numpy as np
+import pytest
+
+from repro.core import CubeQuery, EngineError, GroupBySet, Predicate
+from repro.datagen import ssb_engine
+
+
+@pytest.fixture()
+def engine():
+    """A private small engine per test: views mutate engine state."""
+    return ssb_engine(lineorder_rows=20_000, seed=5, with_budget=False)
+
+
+def cells_of(cube):
+    return {coordinate: round(values["revenue"], 4) for coordinate, values in cube.cells()}
+
+
+class TestMaterialize:
+    def test_view_registered_and_stored(self, engine):
+        view = engine.materialize("SSB", ["month", "category"])
+        assert view.name in engine.view_names()
+        assert engine.catalog.has_table(view.table_name)
+        assert view.row_count == len(engine.catalog.table(view.table_name))
+
+    def test_only_distributive_measures_stored(self, engine):
+        view = engine.materialize("SSB", ["month"])
+        assert "discount" not in view.measures  # avg measure
+        assert "revenue" in view.measures
+
+    def test_duplicate_name_rejected(self, engine):
+        engine.materialize("SSB", ["month"], name="v1")
+        with pytest.raises(EngineError):
+            engine.materialize("SSB", ["year"], name="v1")
+
+    def test_drop_view(self, engine):
+        view = engine.materialize("SSB", ["month"])
+        engine.drop_view(view.name)
+        assert view.name not in engine.view_names()
+        assert not engine.catalog.has_table(view.table_name)
+        with pytest.raises(EngineError):
+            engine.drop_view(view.name)
+
+
+class TestRouting:
+    def query(self, engine, levels, predicates=(), measures=("revenue",)):
+        schema = engine.cube("SSB").schema
+        return CubeQuery("SSB", GroupBySet(schema, levels), predicates, measures)
+
+    def test_exact_match_routes_and_agrees(self, engine):
+        query = self.query(engine, ["month", "category"])
+        base = engine.get(query)
+        engine.materialize("SSB", ["month", "category"])
+        routed = engine.get(query)
+        assert cells_of(base) == cells_of(routed)
+        assert "mv_ssb" in engine.sql_for_get(query)
+
+    def test_subset_group_by_routes(self, engine):
+        engine.materialize("SSB", ["month", "category", "s_region"])
+        query = self.query(engine, ["category"])
+        assert "mv_ssb" in engine.sql_for_get(query)
+        engine.use_materialized_views = False
+        base = engine.get(query)
+        engine.use_materialized_views = True
+        assert cells_of(base) == cells_of(engine.get(query))
+
+    def test_predicate_level_must_be_in_view(self, engine):
+        engine.materialize("SSB", ["month", "category"])
+        query = self.query(
+            engine, ["month"], predicates=(Predicate.eq("s_region", "ASIA"),)
+        )
+        # s_region is not stored: must fall back to the fact table
+        assert "ssb_lineorder" in engine.sql_for_get(query)
+
+    def test_predicate_on_view_level_routes(self, engine):
+        engine.materialize("SSB", ["month", "s_region"])
+        query = self.query(
+            engine, ["month"], predicates=(Predicate.eq("s_region", "ASIA"),)
+        )
+        assert "mv_ssb" in engine.sql_for_get(query)
+        engine.use_materialized_views = False
+        base = engine.get(query)
+        engine.use_materialized_views = True
+        assert cells_of(base) == cells_of(engine.get(query))
+
+    def test_avg_measure_falls_back(self, engine):
+        engine.materialize("SSB", ["month"])
+        query = self.query(engine, ["month"], measures=("discount",))
+        assert "ssb_lineorder" in engine.sql_for_get(query)
+
+    def test_count_measure_reaggregates_by_summing(self, engine):
+        schema = engine.cube("SSB").schema
+        # add a count-style check through quantity min/max instead: SSB has
+        # no count measure, so verify min/max re-aggregation correctness.
+        query = self.query(engine, ["year"], measures=("quantity",))
+        base = engine.get(query)
+        engine.materialize("SSB", ["month"])  # finer: must re-aggregate
+        routed = engine.get(query)
+        for coordinate, values in base.cells():
+            assert routed.cell(coordinate)["quantity"] == pytest.approx(
+                values["quantity"]
+            )
+
+    def test_smallest_covering_view_wins(self, engine):
+        engine.materialize("SSB", ["date", "category"], name="big")
+        engine.materialize("SSB", ["year", "category"], name="small")
+        query = self.query(engine, ["category"])
+        assert "small" in engine.sql_for_get(query)
+
+    def test_toggle_disables_routing(self, engine):
+        engine.materialize("SSB", ["month"])
+        query = self.query(engine, ["month"])
+        engine.use_materialized_views = False
+        assert "ssb_lineorder" in engine.sql_for_get(query)
+        engine.use_materialized_views = True
+        assert "mv_ssb" in engine.sql_for_get(query)
+
+
+class TestRoutingThroughPlans:
+    def test_sibling_pop_uses_view(self, engine):
+        """Views route transparently under the pushed pivot of POP."""
+        from repro.api import AssessSession
+
+        session = AssessSession(engine)
+        statement = """
+            with SSB for s_region = 'ASIA' by category, s_region
+            assess revenue against s_region = 'AMERICA'
+            using difference(revenue, benchmark.revenue)
+            labels {[-inf, 0): behind, [0, inf): ahead}
+        """
+        before = session.assess(statement, plan="POP")
+        engine.materialize("SSB", ["category", "s_region"])
+        after = session.assess(statement, plan="POP")
+        assert before.label_counts() == after.label_counts()
+        sql = session.pushed_sql(session.plan(statement, "POP"))[0]
+        assert "mv_ssb" in sql

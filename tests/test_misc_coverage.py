@@ -1,0 +1,220 @@
+"""Focused tests for smaller code paths: codegen internals, result
+formatting, suggest scoring, and pushed-SQL rendering variants."""
+
+import ast
+import math
+
+import numpy as np
+import pytest
+
+from repro.codegen import generate_equivalent_code
+from repro.core import (
+    BinaryOp,
+    Cube,
+    CubeSchema,
+    GroupBySet,
+    Hierarchy,
+    Level,
+    Literal,
+    Measure,
+    MeasureRef,
+)
+from repro.core.result import AssessResult
+
+
+class TestCodegenVariants:
+    def test_external_statement_codegen(self, ssb_session):
+        statement = ssb_session.parse(
+            """with SSB by month, category
+               assess revenue against BUDGET.expected_revenue
+               using normalizedDifference(revenue, benchmark.expected_revenue)
+               labels {[-inf, 0): under, [0, inf): over}"""
+        )
+        sql, python = generate_equivalent_code(statement, ssb_session.engine)
+        ast.parse(python)
+        assert sql.count("-- query") == 2
+        assert "benchmark cube" in sql
+        assert "def normalized_difference(" in python
+
+    def test_arithmetic_using_codegen(self, sales_session):
+        statement = sales_session.parse(
+            """with SALES by month assess storeSales
+               using (storeSales - storeCost) / storeSales labels quartiles"""
+        )
+        _, python = generate_equivalent_code(statement, sales_session.engine)
+        ast.parse(python)
+        assert "frame['storeSales'] - frame['storeCost']" in python.replace(
+            '"', "'"
+        )
+
+    def test_topk_vocabulary_in_codegen(self, sales_session):
+        statement = sales_session.parse(
+            "with SALES by month assess storeSales labels top4"
+        )
+        _, python = generate_equivalent_code(statement, sales_session.engine)
+        assert "top-4" in python and "top-1" in python
+
+    def test_infinite_bounds_render_as_one_sided_conditions(self, sales_session):
+        statement = sales_session.parse(
+            """with SALES by month assess storeSales
+               labels {[-inf, 0): neg, [0, inf): pos}"""
+        )
+        _, python = generate_equivalent_code(statement, sales_session.engine)
+        ast.parse(python)
+        assert "inf" not in python.split("label_by_ranges")[1].split("return")[0]
+
+
+class TestResultFormatting:
+    def make_result(self):
+        schema = CubeSchema("S", [Hierarchy("H", [Level("a")])], [Measure("m")])
+        gb = GroupBySet(schema, ["a"])
+        cube = Cube(
+            schema, gb,
+            {"a": ["x", "y"]},
+            {
+                "m": [1.0, 2.5],
+                "b": [1.0, float("nan")],
+                "comparison": [1.0, float("nan")],
+                "label": np.array(["good", None], dtype=object),
+            },
+        )
+        return AssessResult(cube, "m", "b", "comparison", "label", "NP",
+                            {"get_target": 0.01, "label": 0.002})
+
+    def test_label_counts_includes_none(self):
+        result = self.make_result()
+        counts = result.label_counts()
+        assert counts["good"] == 1
+        assert counts[None] == 1
+
+    def test_total_time(self):
+        assert self.make_result().total_time() == pytest.approx(0.012)
+
+    def test_table_formats_integers_and_nans(self):
+        text = self.make_result().to_table()
+        assert "2.5" in text
+        assert "null" in text
+
+    def test_iteration_yields_floats(self):
+        cells = list(self.make_result())
+        assert isinstance(cells[0].value, float)
+        assert math.isnan(cells[1].comparison)
+
+
+class TestSuggestScoring:
+    def test_balanced_beats_degenerate(self):
+        from repro.suggest import _interest_score
+
+        balanced = self.result_with_labels(["a", "b", "c"] * 10)
+        lopsided = self.result_with_labels(["a"] * 29 + ["b"])
+        assert _interest_score(balanced) > _interest_score(lopsided)
+
+    def test_nulls_penalised(self):
+        from repro.suggest import _interest_score
+
+        clean = self.result_with_labels(["a", "b"] * 10)
+        nully = self.result_with_labels(["a", "b"] * 5 + [None] * 10)
+        assert _interest_score(clean) > _interest_score(nully)
+
+    def test_empty_result_scores_zero(self):
+        from repro.suggest import _interest_score
+
+        assert _interest_score(self.result_with_labels([])) == 0.0
+
+    @staticmethod
+    def result_with_labels(labels):
+        schema = CubeSchema("S", [Hierarchy("H", [Level("a")])], [Measure("m")])
+        gb = GroupBySet(schema, ["a"])
+        n = len(labels)
+        label_column = np.empty(n, dtype=object)
+        label_column[:] = labels
+        cube = Cube(
+            schema, gb,
+            {"a": [f"m{i}" for i in range(n)]},
+            {
+                "m": np.ones(n),
+                "b": np.ones(n),
+                "comparison": np.linspace(0, 1, n) if n else np.zeros(0),
+                "label": label_column,
+            },
+        )
+        return AssessResult(cube, "m", "b", "comparison", "label")
+
+
+class TestPushedSqlVariants:
+    def test_past_jop_sql_renders(self, sales_session):
+        statement = sales_session.parse(
+            """with SALES for month = '1997-07', store = 'SmartMart'
+               by month, store assess storeSales against past 4
+               using ratio(storeSales, benchmark.storeSales)
+               labels {[0, 1): worse, [1, inf): better}"""
+        )
+        sqls = sales_session.pushed_sql(sales_session.plan(statement, "JOP"))
+        assert len(sqls) == 1
+        assert "t1.store = t2.store" in sqls[0]
+
+    def test_external_jop_sql_mentions_both_facts(self, ssb_session):
+        statement = ssb_session.parse(
+            """with SSB by month, category
+               assess revenue against BUDGET.expected_revenue
+               labels quartiles"""
+        )
+        sql = ssb_session.pushed_sql(ssb_session.plan(statement, "JOP"))[0]
+        assert "ssb_lineorder" in sql
+        assert "ssb_budget" in sql
+
+    def test_ancestor_plan_pushes_two_gets(self, sales_session):
+        statement = sales_session.parse(
+            """with SALES by product assess quantity against ancestor type
+               using ratio(quantity, benchmark.quantity) labels median"""
+        )
+        sqls = sales_session.pushed_sql(sales_session.plan(statement, "NP"))
+        assert len(sqls) == 2
+        assert any("p_type" in sql for sql in sqls)
+
+
+class TestCsvExport:
+    def test_round_trip_via_csv_module(self, sales_session, tmp_path):
+        import csv as csv_module
+
+        result = sales_session.assess(
+            "with SALES by year assess storeSales labels median"
+        )
+        path = str(tmp_path / "out.csv")
+        assert result.to_csv(path) == path
+        with open(path) as handle:
+            rows = list(csv_module.reader(handle))
+        assert rows[0] == ["year", "storeSales", "benchmark.constant",
+                           "comparison", "label"]
+        assert len(rows) == 1 + len(result)
+
+    def test_nulls_export_empty(self, sales_session, tmp_path):
+        import csv as csv_module
+
+        result = sales_session.assess(
+            """with SALES for product = 'milk', country = 'Italy'
+               by product, country
+               assess* quantity against country = 'Atlantis'
+               using difference(quantity, benchmark.quantity)
+               labels {[-inf, 0): below, [0, inf): above}"""
+        )
+        path = str(tmp_path / "nulls.csv")
+        result.to_csv(path)
+        with open(path) as handle:
+            rows = list(csv_module.reader(handle))
+        assert rows[1][-1] == ""  # null label
+        assert rows[1][-2] == ""  # NaN comparison
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "--cube", "sales", "--rows", "2000",
+             "with SALES by year assess storeSales labels median"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "label" in completed.stdout

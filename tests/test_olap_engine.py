@@ -1,0 +1,201 @@
+"""Unit tests for the OLAP layer (cube queries → engine queries → cubes)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CubeQuery, EngineError, GroupBySet, Predicate, SchemaError
+from repro.datagen import brute_force_rollup
+from repro.olap import MultidimensionalEngine, hydrate_hierarchies
+
+
+class TestRegistration:
+    def test_lookup_and_names(self, sales):
+        assert sales.has_cube("SALES")
+        assert not sales.has_cube("NOPE")
+        assert "SALES" in sales.cube_names()
+        with pytest.raises(EngineError):
+            sales.cube("NOPE")
+
+    def test_duplicate_registration_rejected(self, sales):
+        registered = sales.cube("SALES")
+        with pytest.raises(EngineError):
+            sales.register_cube("SALES", registered.schema, registered.star)
+
+
+class TestGet:
+    def test_get_aggregates_correctly_vs_oracle(self, sales):
+        """The engine's get must equal a cell-by-cell roll-up of a finer get."""
+        schema = sales.cube("SALES").schema
+        fine = sales.get(
+            CubeQuery("SALES", GroupBySet(schema, ["month", "type"]), (),
+                      ("quantity",))
+        )
+        coarse = sales.get(
+            CubeQuery("SALES", GroupBySet(schema, ["year", "category"]), (),
+                      ("quantity",))
+        )
+        oracle = brute_force_rollup(
+            fine, GroupBySet(schema, ["year", "category"]), "quantity"
+        )
+        assert len(coarse) == len(oracle)
+        for coordinate, values in coarse.cells():
+            assert values["quantity"] == pytest.approx(oracle[coordinate])
+
+    def test_predicates_filter(self, sales):
+        schema = sales.cube("SALES").schema
+        result = sales.get(
+            CubeQuery(
+                "SALES",
+                GroupBySet(schema, ["country"]),
+                (Predicate.eq("country", "Italy"),),
+                ("quantity",),
+            )
+        )
+        assert len(result) == 1
+        assert result.coordinates() == [("Italy",)]
+
+    def test_multiple_measures(self, sales):
+        schema = sales.cube("SALES").schema
+        result = sales.get(
+            CubeQuery("SALES", GroupBySet(schema, ["year"]), (),
+                      ("quantity", "storeSales"))
+        )
+        assert result.measure_names == ("quantity", "storeSales")
+
+    def test_empty_measures_fetches_all(self, sales):
+        schema = sales.cube("SALES").schema
+        result = sales.get(CubeQuery("SALES", GroupBySet(schema, ["year"]), (), ()))
+        assert set(result.measure_names) == {"quantity", "storeSales", "storeCost"}
+
+
+class TestDrillAcrossAndPivot:
+    def sibling_queries(self, sales):
+        schema = sales.cube("SALES").schema
+        gb = GroupBySet(schema, ["product", "country"])
+        base = (Predicate.eq("type", "Fresh Fruit"),)
+        target = CubeQuery("SALES", gb, base + (Predicate.eq("country", "Italy"),),
+                           ("quantity",))
+        bench = CubeQuery("SALES", gb, base + (Predicate.eq("country", "France"),),
+                          ("quantity",))
+        return target, bench
+
+    def test_drill_across_equals_memory_join(self, sales):
+        target, bench = self.sibling_queries(sales)
+        pushed = sales.drill_across(target, bench, ["product"])
+        in_memory = sales.get(target).partial_join(sales.get(bench), ["product"])
+        assert len(pushed) == len(in_memory)
+        pushed_cells = dict(pushed.cells())
+        for coordinate, values in in_memory.cells():
+            assert pushed_cells[coordinate]["benchmark.quantity"] == pytest.approx(
+                values["benchmark.quantity"]
+            )
+
+    def test_pivot_get_equals_drill_across(self, sales):
+        target, bench = self.sibling_queries(sales)
+        merged = target.replace_predicate(
+            Predicate.eq("country", "Italy"),
+            Predicate.isin("country", ["Italy", "France"]),
+        )
+        pivoted = sales.pivot_get(
+            merged, "country", "Italy",
+            {"France": {"quantity": "benchmark.quantity"}},
+        )
+        joined = sales.drill_across(target, bench, ["product"])
+        assert len(pivoted) == len(joined)
+        joined_cells = dict(joined.cells())
+        for coordinate, values in pivoted.cells():
+            assert joined_cells[coordinate]["benchmark.quantity"] == pytest.approx(
+                values["benchmark.quantity"]
+            )
+
+    def test_multi_drill_across_column_order_is_temporal(self, sales):
+        schema = sales.cube("SALES").schema
+        gb = GroupBySet(schema, ["month", "store"])
+        target = CubeQuery(
+            "SALES", gb,
+            (Predicate.eq("month", "1997-05"), Predicate.eq("store", "SmartMart")),
+            ("storeSales",),
+        )
+        bench = CubeQuery(
+            "SALES", gb,
+            (Predicate.isin("month", ["1997-03", "1997-04"]),
+             Predicate.eq("store", "SmartMart")),
+            ("storeSales",),
+        )
+        joined = sales.drill_across(target, bench, ["store"], multi=True)
+        assert "benchmark.storeSales_1" in joined.measure_names
+        assert "benchmark.storeSales_2" in joined.measure_names
+        march = sales.get(
+            CubeQuery("SALES", gb,
+                      (Predicate.eq("month", "1997-03"),
+                       Predicate.eq("store", "SmartMart")),
+                      ("storeSales",))
+        )
+        cell = next(iter(joined.cells()))[1]
+        march_value = next(iter(march.cells()))[1]["storeSales"]
+        assert cell["benchmark.storeSales_1"] == pytest.approx(march_value)
+
+
+class TestDomainHelpers:
+    def test_ordered_members(self, sales):
+        months = sales.ordered_members("SALES", "month")
+        assert months[0] == "1996-01"
+        assert months == sorted(months)
+
+    def test_predecessors(self, sales):
+        past = sales.predecessors("SALES", "month", "1997-07", 4)
+        assert past == ["1997-03", "1997-04", "1997-05", "1997-06"]
+
+    def test_predecessors_clipped_at_history_start(self, sales):
+        past = sales.predecessors("SALES", "month", "1996-02", 5)
+        assert past == ["1996-01"]
+
+    def test_predecessors_unknown_member(self, sales):
+        with pytest.raises(SchemaError):
+            sales.predecessors("SALES", "month", "2050-01", 2)
+
+    def test_degenerate_level_members(self, ssb):
+        months = ssb.ordered_members("BUDGET", "month")
+        assert months == sorted(months)
+        assert all(m.startswith("199") for m in months)
+
+
+class TestHydration:
+    def test_part_of_maps_loaded(self, sales):
+        schema = sales.cube("SALES").schema
+        product = schema.hierarchy("Product")
+        assert product.parent_of("product", "Apple") == "Fresh Fruit"
+        assert product.rollup_member("milk", "product", "category") == "Drinks"
+
+    def test_hydration_consistency_with_star_data(self, sales):
+        schema = sales.cube("SALES").schema
+        store = schema.hierarchy("Store")
+        assert store.rollup_member("SmartMart", "store", "country") == "Italy"
+
+    def test_rehydration_is_idempotent(self, sales):
+        registered = sales.cube("SALES")
+        hydrate_hierarchies(registered.schema, registered.star, sales.catalog)
+        assert (
+            registered.schema.hierarchy("Product").parent_of("product", "Apple")
+            == "Fresh Fruit"
+        )
+
+
+class TestSqlRendering:
+    def test_sql_for_get(self, sales):
+        schema = sales.cube("SALES").schema
+        sql = sales.sql_for_get(
+            CubeQuery("SALES", GroupBySet(schema, ["month"]), (), ("storeSales",))
+        )
+        assert "group by" in sql and "sales_fact" in sql
+
+    def test_sql_for_pivot_mentions_pivot(self, sales):
+        schema = sales.cube("SALES").schema
+        merged = CubeQuery(
+            "SALES", GroupBySet(schema, ["product", "country"]),
+            (Predicate.isin("country", ["Italy", "France"]),), ("quantity",),
+        )
+        sql = sales.sql_for_pivot(
+            merged, "country", "Italy", {"France": {"quantity": "bc"}}
+        )
+        assert "pivot (" in sql

@@ -1,0 +1,263 @@
+"""Unit tests for the statement tokenizer and parser (Section 4.1 syntax)."""
+
+import pytest
+
+from repro.core import (
+    AncestorBenchmark,
+    ConstantBenchmark,
+    ExternalBenchmark,
+    NamedLabeling,
+    ParseError,
+    PastBenchmark,
+    PredicateOp,
+    RangeLabeling,
+    SiblingBenchmark,
+    ZeroBenchmark,
+)
+from repro.datagen import budget_schema, sales_schema
+from repro.parser import TokenType, parse_statement, tokenize
+
+
+@pytest.fixture(scope="module")
+def schemas():
+    return {"SALES": sales_schema(), "BUDGET": budget_schema()}
+
+
+class TestTokenizer:
+    def test_keywords_are_idents(self):
+        tokens = tokenize("with SALES by month")
+        assert [t.type for t in tokens] == [TokenType.IDENT] * 4 + [TokenType.END]
+
+    def test_string_literal(self):
+        tokens = tokenize("'Fresh Fruit'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "Fresh Fruit"
+
+    def test_escaped_quote(self):
+        tokens = tokenize("'O''Brien'")
+        assert tokens[0].value == "O'Brien"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("0.9 1000")
+        assert tokens[0].value == "0.9"
+        assert tokens[1].value == "1000"
+
+    def test_punctuation(self):
+        tokens = tokenize("{[0, 0.9): bad}")
+        types = [t.type for t in tokens[:-1]]
+        assert types == [
+            TokenType.LBRACE, TokenType.LBRACKET, TokenType.NUMBER,
+            TokenType.COMMA, TokenType.NUMBER, TokenType.RPAREN,
+            TokenType.COLON, TokenType.IDENT, TokenType.RBRACE,
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("with SALES @ by")
+
+    def test_hash_in_identifiers(self):
+        tokens = tokenize("MFGR#12")
+        assert tokens[0].value == "MFGR#12"
+
+
+class TestStatementParsing:
+    def test_example_1_1(self, schemas):
+        statement = parse_statement(
+            """
+            with SALES
+            for year = '1997', product = 'milk'
+            by year, product
+            assess quantity against 1000
+            using ratio(quantity, 1000)
+            labels {[0, 0.9): bad, [0.9, 1.1]: acceptable, (1.1, inf): good}
+            """,
+            schemas,
+        )
+        assert statement.source == "SALES"
+        assert statement.measure == "quantity"
+        assert isinstance(statement.benchmark, ConstantBenchmark)
+        assert statement.benchmark.value == 1000.0
+        assert statement.group_by.levels == ("year", "product")
+        assert isinstance(statement.labels, RangeLabeling)
+        assert statement.labels.labels == ("bad", "acceptable", "good")
+
+    def test_minimal_statement(self, schemas):
+        statement = parse_statement(
+            "with SALES by month assess storeSales labels quartiles", schemas
+        )
+        assert isinstance(statement.benchmark, ZeroBenchmark)
+        assert isinstance(statement.labels, NamedLabeling)
+        assert statement.predicates == ()
+
+    def test_sibling_against(self, schemas):
+        statement = parse_statement(
+            """with SALES for country = 'Italy' by product, country
+               assess quantity against country = 'France' labels quartiles""",
+            schemas,
+        )
+        assert isinstance(statement.benchmark, SiblingBenchmark)
+        assert statement.benchmark.level == "country"
+        assert statement.benchmark.sibling == "France"
+
+    def test_past_against(self, schemas):
+        statement = parse_statement(
+            """with SALES for month = '1997-07' by month
+               assess storeSales against past 4 labels quartiles""",
+            schemas,
+        )
+        assert isinstance(statement.benchmark, PastBenchmark)
+        assert statement.benchmark.k == 4
+
+    def test_external_against(self, schemas):
+        statement = parse_statement(
+            """with SALES by month, category
+               assess storeSales against BUDGET.expected_revenue labels quartiles""",
+            schemas,
+        )
+        assert isinstance(statement.benchmark, ExternalBenchmark)
+        assert statement.benchmark.cube == "BUDGET"
+        assert statement.benchmark.measure_name == "expected_revenue"
+
+    def test_ancestor_against(self, schemas):
+        statement = parse_statement(
+            """with SALES by product assess quantity against ancestor type
+               labels quartiles""",
+            schemas,
+        )
+        assert isinstance(statement.benchmark, AncestorBenchmark)
+        assert statement.benchmark.level == "product"
+        assert statement.benchmark.ancestor_level == "type"
+
+    def test_assess_star(self, schemas):
+        statement = parse_statement(
+            "with SALES by month assess* storeSales labels quartiles", schemas
+        )
+        assert statement.star
+
+    def test_in_predicate(self, schemas):
+        statement = parse_statement(
+            """with SALES for country in ('Italy', 'France') by country
+               assess quantity labels quartiles""",
+            schemas,
+        )
+        assert statement.predicates[0].op is PredicateOp.IN
+        assert statement.predicates[0].member_set() == frozenset({"Italy", "France"})
+
+    def test_between_predicate(self, schemas):
+        statement = parse_statement(
+            """with SALES for month between '1997-03' and '1997-06' by month
+               assess quantity labels quartiles""",
+            schemas,
+        )
+        assert statement.predicates[0].op is PredicateOp.RANGE
+
+    def test_keywords_case_insensitive(self, schemas):
+        statement = parse_statement(
+            "WITH SALES BY month ASSESS storeSales LABELS quartiles", schemas
+        )
+        assert statement.measure == "storeSales"
+
+    def test_star_labels(self, schemas):
+        statement = parse_statement(
+            """with SALES by month assess storeSales
+               labels {[-1, 0]: *, (0, 0.5]: ***, (0.5, 1]: *****}""",
+            schemas,
+        )
+        assert statement.labels.labels == ("*", "***", "*****")
+
+    def test_trailing_comma_in_ranges_tolerated(self, schemas):
+        statement = parse_statement(
+            """with SALES by month assess storeSales
+               labels {[-inf, 0): low, [0, inf): high,}""",
+            schemas,
+        )
+        assert statement.labels.labels == ("low", "high")
+
+    def test_using_expression_arithmetic(self, schemas):
+        statement = parse_statement(
+            """with SALES by month assess storeSales
+               using (storeSales - storeCost) / storeSales labels quartiles""",
+            schemas,
+        )
+        assert statement.using.render() == "((storeSales - storeCost) / storeSales)"
+
+    def test_using_negative_literal(self, schemas):
+        statement = parse_statement(
+            """with SALES by month assess storeSales
+               using difference(storeSales, -5) labels quartiles""",
+            schemas,
+        )
+        assert "(0 - 5)" in statement.using.render()
+
+
+class TestParseErrors:
+    def test_unknown_cube(self, schemas):
+        with pytest.raises(ParseError):
+            parse_statement("with NOPE by month assess m labels quartiles", schemas)
+
+    def test_missing_by(self, schemas):
+        with pytest.raises(ParseError):
+            parse_statement("with SALES assess storeSales labels quartiles", schemas)
+
+    def test_missing_labels(self, schemas):
+        with pytest.raises(ParseError):
+            parse_statement("with SALES by month assess storeSales", schemas)
+
+    def test_trailing_garbage(self, schemas):
+        with pytest.raises(ParseError):
+            parse_statement(
+                "with SALES by month assess storeSales labels quartiles extra",
+                schemas,
+            )
+
+    def test_bad_against(self, schemas):
+        with pytest.raises(ParseError):
+            parse_statement(
+                "with SALES by month assess storeSales against labels quartiles",
+                schemas,
+            )
+
+    def test_overlapping_ranges_rejected(self, schemas):
+        from repro.core import ValidationError
+
+        with pytest.raises(ValidationError):
+            parse_statement(
+                """with SALES by month assess storeSales
+                   labels {[0, 2]: a, [1, 3]: b}""",
+                schemas,
+            )
+
+    def test_error_carries_position(self, schemas):
+        try:
+            parse_statement("with SALES by month assess ,", schemas)
+        except ParseError as error:
+            assert error.position >= 0
+        else:  # pragma: no cover
+            pytest.fail("expected a ParseError")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "with SALES by month assess storeSales labels quartiles",
+            """with SALES for type = 'Fresh Fruit', country = 'Italy'
+               by product, country assess quantity against country = 'France'
+               using percOfTotal(difference(quantity, benchmark.quantity), quantity)
+               labels {[-inf, -0.2): bad, [-0.2, 0.2]: ok, (0.2, inf): good}""",
+            """with SALES for month = '1997-07', store = 'SmartMart'
+               by month, store assess storeSales against past 4
+               using ratio(storeSales, benchmark.storeSales)
+               labels {[0, 0.9): worse, [0.9, 1.1]: fine, (1.1, inf): better}""",
+        ],
+    )
+    def test_render_then_parse_is_stable(self, schemas, text):
+        first = parse_statement(text, schemas)
+        second = parse_statement(first.render(), schemas)
+        assert second.render() == first.render()
+        assert second.group_by == first.group_by
+        assert type(second.benchmark) is type(first.benchmark)

@@ -1,0 +1,164 @@
+"""Property-based round-trip tests: render(statement) reparses identically.
+
+Statements are generated programmatically over the SALES schema — random
+group-by sets, predicates, benchmark types, nested using expressions, and
+label range sets — then rendered to the surface syntax and reparsed.  The
+reparse must reproduce the same semantic object (same rendering, same
+group-by, same benchmark, same label vocabulary).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AssessStatement,
+    ConstantBenchmark,
+    FunctionCall,
+    GroupBySet,
+    Interval,
+    LabelRule,
+    Literal,
+    MeasureRef,
+    NamedLabeling,
+    Predicate,
+    RangeLabeling,
+    SiblingBenchmark,
+)
+from repro.datagen import sales_schema
+from repro.parser import parse_statement
+
+SCHEMA = sales_schema()
+SCHEMAS = {"SALES": SCHEMA}
+
+MEASURES = ("quantity", "storeSales", "storeCost")
+LABEL_WORDS = ("bad", "ok", "good", "great", "poor", "fine")
+COUNTRIES = ("Italy", "France", "Spain")
+
+
+def _interval_chain(bounds):
+    """A complete partition of R from sorted bounds."""
+    edges = [-math.inf] + sorted(set(bounds)) + [math.inf]
+    rules = []
+    for i in range(len(edges) - 1):
+        rules.append(
+            LabelRule(
+                Interval(edges[i], edges[i + 1], i > 0, False),
+                LABEL_WORDS[i % len(LABEL_WORDS)] + (str(i) if i >= len(LABEL_WORDS) else ""),
+            )
+        )
+    return RangeLabeling(rules)
+
+
+bounds_strategy = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False).map(
+        lambda x: round(x, 2)
+    ),
+    min_size=1,
+    max_size=4,
+    unique=True,
+)
+
+labels_strategy = st.one_of(
+    st.sampled_from(["quartiles", "terciles", "median", "top3", "zscoreLikert"]).map(
+        NamedLabeling
+    ),
+    bounds_strategy.map(_interval_chain),
+)
+
+measure_strategy = st.sampled_from(MEASURES)
+
+
+def zero_statement(measure, group_levels, labels):
+    return AssessStatement(
+        source="SALES",
+        schema=SCHEMA,
+        group_by=GroupBySet(SCHEMA, group_levels),
+        measure=measure,
+        predicates=(),
+        benchmark=None,
+        using=None,
+        labels=labels,
+    )
+
+
+class TestRoundTripProperties:
+    @given(
+        measure=measure_strategy,
+        labels=labels_strategy,
+        levels=st.sets(
+            st.sampled_from(["month", "year", "product", "type", "country", "gender"]),
+            min_size=1,
+            max_size=3,
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_zero_benchmark_round_trip(self, measure, labels, levels):
+        try:
+            statement = zero_statement(measure, sorted(levels), labels)
+        except Exception:
+            # two levels of the same hierarchy — not a valid group-by set
+            return
+        reparsed = parse_statement(statement.render(), SCHEMAS)
+        assert reparsed.render() == statement.render()
+        assert reparsed.group_by == statement.group_by
+        assert reparsed.measure == statement.measure
+
+    @given(
+        measure=measure_strategy,
+        labels=labels_strategy,
+        value=st.floats(min_value=0.5, max_value=1e6, allow_nan=False).map(
+            lambda x: round(x, 1)
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_constant_benchmark_round_trip(self, measure, labels, value):
+        statement = AssessStatement(
+            source="SALES",
+            schema=SCHEMA,
+            group_by=GroupBySet(SCHEMA, ["month"]),
+            measure=measure,
+            benchmark=ConstantBenchmark(value),
+            using=FunctionCall("ratio", [MeasureRef(measure), Literal(value)]),
+            labels=labels,
+        )
+        reparsed = parse_statement(statement.render(), SCHEMAS)
+        assert isinstance(reparsed.benchmark, ConstantBenchmark)
+        assert reparsed.benchmark.value == pytest.approx(value)
+        assert reparsed.render() == statement.render()
+
+    @given(
+        target=st.sampled_from(COUNTRIES),
+        sibling=st.sampled_from(COUNTRIES),
+        labels=labels_strategy,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sibling_benchmark_round_trip(self, target, sibling, labels):
+        if target == sibling:
+            return
+        statement = AssessStatement(
+            source="SALES",
+            schema=SCHEMA,
+            group_by=GroupBySet(SCHEMA, ["product", "country"]),
+            measure="quantity",
+            predicates=(Predicate.eq("country", target),),
+            benchmark=SiblingBenchmark("country", sibling),
+            labels=labels,
+        )
+        reparsed = parse_statement(statement.render(), SCHEMAS)
+        assert isinstance(reparsed.benchmark, SiblingBenchmark)
+        assert reparsed.benchmark.sibling == sibling
+        assert reparsed.render() == statement.render()
+
+    @given(bounds=bounds_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_label_ranges_round_trip(self, bounds):
+        labeling = _interval_chain(bounds)
+        statement = zero_statement("quantity", ["month"], labeling)
+        reparsed = parse_statement(statement.render(), SCHEMAS)
+        assert isinstance(reparsed.labels, RangeLabeling)
+        assert reparsed.labels.labels == labeling.labels
+        for original, parsed in zip(labeling.rules, reparsed.labels.rules):
+            assert parsed.interval == original.interval

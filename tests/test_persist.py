@@ -1,0 +1,72 @@
+"""Unit tests for catalog persistence (.npz round trip)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CubeQuery, EngineError, GroupBySet
+from repro.datagen import build_sales_catalog
+from repro.engine import Catalog, Table
+from repro.engine.persist import load_catalog, save_catalog
+from repro.olap import MultidimensionalEngine
+
+
+class TestRoundTrip:
+    def test_tables_and_columns_preserved(self, tmp_path):
+        catalog, _, _ = build_sales_catalog(n_rows=500, seed=3)
+        path = str(tmp_path / "sales.npz")
+        save_catalog(catalog, path)
+        restored = load_catalog(path)
+        assert restored.table_names() == catalog.table_names()
+        for table in catalog:
+            loaded = restored.table(table.name)
+            assert loaded.column_names == table.column_names
+            for name in table.column_names:
+                original, roundtripped = table.column(name), loaded.column(name)
+                if original.dtype == object:
+                    assert list(original) == list(roundtripped)
+                else:
+                    assert np.array_equal(original, roundtripped)
+                    assert original.dtype == roundtripped.dtype
+
+    def test_queries_agree_after_reload(self, tmp_path):
+        catalog, schema, star = build_sales_catalog(n_rows=2_000, seed=4)
+        path = str(tmp_path / "sales.npz")
+        save_catalog(catalog, path)
+
+        original_engine = MultidimensionalEngine(catalog)
+        original_engine.register_cube("SALES", schema, star)
+        restored_engine = MultidimensionalEngine(load_catalog(path))
+        # bindings are metadata, reusable against the restored tables
+        _, schema2, star2 = build_sales_catalog(n_rows=1, seed=4)
+        restored_engine.register_cube("SALES", schema2, star2)
+
+        query_levels = ["month", "country"]
+        a = original_engine.get(
+            CubeQuery("SALES", GroupBySet(schema, query_levels), (), ("quantity",))
+        )
+        b = restored_engine.get(
+            CubeQuery("SALES", GroupBySet(schema2, query_levels), (), ("quantity",))
+        )
+        assert dict(a.cells()) == dict(b.cells())
+
+    def test_extension_added_when_missing(self, tmp_path):
+        catalog = Catalog()
+        catalog.register(Table("t", {"a": np.array([1, 2, 3])}))
+        path = str(tmp_path / "plain")
+        save_catalog(catalog, path)
+        restored = load_catalog(path)  # finds plain.npz
+        assert restored.table("t").column("a").tolist() == [1, 2, 3]
+
+    def test_non_string_objects_rejected(self, tmp_path):
+        catalog = Catalog()
+        column = np.empty(1, dtype=object)
+        column[0] = (1, 2)  # a tuple member cannot persist
+        catalog.register(Table("t", {"a": column}))
+        with pytest.raises(EngineError):
+            save_catalog(catalog, str(tmp_path / "bad.npz"))
+
+    def test_not_a_catalog_archive(self, tmp_path):
+        path = str(tmp_path / "other.npz")
+        np.savez(path, x=np.arange(3))
+        with pytest.raises(EngineError):
+            load_catalog(path)

@@ -1,0 +1,211 @@
+"""Unit tests for plan construction and the Section 5.2 feasibility matrix."""
+
+import pytest
+
+from repro.algebra import (
+    GetNode,
+    JoinNode,
+    LabelNode,
+    PivotNode,
+    PlanExecutor,
+    PredictNode,
+    UsingNode,
+    build_all_plans,
+    build_naive_plan,
+    build_plan,
+    feasible_plans,
+)
+from repro.core import PlanError
+
+
+def parse(session, text):
+    return session.parse(text)
+
+
+SIBLING = """
+with SALES for type = 'Fresh Fruit', country = 'Italy' by product, country
+assess quantity against country = 'France'
+using percOfTotal(difference(quantity, benchmark.quantity))
+labels {[-inf, -0.2): bad, [-0.2, 0.2]: ok, (0.2, inf): good}
+"""
+PAST = """
+with SALES for month = '1997-07', store = 'SmartMart' by month, store
+assess storeSales against past 4
+using ratio(storeSales, benchmark.storeSales)
+labels {[0, 0.9): worse, [0.9, 1.1]: fine, (1.1, inf): better}
+"""
+CONSTANT = """
+with SALES by month assess storeSales against 1000
+using ratio(storeSales, 1000)
+labels {[0, 1): under, [1, inf): over}
+"""
+ZERO = "with SALES by month assess storeSales labels quartiles"
+ANCESTOR = (
+    "with SALES by product assess quantity against ancestor type "
+    "using ratio(quantity, benchmark.quantity) labels median"
+)
+
+
+class TestFeasibility:
+    def test_constant_only_np(self, sales_session):
+        statement = parse(sales_session, CONSTANT)
+        assert feasible_plans(statement) == ("NP",)
+
+    def test_zero_only_np(self, sales_session):
+        assert feasible_plans(parse(sales_session, ZERO)) == ("NP",)
+
+    def test_sibling_all_three(self, sales_session):
+        assert feasible_plans(parse(sales_session, SIBLING)) == ("NP", "JOP", "POP")
+
+    def test_past_all_three(self, sales_session):
+        assert feasible_plans(parse(sales_session, PAST)) == ("NP", "JOP", "POP")
+
+    def test_external_np_jop(self, ssb_session):
+        statement = ssb_session.parse(
+            """with SSB by month, category
+               assess revenue against BUDGET.expected_revenue labels quartiles"""
+        )
+        assert feasible_plans(statement) == ("NP", "JOP")
+
+    def test_ancestor_only_np(self, sales_session):
+        assert feasible_plans(parse(sales_session, ANCESTOR)) == ("NP",)
+
+    def test_infeasible_plan_rejected(self, sales_session):
+        statement = parse(sales_session, CONSTANT)
+        with pytest.raises(PlanError):
+            build_plan(statement, sales_session.engine, "JOP")
+        with pytest.raises(PlanError):
+            build_plan(statement, sales_session.engine, "POP")
+
+    def test_best_resolves_to_most_optimized(self, sales_session):
+        statement = parse(sales_session, SIBLING)
+        assert build_plan(statement, sales_session.engine, "best").name == "POP"
+        constant = parse(sales_session, CONSTANT)
+        assert build_plan(constant, sales_session.engine, "best").name == "NP"
+
+
+class TestPlanShapes:
+    def test_np_sibling_shape(self, sales_session):
+        plan = build_plan(parse(sales_session, SIBLING), sales_session.engine, "NP")
+        assert isinstance(plan.root, LabelNode)
+        using = plan.root.child
+        assert isinstance(using, UsingNode)
+        join = using.child
+        assert isinstance(join, JoinNode) and not join.pushed
+        assert join.join_levels == ("product",)
+        assert isinstance(join.left, GetNode) and join.left.role == "target"
+        assert isinstance(join.right, GetNode) and join.right.role == "benchmark"
+
+    def test_jop_sibling_pushes_join(self, sales_session):
+        plan = build_plan(parse(sales_session, SIBLING), sales_session.engine, "JOP")
+        join = plan.root.child.child
+        assert isinstance(join, JoinNode) and join.pushed
+        assert plan.count_pushed() == 1
+
+    def test_pop_sibling_replaces_join_with_pivot(self, sales_session):
+        plan = build_plan(parse(sales_session, SIBLING), sales_session.engine, "POP")
+        pivot = plan.root.child.child
+        assert isinstance(pivot, PivotNode) and pivot.pushed
+        get = pivot.child
+        assert isinstance(get, GetNode) and get.role == "combined"
+        # the merged predicate includes both slices
+        country_predicate = get.query.predicate_on("country")
+        assert country_predicate.member_set() == frozenset({"Italy", "France"})
+
+    def test_np_past_shape(self, sales_session):
+        plan = build_plan(parse(sales_session, PAST), sales_session.engine, "NP")
+        join = plan.root.child.child
+        assert isinstance(join, JoinNode) and not join.pushed
+        assert join.join_levels == ("store",)
+        # right branch: Project(Predict(Pivot(Get)))
+        chain = join.right
+        names = []
+        while True:
+            names.append(type(chain).__name__)
+            children = chain.children
+            if not children:
+                break
+            chain = children[0]
+        assert names == ["ProjectNode", "PredictNode", "PivotNode", "GetNode"]
+
+    def test_jop_past_shape(self, sales_session):
+        plan = build_plan(parse(sales_session, PAST), sales_session.engine, "JOP")
+        predict = plan.root.child.child
+        assert isinstance(predict, PredictNode)
+        join = predict.child
+        assert isinstance(join, JoinNode) and join.pushed and join.multi
+
+    def test_pop_past_shape(self, sales_session):
+        plan = build_plan(parse(sales_session, PAST), sales_session.engine, "POP")
+        predict = plan.root.child.child
+        assert isinstance(predict, PredictNode)
+        pivot = predict.child
+        assert isinstance(pivot, PivotNode) and pivot.pushed
+        assert pivot.reference == "1997-07"
+        assert set(pivot.member_renames) == {
+            "1997-03", "1997-04", "1997-05", "1997-06"
+        }
+
+    def test_past_window_clipped_by_history(self, sales_session):
+        statement = sales_session.parse(
+            """with SALES for month = '1996-02', store = 'SmartMart'
+               by month, store assess storeSales against past 6
+               using ratio(storeSales, benchmark.storeSales)
+               labels {[0, 1): worse, [1, inf): better}"""
+        )
+        plan = build_plan(statement, sales_session.engine, "NP")
+        predict = [n for n in plan.nodes() if isinstance(n, PredictNode)]
+        assert len(predict[0].input_columns) == 1  # only 1996-01 exists
+
+    def test_no_history_rejected(self, sales_session):
+        statement = sales_session.parse(
+            """with SALES for month = '1996-01', store = 'SmartMart'
+               by month, store assess storeSales against past 4
+               using ratio(storeSales, benchmark.storeSales)
+               labels {[0, 1): worse, [1, inf): better}"""
+        )
+        with pytest.raises(PlanError):
+            build_plan(statement, sales_session.engine, "NP")
+
+    def test_explain_renders_tree(self, sales_session):
+        plan = build_plan(parse(sales_session, SIBLING), sales_session.engine, "NP")
+        text = plan.explain()
+        assert "Plan NP" in text
+        assert "Join" in text and "Get[target]" in text and "Label" in text
+
+    def test_build_all_plans(self, sales_session):
+        plans = build_all_plans(parse(sales_session, PAST), sales_session.engine)
+        assert set(plans) == {"NP", "JOP", "POP"}
+        assert plans["NP"].name == "NP"
+
+    def test_zero_benchmark_plan_shape(self, sales_session):
+        plan = build_naive_plan(parse(sales_session, ZERO), sales_session.engine)
+        from repro.algebra import AddConstantNode
+
+        node = plan.root.child.child
+        assert isinstance(node, AddConstantNode)
+        assert node.value == 0.0
+        assert plan.benchmark_column == "benchmark.constant"
+
+
+class TestMeasureCollection:
+    def test_derived_measure_fetched(self, sales_session):
+        statement = sales_session.parse(
+            "with SALES by month assess storeSales "
+            "using storeSales - storeCost labels top3"
+        )
+        plan = build_plan(statement, sales_session.engine, "NP")
+        get = [n for n in plan.nodes() if isinstance(n, GetNode)][0]
+        assert set(get.query.measures) == {"storeSales", "storeCost"}
+
+    def test_external_extra_benchmark_measures(self, ssb_session):
+        statement = ssb_session.parse(
+            """with SSB by month, category
+               assess revenue against BUDGET.expected_revenue
+               using difference(revenue, benchmark.expected_revenue)
+               labels quartiles"""
+        )
+        plan = build_plan(statement, ssb_session.engine, "NP")
+        gets = [n for n in plan.nodes() if isinstance(n, GetNode)]
+        benchmark_get = [g for g in gets if g.role == "benchmark"][0]
+        assert benchmark_get.query.measures == ("expected_revenue",)

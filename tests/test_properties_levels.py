@@ -1,0 +1,106 @@
+"""Unit tests for descriptive level properties (§8 extension).
+
+"Consider cube schemas including descriptive properties of levels (e.g.,
+the population of a country).  Introducing properties will enable users to
+express more complex statements, e.g., to compare per capita sales of
+different countries."
+"""
+
+import pytest
+
+from repro.core import EngineError, ValidationError
+from repro.datagen.sales import COUNTRY_POPULATION
+from repro.engine import DimensionBinding, StarSchema
+
+PER_CAPITA = """
+with SALES for country = 'Italy' by product, country
+assess quantity against country = 'France'
+using ratio(quantity / population, benchmark.quantity / benchmark.population)
+labels {[0, 0.9): lagging, [0.9, 1.1]: similar, (1.1, inf): leading}
+"""
+
+
+class TestStarBindings:
+    def test_property_lookup(self, sales):
+        level, lookup = sales.property_lookup("SALES", "population")
+        assert level == "country"
+        assert lookup == COUNTRY_POPULATION
+
+    def test_has_property(self, sales):
+        assert sales.has_property("SALES", "population")
+        assert not sales.has_property("SALES", "gdp")
+
+    def test_unknown_property_raises(self, sales):
+        star = sales.cube("SALES").star
+        with pytest.raises(EngineError):
+            star.property_binding("gdp")
+
+    def test_property_on_unbound_level_rejected(self):
+        with pytest.raises(EngineError):
+            StarSchema(
+                name="X",
+                fact_table="f",
+                dimensions=[
+                    DimensionBinding(
+                        "H", "d", "k", "k", {"a": "col_a"},
+                        properties={"p": ("b", "col_p")},  # level b unbound
+                    )
+                ],
+                measure_columns={"m": "m"},
+            )
+
+
+class TestPerCapitaStatements:
+    @pytest.mark.parametrize("plan", ["NP", "JOP", "POP"])
+    def test_per_capita_sibling_across_plans(self, sales_session, plan):
+        result = sales_session.assess(PER_CAPITA, plan=plan)
+        assert len(result) > 0
+        cube = result.cube
+        assert "population" in cube.measure_names
+        assert "benchmark.population" in cube.measure_names
+        # target cells are Italian, benchmark population is France's
+        assert set(cube.measure("population")) == {float(COUNTRY_POPULATION["Italy"])}
+        assert set(cube.measure("benchmark.population")) == {
+            float(COUNTRY_POPULATION["France"])
+        }
+
+    def test_per_capita_scales_plain_ratio(self, sales_session):
+        per_capita = sales_session.assess(PER_CAPITA)
+        plain = sales_session.assess(
+            PER_CAPITA.replace(" / population", "").replace(
+                " / benchmark.population", ""
+            )
+        )
+        factor = COUNTRY_POPULATION["France"] / COUNTRY_POPULATION["Italy"]
+        plain_cells = {c.coordinate: c.comparison for c in plain}
+        for cell in per_capita:
+            assert cell.comparison == pytest.approx(
+                plain_cells[cell.coordinate] * factor
+            )
+
+    def test_unqualified_property_against_constant(self, sales_session):
+        result = sales_session.assess(
+            """with SALES by country assess quantity against 1
+               using ratio(quantity, population) labels terciles"""
+        )
+        # per-country quantity per inhabitant, one cell per country
+        assert len(result) == 3
+
+    def test_unknown_name_rejected(self, sales_session):
+        with pytest.raises(ValidationError, match="neither a measure"):
+            sales_session.assess(
+                """with SALES by country assess quantity
+                   using ratio(quantity, gdp) labels terciles"""
+            )
+
+    def test_property_level_must_be_grouped(self, sales_session):
+        with pytest.raises(ValidationError, match="by clause"):
+            sales_session.assess(
+                """with SALES by month assess quantity
+                   using ratio(quantity, population) labels terciles"""
+            )
+
+    def test_explain_shows_attach_nodes(self, sales_session):
+        text = sales_session.explain(PER_CAPITA, plan="POP")
+        assert "AttachProperty population of country" in text
+        assert "at 'France'" in text

@@ -1,0 +1,110 @@
+"""Unit tests for predicates and cube queries (Definition 2.6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CubeQuery, GroupBySet, Predicate, PredicateOp, SchemaError
+from repro.datagen import sales_schema
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return sales_schema()
+
+
+class TestPredicate:
+    def test_eq(self):
+        p = Predicate.eq("country", "Italy")
+        assert p.matches("Italy")
+        assert not p.matches("France")
+        assert p.member_set() == frozenset({"Italy"})
+
+    def test_isin_deduplicates_and_sorts(self):
+        p = Predicate.isin("country", ["Italy", "France", "Italy"])
+        assert p.member_set() == frozenset({"Italy", "France"})
+        assert p.matches("France")
+        assert not p.matches("Spain")
+
+    def test_between_inclusive(self):
+        p = Predicate.between("month", "1997-03", "1997-06")
+        assert p.matches("1997-03")
+        assert p.matches("1997-06")
+        assert p.matches("1997-05")
+        assert not p.matches("1997-07")
+        assert p.member_set() is None
+
+    def test_mask_eq(self):
+        p = Predicate.eq("country", "Italy")
+        column = np.array(["Italy", "France", "Italy"], dtype=object)
+        assert p.mask(column).tolist() == [True, False, True]
+
+    def test_mask_in(self):
+        p = Predicate.isin("country", ["Italy", "Spain"])
+        column = np.array(["Italy", "France", "Spain"], dtype=object)
+        assert p.mask(column).tolist() == [True, False, True]
+
+    def test_mask_between(self):
+        p = Predicate.between("month", "1997-03", "1997-06")
+        column = np.array(["1997-02", "1997-03", "1997-08"], dtype=object)
+        assert p.mask(column).tolist() == [False, True, False]
+
+    def test_equality_is_value_based(self):
+        assert Predicate.eq("a", 1) == Predicate.eq("a", 1)
+        assert Predicate.isin("a", [2, 1]) == Predicate.isin("a", [1, 2])
+        assert Predicate.eq("a", 1) != Predicate.eq("b", 1)
+        assert hash(Predicate.eq("a", 1)) == hash(Predicate.eq("a", 1))
+
+    def test_repr_forms(self):
+        assert "Italy" in repr(Predicate.eq("country", "Italy"))
+        assert "between" in repr(Predicate.between("m", 1, 2))
+        assert "in" in repr(Predicate.isin("m", [1]))
+
+
+class TestCubeQuery:
+    def test_construction_validates_levels_and_measures(self, schema):
+        gb = GroupBySet(schema, ["product", "country"])
+        query = CubeQuery(
+            "SALES", gb, (Predicate.eq("type", "Fresh Fruit"),), ("quantity",)
+        )
+        assert query.schema is schema
+        with pytest.raises(SchemaError):
+            CubeQuery("SALES", gb, (Predicate.eq("brand", "x"),), ("quantity",))
+        with pytest.raises(SchemaError):
+            CubeQuery("SALES", gb, (), ("profit",))
+
+    def test_predicate_on(self, schema):
+        gb = GroupBySet(schema, ["product", "country"])
+        p = Predicate.eq("country", "Italy")
+        query = CubeQuery("SALES", gb, (p,), ("quantity",))
+        assert query.predicate_on("country") == p
+        assert query.predicate_on("year") is None
+
+    def test_replace_predicate(self, schema):
+        gb = GroupBySet(schema, ["product", "country"])
+        italy = Predicate.eq("country", "Italy")
+        france = Predicate.eq("country", "France")
+        query = CubeQuery("SALES", gb, (italy,), ("quantity",))
+        swapped = query.replace_predicate(italy, france)
+        assert swapped.predicate_on("country") == france
+        assert query.predicate_on("country") == italy  # original untouched
+
+    def test_without_predicate(self, schema):
+        gb = GroupBySet(schema, ["product", "country"])
+        italy = Predicate.eq("country", "Italy")
+        query = CubeQuery("SALES", gb, (italy,), ("quantity",))
+        assert query.without_predicate(italy).predicates == ()
+
+    def test_equality_ignores_predicate_order(self, schema):
+        gb = GroupBySet(schema, ["product", "country"])
+        p1 = Predicate.eq("country", "Italy")
+        p2 = Predicate.eq("type", "Fresh Fruit")
+        a = CubeQuery("SALES", gb, (p1, p2), ("quantity",))
+        b = CubeQuery("SALES", gb, (p2, p1), ("quantity",))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_on_measures(self, schema):
+        gb = GroupBySet(schema, ["product"])
+        a = CubeQuery("SALES", gb, (), ("quantity",))
+        b = CubeQuery("SALES", gb, (), ("storeSales",))
+        assert a != b

@@ -1,0 +1,159 @@
+"""Unit tests for the function registry and expression evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BinaryOp,
+    Cube,
+    CubeSchema,
+    FunctionCall,
+    FunctionError,
+    GroupBySet,
+    Hierarchy,
+    Level,
+    Literal,
+    Measure,
+    MeasureRef,
+)
+from repro.functions import classify_expression, default_registry, evaluate
+from repro.functions.registry import FunctionRegistry
+
+
+@pytest.fixture()
+def cube():
+    schema = CubeSchema(
+        "S",
+        [Hierarchy("P", [Level("product")])],
+        [Measure("quantity"), Measure("storeSales"), Measure("storeCost")],
+    )
+    gb = GroupBySet(schema, ["product"])
+    return Cube(
+        schema,
+        gb,
+        {"product": ["a", "b", "c"]},
+        {
+            "quantity": [100.0, 90.0, 30.0],
+            "storeSales": [20.0, 18.0, 9.0],
+            "storeCost": [12.0, 10.0, 6.0],
+            "benchmark.quantity": [150.0, 110.0, 20.0],
+        },
+    )
+
+
+class TestRegistry:
+    def test_case_insensitive_lookup(self):
+        registry = default_registry()
+        assert registry.get("minmaxnorm").name == "minMaxNorm"
+        assert registry.get("MINMAXNORM") is registry.get("minMaxNorm")
+
+    def test_unknown_function(self):
+        with pytest.raises(FunctionError):
+            default_registry().get("nope")
+
+    def test_duplicate_registration_rejected(self):
+        registry = FunctionRegistry()
+        registry.register("f", "cell", lambda a: a)
+        with pytest.raises(FunctionError):
+            registry.register("F", "cell", lambda a: a)
+        registry.register("f", "cell", lambda a: a + 1, replace=True)
+
+    def test_unknown_kind_rejected(self):
+        registry = FunctionRegistry()
+        with pytest.raises(FunctionError):
+            registry.register("f", "weird", lambda a: a)
+
+    def test_copy_isolation(self):
+        base = default_registry()
+        clone = base.copy()
+        clone.register("custom", "cell", lambda a: a)
+        assert clone.has("custom")
+        assert not base.has("custom")
+
+    def test_names_filtered_by_kind(self):
+        registry = default_registry()
+        assert "linearRegression" in registry.names("prediction")
+        assert "linearRegression" not in registry.names("cell")
+
+    def test_holistic_flag(self):
+        registry = default_registry()
+        assert registry.get("percOfTotal").is_holistic
+        assert not registry.get("difference").is_holistic
+
+
+class TestEvaluate:
+    def test_literal_broadcast(self, cube):
+        out = evaluate(Literal(5), cube)
+        assert out.tolist() == [5.0, 5.0, 5.0]
+
+    def test_measure_ref(self, cube):
+        out = evaluate(MeasureRef("quantity"), cube)
+        assert out.tolist() == [100.0, 90.0, 30.0]
+
+    def test_qualified_ref(self, cube):
+        out = evaluate(MeasureRef("quantity", "benchmark"), cube)
+        assert out.tolist() == [150.0, 110.0, 20.0]
+
+    def test_arithmetic(self, cube):
+        profit = BinaryOp("-", MeasureRef("storeSales"), MeasureRef("storeCost"))
+        assert evaluate(profit, cube).tolist() == [8.0, 8.0, 3.0]
+
+    def test_division(self, cube):
+        expr = BinaryOp("/", MeasureRef("storeSales"), MeasureRef("storeCost"))
+        assert evaluate(expr, cube)[2] == pytest.approx(1.5)
+
+    def test_nested_calls_match_figure1(self, cube):
+        expr = FunctionCall(
+            "percOfTotal",
+            [
+                FunctionCall(
+                    "difference",
+                    [MeasureRef("quantity"), MeasureRef("quantity", "benchmark")],
+                ),
+                MeasureRef("quantity"),
+            ],
+        )
+        out = evaluate(expr, cube)
+        assert out[0] == pytest.approx(-50 / 220)
+        assert out[2] == pytest.approx(10 / 220)
+
+    def test_unknown_measure_rejected(self, cube):
+        from repro.core import SchemaError
+
+        with pytest.raises(SchemaError):
+            evaluate(MeasureRef("profit"), cube)
+
+    def test_wrong_arity_rejected(self, cube):
+        with pytest.raises(FunctionError):
+            evaluate(FunctionCall("difference", [MeasureRef("quantity")]), cube)
+
+    def test_labeling_function_rejected_in_using(self, cube):
+        with pytest.raises(FunctionError):
+            evaluate(FunctionCall("quartiles", [MeasureRef("quantity")]), cube)
+
+    def test_wrong_shape_rejected(self, cube):
+        registry = default_registry().copy()
+        registry.register("broken", "cell", lambda a: np.array([1.0]), arity=1)
+        with pytest.raises(FunctionError):
+            evaluate(FunctionCall("broken", [MeasureRef("quantity")]), cube, registry)
+
+
+class TestClassify:
+    def test_cell_expression(self):
+        expr = FunctionCall("difference", [MeasureRef("a"), Literal(1)])
+        assert classify_expression(expr) == "cell"
+
+    def test_arithmetic_is_cell(self):
+        expr = BinaryOp("-", MeasureRef("a"), MeasureRef("b"))
+        assert classify_expression(expr) == "cell"
+
+    def test_holistic_outer(self):
+        expr = FunctionCall("minMaxNorm", [MeasureRef("a")])
+        assert classify_expression(expr) == "holistic"
+
+    def test_holistic_nested(self):
+        expr = FunctionCall(
+            "difference",
+            [FunctionCall("zscore", [MeasureRef("a")]), Literal(0)],
+        )
+        assert classify_expression(expr) == "holistic"

@@ -1,0 +1,186 @@
+"""Unit tests for the P1–P3 rewrite properties (Section 5.1).
+
+P1 is checked as a semantic property on cubes; P2/P3 both structurally (the
+rewritten trees have the right shape) and semantically (all plans of a
+statement produce identical assessment results).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algebra import (
+    PlanExecutor,
+    build_all_plans,
+    build_naive_plan,
+    p1_commutes,
+    push_join_to_sql,
+    replace_join_with_pivot,
+)
+from repro.core import (
+    Cube,
+    CubeSchema,
+    GroupBySet,
+    Hierarchy,
+    Level,
+    Measure,
+    PlanError,
+)
+
+
+@pytest.fixture()
+def small_cube():
+    schema = CubeSchema(
+        "S", [Hierarchy("P", [Level("product")])],
+        [Measure("quantity"), Measure("storeSales")],
+    )
+    gb = GroupBySet(schema, ["product"])
+    return Cube(
+        schema, gb,
+        {"product": ["a", "b", "c", "d"]},
+        {"quantity": [4.0, 8.0, 15.0, 16.0], "storeSales": [1.0, 2.0, 3.0, 4.0]},
+    )
+
+
+class TestP1:
+    def test_independent_transforms_commute(self, small_cube):
+        def add_double(cube):
+            return cube.with_measure("double", cube.measure("quantity") * 2)
+
+        def add_half(cube):
+            return cube.with_measure("half", cube.measure("storeSales") / 2)
+
+        assert p1_commutes(small_cube, add_double, add_half)
+
+    def test_holistic_and_cell_transforms_commute(self, small_cube):
+        from repro.functions import min_max_norm
+
+        def holistic(cube):
+            return cube.with_measure("norm", min_max_norm(cube.measure("quantity")))
+
+        def cellwise(cube):
+            return cube.with_measure("diff", cube.measure("quantity") - 10.0)
+
+        assert p1_commutes(small_cube, holistic, cellwise)
+
+    def test_dependent_transforms_do_not_commute(self, small_cube):
+        """When nf ∈ M of the other transform, P1's precondition fails."""
+
+        def first(cube):
+            return cube.with_measure("x", cube.measure("quantity") + 1)
+
+        def second(cube):
+            if "x" in cube.measures:
+                return cube.with_measure("y", cube.measure("x") * 2)
+            return cube.with_measure("y", np.zeros(len(cube)))
+
+        assert not p1_commutes(small_cube, first, second)
+
+
+SIBLING = """
+with SALES for type = 'Fresh Fruit', country = 'Italy' by product, country
+assess quantity against country = 'France'
+using percOfTotal(difference(quantity, benchmark.quantity))
+labels {[-inf, -0.2): bad, [-0.2, 0.2]: ok, (0.2, inf): good}
+"""
+PAST = """
+with SALES for month = '1997-07', store = 'SmartMart' by month, store
+assess storeSales against past 4
+using ratio(storeSales, benchmark.storeSales)
+labels {[0, 0.9): worse, [0.9, 1.1]: fine, (1.1, inf): better}
+"""
+PAST_WIDE = """
+with SALES for month = '1997-07' by month, store
+assess storeSales against past 3
+using ratio(storeSales, benchmark.storeSales)
+labels {[0, 0.9): worse, [0.9, 1.1]: fine, (1.1, inf): better}
+"""
+EXTERNAL = """
+with SSB by month, category
+assess revenue against BUDGET.expected_revenue
+using normalizedDifference(revenue, benchmark.expected_revenue)
+labels {[-inf, -0.1): under, [-0.1, 0.1]: onTrack, (0.1, inf): over}
+"""
+PAST_SPARSE = """
+with SSB for month = '1998-06' by month, customer
+assess revenue against past 4
+using ratio(revenue, benchmark.revenue)
+labels {[0, 0.9): worse, [0.9, 1.1]: fine, (1.1, inf): better}
+"""
+
+
+def results_as_comparable(result):
+    return {
+        cell.coordinate: (
+            round(cell.value, 6),
+            round(cell.benchmark, 6),
+            round(cell.comparison, 9),
+            cell.label,
+        )
+        for cell in result
+    }
+
+
+class TestRewriteStructure:
+    def test_p2_requires_a_join(self, sales_session):
+        statement = sales_session.parse(
+            "with SALES by month assess storeSales labels quartiles"
+        )
+        plan = build_naive_plan(statement, sales_session.engine)
+        with pytest.raises(PlanError):
+            push_join_to_sql(plan)
+
+    def test_p3_requires_same_source(self, ssb_session):
+        statement = ssb_session.parse(EXTERNAL)
+        jop = push_join_to_sql(build_naive_plan(statement, ssb_session.engine))
+        with pytest.raises(PlanError):
+            replace_join_with_pivot(jop)
+
+    def test_p3_merges_predicates(self, sales_session):
+        statement = sales_session.parse(SIBLING)
+        jop = push_join_to_sql(build_naive_plan(statement, sales_session.engine))
+        pop = replace_join_with_pivot(jop)
+        from repro.algebra import GetNode
+
+        get = [n for n in pop.nodes() if isinstance(n, GetNode)][0]
+        assert get.query.predicate_on("country").member_set() == frozenset(
+            {"Italy", "France"}
+        )
+        # the unrelated predicate survives unchanged
+        assert get.query.predicate_on("type").member_set() == frozenset(
+            {"Fresh Fruit"}
+        )
+
+    def test_rewrites_do_not_mutate_input(self, sales_session):
+        statement = sales_session.parse(SIBLING)
+        np_plan = build_naive_plan(statement, sales_session.engine)
+        before = np_plan.explain()
+        push_join_to_sql(np_plan)
+        assert np_plan.explain() == before
+
+
+@pytest.mark.parametrize("statement_text,engine_fixture", [
+    (SIBLING, "sales"),
+    (PAST, "sales"),
+    (PAST_WIDE, "sales"),
+    (EXTERNAL, "ssb"),
+    (PAST_SPARSE, "ssb"),  # sparse cube: cells missing from some past months
+])
+class TestPlanEquivalence:
+    """All feasible plans of a statement must produce identical results."""
+
+    def test_all_plans_agree(self, statement_text, engine_fixture, request):
+        engine = request.getfixturevalue(engine_fixture)
+        from repro.api import AssessSession
+
+        session = AssessSession(engine)
+        statement = session.parse(statement_text)
+        executor = PlanExecutor(engine, session.registry)
+        plans = build_all_plans(statement, engine)
+        results = {
+            name: results_as_comparable(executor.execute(plan, statement))
+            for name, plan in plans.items()
+        }
+        reference = results.pop("NP")
+        assert len(reference) > 0
+        for name, outcome in results.items():
+            assert outcome == reference, f"plan {name} diverges from NP"

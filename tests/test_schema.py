@@ -1,0 +1,112 @@
+"""Unit tests for measures and cube schemas (Definition 2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CubeSchema, Hierarchy, Level, Measure, SchemaError
+from repro.datagen import sales_schema, ssb_schema
+
+
+class TestMeasure:
+    def test_default_operator_is_sum(self):
+        assert Measure("quantity").op == "sum"
+
+    def test_aggregate_dispatch(self):
+        values = np.array([1.0, 2.0, 3.0])
+        assert Measure("m", "sum").aggregate(values) == 6.0
+        assert Measure("m", "avg").aggregate(values) == 2.0
+        assert Measure("m", "min").aggregate(values) == 1.0
+        assert Measure("m", "max").aggregate(values) == 3.0
+        assert Measure("m", "count").aggregate(values) == 3.0
+
+    def test_distributive_flag(self):
+        assert Measure("m", "sum").is_distributive
+        assert not Measure("m", "avg").is_distributive
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(SchemaError):
+            Measure("m", "median")
+
+    def test_equality(self):
+        assert Measure("m", "sum") == Measure("m", "sum")
+        assert Measure("m", "sum") != Measure("m", "avg")
+
+
+class TestCubeSchema:
+    def test_sales_schema_shape(self):
+        schema = sales_schema()
+        assert schema.hierarchy_names() == ("Date", "Customer", "Product", "Store")
+        assert schema.measure_names() == ("quantity", "storeSales", "storeCost")
+        assert schema.finest_group_by() == ("date", "customer", "product", "store")
+
+    def test_level_lookup_across_hierarchies(self):
+        schema = sales_schema()
+        assert schema.hierarchy_of_level("country").name == "Store"
+        assert schema.level("month").name == "month"
+        assert schema.has_level("type")
+        assert not schema.has_level("brand")
+
+    def test_unknown_lookups_raise(self):
+        schema = sales_schema()
+        with pytest.raises(SchemaError):
+            schema.hierarchy("Region")
+        with pytest.raises(SchemaError):
+            schema.hierarchy_of_level("brand")
+        with pytest.raises(SchemaError):
+            schema.measure("profit")
+
+    def test_duplicate_level_names_across_hierarchies_rejected(self):
+        with pytest.raises(SchemaError):
+            CubeSchema(
+                "BAD",
+                [
+                    Hierarchy("A", [Level("x")]),
+                    Hierarchy("B", [Level("x")]),
+                ],
+                [Measure("m")],
+            )
+
+    def test_duplicate_hierarchy_names_rejected(self):
+        with pytest.raises(SchemaError):
+            CubeSchema(
+                "BAD",
+                [Hierarchy("A", [Level("x")]), Hierarchy("A", [Level("y")])],
+                [Measure("m")],
+            )
+
+    def test_duplicate_measures_rejected(self):
+        with pytest.raises(SchemaError):
+            CubeSchema(
+                "BAD",
+                [Hierarchy("A", [Level("x")])],
+                [Measure("m"), Measure("m")],
+            )
+
+    def test_needs_hierarchies_and_measures(self):
+        with pytest.raises(SchemaError):
+            CubeSchema("BAD", [], [Measure("m")])
+        with pytest.raises(SchemaError):
+            CubeSchema("BAD", [Hierarchy("A", [Level("x")])], [])
+
+    def test_temporal_hierarchy_by_name(self):
+        assert sales_schema().temporal_hierarchy().name == "Date"
+        assert ssb_schema().temporal_hierarchy().name == "Date"
+
+    def test_temporal_hierarchy_by_level_name(self):
+        schema = CubeSchema(
+            "T",
+            [Hierarchy("When", [Level("time"), Level("shift")])],
+            [Measure("m")],
+        )
+        assert schema.temporal_hierarchy().name == "When"
+
+    def test_no_temporal_hierarchy(self):
+        schema = CubeSchema(
+            "T", [Hierarchy("Geo", [Level("city")])], [Measure("m")]
+        )
+        assert schema.temporal_hierarchy() is None
+
+    def test_ssb_measures_include_avg_discount(self):
+        schema = ssb_schema()
+        assert schema.measure("discount").op == "avg"
+        assert schema.measure("revenue").op == "sum"

@@ -1,0 +1,227 @@
+"""Unit tests for assess statement validation (Sections 3.1 and 4.1)."""
+
+import pytest
+
+from repro.core import (
+    AncestorBenchmark,
+    AssessStatement,
+    ConstantBenchmark,
+    ExternalBenchmark,
+    GroupBySet,
+    NamedLabeling,
+    PastBenchmark,
+    Predicate,
+    SiblingBenchmark,
+    ValidationError,
+    ZeroBenchmark,
+)
+from repro.datagen import sales_schema
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return sales_schema()
+
+
+def make(schema, **overrides):
+    defaults = dict(
+        source="SALES",
+        schema=schema,
+        group_by=GroupBySet(schema, ["product", "country"]),
+        measure="quantity",
+        predicates=(Predicate.eq("country", "Italy"),),
+        benchmark=None,
+        using=None,
+        labels=NamedLabeling("quartiles"),
+        star=False,
+    )
+    defaults.update(overrides)
+    return AssessStatement(**defaults)
+
+
+class TestBasics:
+    def test_labels_mandatory(self, schema):
+        with pytest.raises(ValidationError):
+            make(schema, labels=None)
+
+    def test_unknown_measure_rejected(self, schema):
+        from repro.core import SchemaError
+
+        with pytest.raises(SchemaError):
+            make(schema, measure="profit")
+
+    def test_missing_against_means_zero_benchmark(self, schema):
+        statement = make(schema)
+        assert isinstance(statement.benchmark, ZeroBenchmark)
+        assert statement.benchmark_measure == "constant"
+
+    def test_default_using_compares_to_benchmark(self, schema):
+        statement = make(schema)
+        assert statement.using.render() == "difference(quantity, benchmark.constant)"
+
+    def test_benchmark_measure_per_type(self, schema):
+        assert make(schema, benchmark=ConstantBenchmark(10)).benchmark_measure == "constant"
+        assert (
+            make(schema, benchmark=SiblingBenchmark("country", "France")).benchmark_measure
+            == "quantity"
+        )
+        external = make(schema, benchmark=ExternalBenchmark("GOALS", "target"))
+        assert external.benchmark_measure == "target"
+
+
+class TestSiblingValidation:
+    def test_valid_sibling(self, schema):
+        statement = make(schema, benchmark=SiblingBenchmark("country", "France"))
+        assert statement.benchmark.sibling == "France"
+
+    def test_sibling_level_must_be_in_group_by(self, schema):
+        with pytest.raises(ValidationError):
+            make(
+                schema,
+                group_by=GroupBySet(schema, ["product"]),
+                benchmark=SiblingBenchmark("country", "France"),
+            )
+
+    def test_sibling_requires_slice_predicate(self, schema):
+        with pytest.raises(ValidationError):
+            make(schema, predicates=(), benchmark=SiblingBenchmark("country", "France"))
+
+    def test_sibling_slice_must_be_single_member(self, schema):
+        with pytest.raises(ValidationError):
+            make(
+                schema,
+                predicates=(Predicate.isin("country", ["Italy", "Spain"]),),
+                benchmark=SiblingBenchmark("country", "France"),
+            )
+
+    def test_sibling_must_differ_from_target(self, schema):
+        with pytest.raises(ValidationError):
+            make(schema, benchmark=SiblingBenchmark("country", "Italy"))
+
+
+class TestPastValidation:
+    def test_valid_past(self, schema):
+        statement = make(
+            schema,
+            group_by=GroupBySet(schema, ["month", "store"]),
+            predicates=(
+                Predicate.eq("month", "1997-07"),
+                Predicate.eq("store", "SmartMart"),
+            ),
+            benchmark=PastBenchmark(4),
+        )
+        assert statement.temporal_level == "month"
+
+    def test_k_must_be_positive(self, schema):
+        with pytest.raises(ValidationError):
+            PastBenchmark(0)
+
+    def test_past_requires_temporal_level_in_group_by(self, schema):
+        with pytest.raises(ValidationError):
+            make(
+                schema,
+                group_by=GroupBySet(schema, ["product", "country"]),
+                benchmark=PastBenchmark(3),
+            )
+
+    def test_past_requires_temporal_slice(self, schema):
+        with pytest.raises(ValidationError):
+            make(
+                schema,
+                group_by=GroupBySet(schema, ["month", "store"]),
+                predicates=(Predicate.eq("store", "SmartMart"),),
+                benchmark=PastBenchmark(3),
+            )
+
+
+class TestAncestorValidation:
+    def test_valid_ancestor(self, schema):
+        statement = make(
+            schema,
+            group_by=GroupBySet(schema, ["product"]),
+            predicates=(),
+            benchmark=AncestorBenchmark("product", "type"),
+        )
+        assert statement.benchmark.ancestor_level == "type"
+
+    def test_level_must_be_in_group_by(self, schema):
+        with pytest.raises(ValidationError):
+            make(
+                schema,
+                group_by=GroupBySet(schema, ["month"]),
+                predicates=(),
+                benchmark=AncestorBenchmark("product", "type"),
+            )
+
+    def test_ancestor_must_be_coarser(self, schema):
+        with pytest.raises(ValidationError):
+            make(
+                schema,
+                group_by=GroupBySet(schema, ["type"]),
+                predicates=(),
+                benchmark=AncestorBenchmark("type", "product"),
+            )
+
+    def test_ancestor_must_share_hierarchy(self, schema):
+        with pytest.raises(ValidationError):
+            make(
+                schema,
+                group_by=GroupBySet(schema, ["product"]),
+                predicates=(),
+                benchmark=AncestorBenchmark("product", "country"),
+            )
+
+
+class TestPercOfTotalDesugaring:
+    def test_one_arg_gains_measure_denominator(self, schema):
+        from repro.core import FunctionCall, MeasureRef
+
+        statement = make(
+            schema,
+            benchmark=SiblingBenchmark("country", "France"),
+            using=FunctionCall(
+                "percOfTotal",
+                [
+                    FunctionCall(
+                        "difference",
+                        [MeasureRef("quantity"), MeasureRef("quantity", "benchmark")],
+                    )
+                ],
+            ),
+        )
+        assert statement.using.render() == (
+            "percOfTotal(difference(quantity, benchmark.quantity), quantity)"
+        )
+
+    def test_two_arg_form_untouched(self, schema):
+        from repro.core import FunctionCall, MeasureRef
+
+        statement = make(
+            schema,
+            using=FunctionCall(
+                "percOfTotal", [MeasureRef("quantity"), MeasureRef("storeSales")]
+            ),
+        )
+        assert statement.using.render() == "percOfTotal(quantity, storeSales)"
+
+
+class TestRender:
+    def test_full_render(self, schema):
+        statement = make(
+            schema,
+            predicates=(
+                Predicate.eq("type", "Fresh Fruit"),
+                Predicate.eq("country", "Italy"),
+            ),
+            benchmark=SiblingBenchmark("country", "France"),
+        )
+        text = statement.render()
+        assert "with SALES" in text
+        assert "for type = 'Fresh Fruit', country = 'Italy'" in text
+        assert "by product, country" in text
+        assert "assess quantity against country = 'France'" in text
+        assert "labels quartiles" in text
+
+    def test_star_render(self, schema):
+        statement = make(schema, star=True)
+        assert "assess* quantity" in statement.render()

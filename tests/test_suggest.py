@@ -1,0 +1,94 @@
+"""Unit tests for partial-statement completion (§8 future work)."""
+
+import pytest
+
+from repro.core import ParseError, RangeLabeling
+from repro.suggest import Completion, complete_statement
+
+
+class TestCompletion:
+    def test_missing_labels_completed(self, sales_session):
+        completions = complete_statement(
+            sales_session,
+            """with SALES for type = 'Fresh Fruit', country = 'Italy'
+               by product, country
+               assess quantity against country = 'France'
+               using ratio(quantity, benchmark.quantity)""",
+        )
+        assert completions
+        best = completions[0]
+        assert isinstance(best, Completion)
+        assert best.score > 0
+        assert len(best.result) > 0
+        # the given using clause is preserved
+        assert best.statement.using.render() == "ratio(quantity, benchmark.quantity)"
+
+    def test_missing_using_and_labels(self, sales_session):
+        completions = complete_statement(
+            sales_session,
+            """with SALES for type = 'Fresh Fruit', country = 'Italy'
+               by product, country
+               assess quantity against country = 'France'""",
+            top_k=5,
+        )
+        assert len(completions) >= 2
+        # ranked descending
+        scores = [completion.score for completion in completions]
+        assert scores == sorted(scores, reverse=True)
+        # every completion carries an executable, labeled result
+        for completion in completions:
+            assert completion.result.label_counts()
+            assert completion.rationale
+
+    def test_constant_benchmark_suggests_kpi_comparisons(self, sales_session):
+        completions = complete_statement(
+            sales_session,
+            "with SALES by month assess storeSales against 50000",
+            top_k=6,
+        )
+        rendered = [c.statement.using.render() for c in completions]
+        assert any("ratio(storeSales, 50000)" in r for r in rendered)
+
+    def test_zero_benchmark_uses_raw_or_zscore(self, sales_session):
+        completions = complete_statement(
+            sales_session, "with SALES by month assess storeSales", top_k=4
+        )
+        rendered = {c.statement.using.render() for c in completions}
+        assert rendered <= {"identity(storeSales)", "zscore(storeSales)"}
+
+    def test_past_benchmark_completion(self, sales_session):
+        completions = complete_statement(
+            sales_session,
+            """with SALES for month = '1997-07', store = 'SmartMart'
+               by month, store assess storeSales against past 4""",
+        )
+        assert completions
+        assert completions[0].result.plan_name in ("NP", "JOP", "POP")
+
+    def test_full_statement_passes_through(self, sales_session):
+        completions = complete_statement(
+            sales_session,
+            """with SALES by month assess storeSales against 50000
+               using ratio(storeSales, 50000)
+               labels {[0, 1): under, [1, inf): over}""",
+        )
+        assert len(completions) == 1
+        assert isinstance(completions[0].statement.labels, RangeLabeling)
+
+    def test_broken_statement_still_raises(self, sales_session):
+        with pytest.raises(ParseError):
+            complete_statement(sales_session, "with SALES assess nothing")
+
+    def test_degenerate_labelings_rank_low(self, sales_session):
+        """A labeling that puts everything in one class must not win."""
+        completions = complete_statement(
+            sales_session,
+            """with SALES for type = 'Fresh Fruit', country = 'Italy'
+               by product, country
+               assess quantity against country = 'France'
+               using ratio(quantity, benchmark.quantity)""",
+            top_k=10,
+        )
+        best = completions[0]
+        counts = best.result.label_counts()
+        assert len([c for c in counts.values() if c > 0]) >= 2
