@@ -67,11 +67,15 @@ def build_plan(
     statement: AssessStatement,
     engine: MultidimensionalEngine,
     plan_name: str = NP,
+    validate: bool = True,
 ) -> Plan:
     """Build a named plan for a statement.
 
     ``plan_name`` is ``"NP"``, ``"JOP"``, ``"POP"`` or ``"best"`` (the most
-    optimized feasible plan — the one Table 3 reports).
+    optimized feasible plan — the one Table 3 reports).  With ``validate``
+    (the default) the built plan is re-verified by the static analyzer's
+    plan passes, so a broken rewrite fails here with every defect listed
+    instead of crashing mid-execution.
     """
     feasible = feasible_plans(statement)
     if plan_name == "best":
@@ -82,15 +86,31 @@ def build_plan(
             f"{statement.benchmark.kind} benchmark (feasible: {', '.join(feasible)})"
         )
     plan = build_naive_plan(statement, engine)
-    if plan_name == NP:
-        return plan
-    plan = rewrite.push_join_to_sql(plan)
-    plan.name = JOP
-    if plan_name == JOP:
-        return plan
-    plan = rewrite.replace_join_with_pivot(plan)
-    plan.name = POP
+    if plan_name != NP:
+        plan = rewrite.push_join_to_sql(plan)
+        plan.name = JOP
+    if plan_name == POP:
+        plan = rewrite.replace_join_with_pivot(plan)
+        plan.name = POP
+    if validate:
+        validate_plan(plan, statement)
     return plan
+
+
+def validate_plan(plan: Plan, statement: AssessStatement) -> None:
+    """Run the analyzer's plan passes; raise :class:`PlanError` listing
+    *every* error-severity finding at once."""
+    from ..analysis import verify_plan
+
+    bag = verify_plan(plan, statement)
+    if bag.has_errors:
+        details = "\n".join(
+            f"  {diagnostic.code}: {diagnostic.message}"
+            for diagnostic in bag.errors()
+        )
+        raise PlanError(
+            f"plan {plan.name} failed verification:\n{details}"
+        )
 
 
 def build_all_plans(

@@ -1,0 +1,56 @@
+"""Pass-based static analysis of assess statements and logical plans.
+
+The analyzer turns the first-failure validation of the parser/planner into
+structured, multi-error reporting: every finding is a
+:class:`~repro.core.diagnostics.Diagnostic` with a stable ``ASSESSxxx``
+code, a severity, a source span and a message (see :mod:`.codes` for the
+catalog, and the "Diagnostics" section of ``docs/language.md`` for prose).
+
+Entry points
+------------
+
+* :func:`analyze_text` — lint one statement text end to end;
+* :func:`analyze_raw_statement` — run the statement passes over an
+  already-parsed raw AST (what ``parse_statement(collect_diagnostics=True)``
+  calls);
+* :func:`verify_plan` — run the plan passes over a built
+  :class:`~repro.algebra.plan.Plan` (what ``build_plan(validate=True)``
+  calls);
+* :mod:`.lint` — file-level linting behind ``python -m repro.cli lint``.
+"""
+
+from .codes import ALL_CODES, PLAN_CODES, STATEMENT_CODES, severity_of
+from .context import AnalysisContext
+from .lint import (
+    LintReport,
+    LintResult,
+    extract_statements,
+    lint_path,
+    lint_paths,
+    lint_statements,
+    lint_text,
+    render_report,
+    statements_from_python,
+)
+from .plan_passes import verify_plan
+from .statement_passes import analyze_raw_statement, analyze_text
+
+__all__ = [
+    "ALL_CODES",
+    "AnalysisContext",
+    "LintReport",
+    "LintResult",
+    "PLAN_CODES",
+    "STATEMENT_CODES",
+    "analyze_raw_statement",
+    "analyze_text",
+    "extract_statements",
+    "lint_path",
+    "lint_paths",
+    "lint_statements",
+    "lint_text",
+    "render_report",
+    "severity_of",
+    "statements_from_python",
+    "verify_plan",
+]

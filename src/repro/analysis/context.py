@@ -1,0 +1,118 @@
+"""The resolution context shared by all analysis passes.
+
+Passes never resolve names themselves; they ask the context, which wraps
+
+* a schema resolver (the same mapping-or-callable ``parse_statement``
+  accepts) — possibly absent, in which case schema-dependent checks skip;
+* a :class:`~repro.functions.registry.FunctionRegistry` (defaults to the
+  library registry) for using/labels function checks;
+* optionally an engine, enabling level-property resolution for unqualified
+  using-clause references that are not measures;
+* extra labeling names the caller knows about (e.g. session-defined specs).
+
+``strict`` controls how an unresolvable ``with`` cube is reported: an error
+(the statement cannot run here) or a mere info note (linting a file whose
+cubes are registered elsewhere, e.g. an example script that builds its own
+engine).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..core.schema import CubeSchema
+from ..functions.registry import FunctionRegistry, default_registry
+
+
+class AnalysisContext:
+    """Name-resolution services for statement and plan passes."""
+
+    def __init__(
+        self,
+        schemas=None,
+        registry: Optional[FunctionRegistry] = None,
+        engine=None,
+        known_labelings: Iterable[str] = (),
+        strict: bool = True,
+    ):
+        self.schemas = schemas
+        self.registry = registry if registry is not None else default_registry()
+        self.engine = engine
+        self.known_labelings = {name.lower() for name in known_labelings}
+        self.strict = bool(strict)
+
+    @property
+    def can_resolve_cubes(self) -> bool:
+        """Whether a schema resolver was supplied at all."""
+        return self.schemas is not None
+
+    def resolve(self, cube_name: str) -> Optional[CubeSchema]:
+        """The schema of a cube, or ``None`` when it cannot be resolved."""
+        if self.schemas is None:
+            return None
+        try:
+            if callable(self.schemas):
+                return self.schemas(cube_name)
+            return self.schemas[cube_name]
+        except Exception:
+            return None
+
+    def __call__(self, cube_name: str) -> CubeSchema:
+        """Act as a schema resolver (the callable flavour ``parse_statement``
+        accepts); raises ``KeyError`` for unresolvable cubes."""
+        schema = self.resolve(cube_name)
+        if schema is None:
+            raise KeyError(cube_name)
+        return schema
+
+    def knows_labeling(self, name: str) -> bool:
+        """Whether a labels-clause name resolves to *something* callable."""
+        return name.lower() in self.known_labelings or self.registry.has(name)
+
+    @classmethod
+    def for_session(cls, session, strict: bool = True) -> "AnalysisContext":
+        """A context bound to an :class:`~repro.api.AssessSession`."""
+        return cls(
+            schemas=lambda name: session.engine.cube(name).schema,
+            registry=session.registry,
+            engine=session.engine,
+            known_labelings=tuple(session._named_specs),
+            strict=strict,
+        )
+
+    @classmethod
+    def for_engines(cls, engines, strict: bool = True) -> "AnalysisContext":
+        """A context resolving cubes across several engines (the lint CLI
+        loads every demo cube so statements over any of them check out)."""
+        union = _EngineUnion(engines)
+
+        def resolve(name: str) -> CubeSchema:
+            return union.cube(name).schema
+
+        return cls(schemas=resolve, engine=union, strict=strict)
+
+
+class _EngineUnion:
+    """Duck-typed engine over several engines, first match wins."""
+
+    def __init__(self, engines):
+        self.engines = list(engines)
+
+    def _owner(self, source: str):
+        for engine in self.engines:
+            try:
+                engine.cube(source)
+            except Exception:
+                continue
+            return engine
+        return None
+
+    def cube(self, source: str):
+        owner = self._owner(source)
+        if owner is None:
+            raise KeyError(source)
+        return owner.cube(source)
+
+    def has_property(self, source: str, name: str) -> bool:
+        owner = self._owner(source)
+        return owner is not None and owner.has_property(source, name)

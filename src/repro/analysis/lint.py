@@ -1,0 +1,172 @@
+"""Linting: run the static analyzer over statement files and Python sources.
+
+Two input flavours are understood:
+
+* **statement files** (``.assess``/``.txt``/anything non-Python): one or
+  more statements, separated by ``;`` or simply by the next line starting
+  with ``with``; ``#`` and ``--`` comment lines are ignored;
+* **Python files**: every string literal that looks like an assess
+  statement (starts with ``with`` and contains ``assess``) is extracted via
+  the ``ast`` module and linted — this covers example scripts and the
+  experiment workload tables without executing them.
+
+Every statement is analyzed independently and *all* its diagnostics are
+collected, so one run reports every defect in a file.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+from ..core.diagnostics import Diagnostic, DiagnosticBag
+from .context import AnalysisContext
+from .statement_passes import analyze_text
+
+_STATEMENT_START = re.compile(r"(?im)^[ \t]*with\b")
+# Python sources hold many strings; only ones shaped like a *complete*
+# statement (with … assess … labels …) are linted — partial statements
+# (e.g. auto-completion demos) are deliberately left alone.
+_LOOKS_LIKE_STATEMENT = re.compile(
+    r"(?is)^\s*with\s+\w+.*\bassess\b.*\blabels\b"
+)
+_COMMENT = re.compile(r"^\s*(#|--)")
+
+
+@dataclass
+class LintResult:
+    """One statement's analysis outcome."""
+
+    origin: str
+    statement: str
+    bag: DiagnosticBag
+
+    @property
+    def has_errors(self) -> bool:
+        return self.bag.has_errors
+
+
+@dataclass
+class LintReport:
+    """All results of one lint run."""
+
+    results: List[LintResult] = field(default_factory=list)
+
+    @property
+    def statements(self) -> int:
+        return len(self.results)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(result.has_errors for result in self.results)
+
+    def diagnostics(self) -> List[Tuple[LintResult, Diagnostic]]:
+        pairs = []
+        for result in self.results:
+            for diagnostic in result.bag.sorted():
+                pairs.append((result, diagnostic))
+        return pairs
+
+    def summary(self) -> str:
+        errors = sum(len(result.bag.errors()) for result in self.results)
+        warnings = sum(len(result.bag.warnings()) for result in self.results)
+        return (
+            f"{self.statements} statement"
+            f"{'s' if self.statements != 1 else ''} checked: "
+            f"{errors} error{'s' if errors != 1 else ''}, "
+            f"{warnings} warning{'s' if warnings != 1 else ''}"
+        )
+
+
+def extract_statements(text: str) -> List[str]:
+    """Split statement-file text into individual statement texts."""
+    kept_lines = [
+        "" if _COMMENT.match(line) else line for line in text.splitlines()
+    ]
+    statements: List[str] = []
+    for piece in "\n".join(kept_lines).split(";"):
+        starts = [match.start() for match in _STATEMENT_START.finditer(piece)]
+        if not starts:
+            if piece.strip():
+                statements.append(piece.strip())
+            continue
+        # Anything before the first 'with' is junk — keep it attached so the
+        # parser flags it rather than silently dropping it.
+        starts[0] = 0
+        bounds = starts + [len(piece)]
+        for begin, end in zip(bounds, bounds[1:]):
+            chunk = piece[begin:end].strip()
+            if chunk:
+                statements.append(chunk)
+    return statements
+
+
+def statements_from_python(source: str) -> List[str]:
+    """Assess-statement string literals found in Python source."""
+    tree = ast.parse(source)
+    found: List[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if _LOOKS_LIKE_STATEMENT.match(node.value):
+                found.append(node.value.strip())
+    return found
+
+
+def lint_text(
+    text: str, context: AnalysisContext, origin: str = "<string>"
+) -> List[LintResult]:
+    """Lint raw statement-file text."""
+    return lint_statements(extract_statements(text), context, origin)
+
+
+def lint_statements(
+    statements: Sequence[str], context: AnalysisContext, origin: str
+) -> List[LintResult]:
+    """Lint a sequence of individual statement texts."""
+    results = []
+    for statement in statements:
+        _, bag = analyze_text(statement, context)
+        results.append(LintResult(origin, statement, bag))
+    return results
+
+
+def lint_path(path, context: AnalysisContext) -> List[LintResult]:
+    """Lint one file — Python sources and statement files alike."""
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix == ".py":
+        statements = statements_from_python(text)
+        return lint_statements(statements, context, str(path))
+    return lint_text(text, context, str(path))
+
+
+def lint_paths(paths: Sequence, context: AnalysisContext) -> LintReport:
+    """Lint files and directories (recursing into ``.py``/``.assess``/
+    ``.txt`` files) into one report."""
+    report = LintReport()
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            for child in sorted(entry.rglob("*")):
+                if child.suffix in (".py", ".assess", ".txt") and child.is_file():
+                    report.results.extend(lint_path(child, context))
+        else:
+            report.results.extend(lint_path(entry, context))
+    return report
+
+
+def render_report(report: LintReport, verbose: bool = False) -> str:
+    """Human-readable rendering: every diagnostic, then a summary line."""
+    lines: List[str] = []
+    for result in report.results:
+        if not result.bag and not verbose:
+            continue
+        first_line = result.statement.splitlines()[0] if result.statement else ""
+        lines.append(f"{result.origin}: {first_line}")
+        for diagnostic in result.bag.sorted():
+            lines.append("  " + diagnostic.render(result.statement))
+    lines.append(report.summary())
+    return "\n".join(lines)

@@ -1,0 +1,716 @@
+"""Statement passes: semantic checks over the raw (unvalidated) AST.
+
+Each pass inspects one aspect of a :class:`~repro.parser.raw.RawStatement`
+and reports *every* defect it finds into a shared
+:class:`~repro.core.diagnostics.DiagnosticBag` — unlike the binding stage,
+which raises on the first.  Passes degrade gracefully: when the ``with``
+cube cannot be resolved, schema-dependent checks are skipped rather than
+producing follow-on noise.
+
+The checks mirror the constraints of the paper: group-by well-formedness
+(Definition 2.3), benchmark joinability (Definition 3.1 for external cubes,
+the slicing requirements of Section 3.1 for sibling/past), using-clause
+resolution against the function library (Section 3.2), and label-range
+completeness/non-overlap (Section 3.3.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Set
+
+from ..core.diagnostics import Diagnostic, DiagnosticBag, Severity, Span
+from ..core.errors import ParseError, ReproError
+from ..core.expression import BinaryOp, Expression, FunctionCall, Literal, MeasureRef
+from ..core.labels import Interval, LabelRule, find_gaps, find_overlaps
+from ..core.schema import CubeSchema
+from ..parser.parser import bind_statement, parse_raw
+from ..parser.raw import RawBenchmark, RawPredicate, RawStatement
+from .context import AnalysisContext
+
+SOURCE = "statement"
+
+# Functions whose second argument is a denominator, so a literal zero there
+# is as much a defect as a literal zero after ``/``.
+_DENOMINATOR_FUNCTIONS = frozenset({"ratio"})
+
+
+def analyze_text(text: str, context: AnalysisContext):
+    """Analyze statement *text*: ``(statement_or_None, DiagnosticBag)``.
+
+    The full pipeline a linter wants: syntax (ASSESS001), every statement
+    pass, and — when the cube resolves and no error was found — a binding
+    attempt whose residual failures surface as ASSESS002 instead of raising.
+    In non-strict contexts an unresolvable cube skips binding silently.
+    """
+    try:
+        raw = parse_raw(text)
+    except ParseError as error:
+        span = (
+            Span.from_text(text, error.position)
+            if error.position >= 0
+            else None
+        )
+        return None, DiagnosticBag(
+            [Diagnostic("ASSESS001", Severity.ERROR, error.args[0], span,
+                        source="parse")]
+        )
+    bag = analyze_raw_statement(raw, context)
+    if bag.has_errors or context.resolve(raw.source) is None:
+        return None, bag
+    try:
+        return bind_statement(raw, context), bag
+    except ReproError as error:
+        span = (
+            Span.from_text(text, error.position)
+            if error.position >= 0
+            else None
+        )
+        bag.report("ASSESS002", Severity.ERROR, error.args[0], span,
+                   source="bind")
+        return None, bag
+
+
+def analyze_raw_statement(raw: RawStatement, context) -> DiagnosticBag:
+    """Run every statement pass; ``context`` is an :class:`AnalysisContext`
+    or a schema resolver (mapping/callable), as ``parse_statement`` takes."""
+    if not isinstance(context, AnalysisContext):
+        context = AnalysisContext(schemas=context)
+    bag = DiagnosticBag()
+    schema = _resolve_cube_pass(raw, context, bag)
+    _group_by_pass(raw, schema, bag)
+    _measure_pass(raw, schema, bag)
+    _predicate_pass(raw, schema, bag)
+    _benchmark_pass(raw, schema, context, bag)
+    _using_pass(raw, schema, context, bag)
+    _labels_pass(raw, context, bag)
+    return bag
+
+
+# ----------------------------------------------------------------------
+# Cube resolution (ASSESS101)
+# ----------------------------------------------------------------------
+def _resolve_cube_pass(
+    raw: RawStatement, context: AnalysisContext, bag: DiagnosticBag
+) -> Optional[CubeSchema]:
+    if not context.can_resolve_cubes:
+        return None
+    schema = context.resolve(raw.source)
+    if schema is None:
+        if context.strict:
+            bag.report(
+                "ASSESS101",
+                Severity.ERROR,
+                f"unknown cube {raw.source!r}",
+                raw.source_span,
+                source=SOURCE,
+            )
+        else:
+            bag.report(
+                "ASSESS101",
+                Severity.INFO,
+                f"cube {raw.source!r} is not registered here; "
+                "schema-dependent checks skipped",
+                raw.source_span,
+                source=SOURCE,
+            )
+    return schema
+
+
+# ----------------------------------------------------------------------
+# by clause (ASSESS102, ASSESS103)
+# ----------------------------------------------------------------------
+def _group_by_pass(
+    raw: RawStatement, schema: Optional[CubeSchema], bag: DiagnosticBag
+) -> None:
+    if schema is None:
+        return
+    first_by_hierarchy = {}
+    for name, span in raw.levels:
+        if not schema.has_level(name):
+            bag.report(
+                "ASSESS102",
+                Severity.ERROR,
+                f"cube {schema.name!r} has no level {name!r}",
+                span,
+                source=SOURCE,
+            )
+            continue
+        hierarchy = schema.hierarchy_of_level(name)
+        earlier = first_by_hierarchy.get(hierarchy.name)
+        if earlier is not None and earlier != name:
+            bag.report(
+                "ASSESS103",
+                Severity.ERROR,
+                f"levels {earlier!r} and {name!r} both belong to hierarchy "
+                f"{hierarchy.name!r}; a group-by set takes at most one level "
+                "per hierarchy",
+                span,
+                source=SOURCE,
+            )
+        else:
+            first_by_hierarchy[hierarchy.name] = name
+
+
+# ----------------------------------------------------------------------
+# assess clause (ASSESS104)
+# ----------------------------------------------------------------------
+def _measure_pass(
+    raw: RawStatement, schema: Optional[CubeSchema], bag: DiagnosticBag
+) -> None:
+    if schema is None or schema.has_measure(raw.measure):
+        return
+    bag.report(
+        "ASSESS104",
+        Severity.ERROR,
+        f"cube {schema.name!r} has no measure {raw.measure!r}",
+        raw.measure_span,
+        hint=f"measures: {', '.join(schema.measure_names())}",
+        source=SOURCE,
+    )
+
+
+# ----------------------------------------------------------------------
+# for clause (ASSESS105, ASSESS106, ASSESS107)
+# ----------------------------------------------------------------------
+def _render_predicate(predicate: RawPredicate) -> str:
+    if predicate.op == "=":
+        return f"{predicate.level} = {predicate.values[0]!r}"
+    if predicate.op == "in":
+        rendered = ", ".join(repr(v) for v in predicate.values)
+        return f"{predicate.level} in ({rendered})"
+    low, high = predicate.values
+    return f"{predicate.level} between {low!r} and {high!r}"
+
+
+def _predicate_pass(
+    raw: RawStatement, schema: Optional[CubeSchema], bag: DiagnosticBag
+) -> None:
+    earlier_by_level = {}
+    for predicate in raw.predicates:
+        if schema is not None and not schema.has_level(predicate.level):
+            bag.report(
+                "ASSESS105",
+                Severity.ERROR,
+                f"for predicate on unknown level {predicate.level!r}",
+                predicate.level_span,
+                source=SOURCE,
+            )
+        for earlier in earlier_by_level.get(predicate.level, ()):
+            if (earlier.op, earlier.values) == (predicate.op, predicate.values):
+                bag.report(
+                    "ASSESS106",
+                    Severity.WARNING,
+                    f"duplicate predicate {_render_predicate(predicate)}",
+                    predicate.span,
+                    source=SOURCE,
+                )
+                continue
+            mine = predicate.member_set()
+            theirs = earlier.member_set()
+            if mine is not None and theirs is not None and not (mine & theirs):
+                bag.report(
+                    "ASSESS107",
+                    Severity.ERROR,
+                    f"contradictory predicates on level {predicate.level!r}: "
+                    f"{_render_predicate(earlier)} and "
+                    f"{_render_predicate(predicate)} share no member",
+                    predicate.span,
+                    source=SOURCE,
+                )
+        earlier_by_level.setdefault(predicate.level, []).append(predicate)
+
+
+# ----------------------------------------------------------------------
+# against clause (ASSESS110..ASSESS115)
+# ----------------------------------------------------------------------
+def _benchmark_pass(
+    raw: RawStatement,
+    schema: Optional[CubeSchema],
+    context: AnalysisContext,
+    bag: DiagnosticBag,
+) -> None:
+    benchmark = raw.benchmark
+    if benchmark is None or benchmark.kind == "constant":
+        return
+    if benchmark.kind == "external":
+        _external_benchmark_pass(raw, benchmark, context, bag)
+    elif benchmark.kind == "sibling":
+        _sibling_benchmark_pass(raw, benchmark, bag)
+    elif benchmark.kind == "past":
+        _past_benchmark_pass(raw, benchmark, schema, bag)
+    elif benchmark.kind == "ancestor":
+        _ancestor_benchmark_pass(raw, benchmark, schema, bag)
+
+
+def _external_benchmark_pass(
+    raw: RawStatement,
+    benchmark: RawBenchmark,
+    context: AnalysisContext,
+    bag: DiagnosticBag,
+) -> None:
+    external = context.resolve(benchmark.cube)
+    if external is None:
+        if context.can_resolve_cubes and context.strict:
+            bag.report(
+                "ASSESS110",
+                Severity.ERROR,
+                f"unknown external cube {benchmark.cube!r}",
+                benchmark.span,
+                source=SOURCE,
+            )
+        return
+    # Joinability (Definition 3.1): the drill-across needs every group-by
+    # level to exist in the external cube's schema as well.
+    missing = [
+        name for name, _ in raw.levels if not external.has_level(name)
+    ]
+    if missing:
+        bag.report(
+            "ASSESS111",
+            Severity.ERROR,
+            f"external cube {benchmark.cube!r} has no level"
+            f"{'s' if len(missing) > 1 else ''} "
+            f"{', '.join(repr(m) for m in missing)}; the cubes are not "
+            "joinable (Definition 3.1)",
+            benchmark.span,
+            source=SOURCE,
+        )
+    if not external.has_measure(benchmark.measure):
+        bag.report(
+            "ASSESS112",
+            Severity.ERROR,
+            f"external cube {benchmark.cube!r} has no measure "
+            f"{benchmark.measure!r}",
+            benchmark.span,
+            hint=f"measures: {', '.join(external.measure_names())}",
+            source=SOURCE,
+        )
+
+
+def _single_member(raw: RawStatement, level: str):
+    """The single member a for-clause predicate slices ``level`` on, if any."""
+    predicate = raw.predicate_on(level)
+    if predicate is None:
+        return None
+    members = predicate.member_set()
+    if members is None or len(members) != 1:
+        return None
+    return next(iter(members))
+
+
+def _sibling_benchmark_pass(
+    raw: RawStatement, benchmark: RawBenchmark, bag: DiagnosticBag
+) -> None:
+    if benchmark.level not in raw.level_names():
+        bag.report(
+            "ASSESS113",
+            Severity.ERROR,
+            f"sibling level {benchmark.level!r} must belong to the by clause "
+            f"({', '.join(raw.level_names())})",
+            benchmark.span,
+            source=SOURCE,
+        )
+        return
+    member = _single_member(raw, benchmark.level)
+    if member is None:
+        bag.report(
+            "ASSESS113",
+            Severity.ERROR,
+            f"the for clause must slice level {benchmark.level!r} on a "
+            "single member for a sibling benchmark",
+            benchmark.span,
+            source=SOURCE,
+        )
+    elif member == benchmark.member:
+        bag.report(
+            "ASSESS113",
+            Severity.ERROR,
+            f"sibling member {benchmark.member!r} equals the target slice "
+            "member; a sibling must differ",
+            benchmark.span,
+            source=SOURCE,
+        )
+
+
+def _past_benchmark_pass(
+    raw: RawStatement,
+    benchmark: RawBenchmark,
+    schema: Optional[CubeSchema],
+    bag: DiagnosticBag,
+) -> None:
+    if benchmark.k < 1:
+        bag.report(
+            "ASSESS114",
+            Severity.ERROR,
+            f"past benchmark needs k >= 1, got {benchmark.k}",
+            benchmark.span,
+            source=SOURCE,
+        )
+    if schema is None:
+        return
+    temporal = schema.temporal_hierarchy()
+    if temporal is None:
+        bag.report(
+            "ASSESS114",
+            Severity.ERROR,
+            "past benchmark requires a temporal hierarchy (named or "
+            "containing a level 'date'/'time')",
+            benchmark.span,
+            source=SOURCE,
+        )
+        return
+    temporal_levels = [
+        name for name, _ in raw.levels if temporal.has_level(name)
+    ]
+    if not temporal_levels:
+        bag.report(
+            "ASSESS114",
+            Severity.ERROR,
+            f"past benchmark requires a level of the temporal hierarchy "
+            f"{temporal.name!r} in the by clause",
+            benchmark.span,
+            source=SOURCE,
+        )
+        return
+    level = temporal_levels[0]
+    if _single_member(raw, level) is None:
+        bag.report(
+            "ASSESS114",
+            Severity.ERROR,
+            f"the for clause must slice temporal level {level!r} on a "
+            "single member for a past benchmark",
+            benchmark.span,
+            source=SOURCE,
+        )
+
+
+def _ancestor_benchmark_pass(
+    raw: RawStatement,
+    benchmark: RawBenchmark,
+    schema: Optional[CubeSchema],
+    bag: DiagnosticBag,
+) -> None:
+    if schema is None:
+        return
+    if not schema.has_level(benchmark.ancestor_level):
+        bag.report(
+            "ASSESS115",
+            Severity.ERROR,
+            f"cube {schema.name!r} has no level {benchmark.ancestor_level!r}",
+            benchmark.span,
+            source=SOURCE,
+        )
+        return
+    hierarchy = schema.hierarchy_of_level(benchmark.ancestor_level)
+    finer = [
+        name
+        for name, _ in raw.levels
+        if hierarchy.has_level(name) and name != benchmark.ancestor_level
+    ]
+    if not finer:
+        bag.report(
+            "ASSESS115",
+            Severity.ERROR,
+            f"ancestor benchmark on {benchmark.ancestor_level!r} requires a "
+            f"finer level of hierarchy {hierarchy.name!r} in the by clause",
+            benchmark.span,
+            source=SOURCE,
+        )
+        return
+    if not hierarchy.rolls_up_to(finer[0], benchmark.ancestor_level):
+        bag.report(
+            "ASSESS115",
+            Severity.ERROR,
+            f"{finer[0]!r} does not roll up to {benchmark.ancestor_level!r}",
+            benchmark.span,
+            source=SOURCE,
+        )
+
+
+# ----------------------------------------------------------------------
+# using clause (ASSESS120..ASSESS126)
+# ----------------------------------------------------------------------
+def _benchmark_provides(
+    raw: RawStatement,
+    schema: Optional[CubeSchema],
+    context: AnalysisContext,
+) -> Optional[Set[str]]:
+    """The measure names available under the ``benchmark.`` qualifier, or
+    ``None`` when they cannot be determined statically."""
+    benchmark = raw.benchmark
+    if benchmark is None or benchmark.kind == "constant":
+        # The zero/constant benchmark exposes only the synthetic constant.
+        return {"constant"}
+    if benchmark.kind == "external":
+        external = context.resolve(benchmark.cube)
+        if external is None:
+            return None
+        return set(external.measure_names()) | {benchmark.measure}
+    # sibling / past / ancestor range over the target cube itself
+    if schema is None:
+        return None
+    return set(schema.measure_names())
+
+
+def _expr_span(raw: RawStatement, node: Expression) -> Optional[Span]:
+    return raw.span_of_expr(node) or raw.using_span
+
+
+def _using_pass(
+    raw: RawStatement,
+    schema: Optional[CubeSchema],
+    context: AnalysisContext,
+    bag: DiagnosticBag,
+) -> None:
+    expression = raw.using
+    if expression is None:
+        return  # the implicit difference(m, benchmark.m_B) is always sound
+    provided = _benchmark_provides(raw, schema, context)
+    saw_benchmark_ref = False
+
+    def walk(node: Expression) -> None:
+        nonlocal saw_benchmark_ref
+        if isinstance(node, FunctionCall):
+            _check_call(node)
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, BinaryOp):
+            if (
+                node.op == "/"
+                and isinstance(node.right, Literal)
+                and node.right.value == 0
+            ):
+                bag.report(
+                    "ASSESS122",
+                    Severity.ERROR,
+                    "division by constant zero",
+                    _expr_span(raw, node.right),
+                    source=SOURCE,
+                )
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, MeasureRef):
+            if node.qualifier == "benchmark":
+                saw_benchmark_ref = True
+            _check_ref(node)
+
+    def _check_call(node: FunctionCall) -> None:
+        span = _expr_span(raw, node)
+        if not context.registry.has(node.name):
+            bag.report(
+                "ASSESS120",
+                Severity.ERROR,
+                f"unknown function {node.name!r}",
+                span,
+                hint=f"registered: {', '.join(context.registry.names())}",
+                source=SOURCE,
+            )
+            return
+        entry = context.registry.get(node.name)
+        argc = len(node.args)
+        if entry.arity is not None and argc != entry.arity:
+            # percOfTotal(x) is sugar for percOfTotal(x, m) (Example 4.1).
+            if not (node.name.lower() == "percoftotal" and argc == 1):
+                bag.report(
+                    "ASSESS121",
+                    Severity.ERROR,
+                    f"function {node.name!r} takes {entry.arity} "
+                    f"argument{'s' if entry.arity != 1 else ''}, got {argc}",
+                    span,
+                    source=SOURCE,
+                )
+        if (
+            node.name.lower() in _DENOMINATOR_FUNCTIONS
+            and len(node.args) >= 2
+            and isinstance(node.args[1], Literal)
+            and node.args[1].value == 0
+        ):
+            bag.report(
+                "ASSESS122",
+                Severity.ERROR,
+                f"division by constant zero in {node.name!r}",
+                _expr_span(raw, node.args[1]),
+                source=SOURCE,
+            )
+
+    def _check_ref(node: MeasureRef) -> None:
+        span = _expr_span(raw, node)
+        if node.qualifier is None:
+            if schema is None or schema.has_measure(node.name):
+                return
+            engine = context.engine
+            if engine is not None:
+                if engine.has_property(raw.source, node.name):
+                    level, _, _ = (
+                        engine.cube(raw.source).star.property_binding(node.name)
+                    )
+                    if level not in raw.level_names():
+                        bag.report(
+                            "ASSESS124",
+                            Severity.ERROR,
+                            f"property {node.name!r} belongs to level "
+                            f"{level!r}, which must be in the by clause to "
+                            "be referenced",
+                            span,
+                            source=SOURCE,
+                        )
+                    return
+                bag.report(
+                    "ASSESS124",
+                    Severity.ERROR,
+                    f"{node.name!r} is neither a measure of {raw.source!r} "
+                    "nor a bound level property",
+                    span,
+                    source=SOURCE,
+                )
+            else:
+                bag.report(
+                    "ASSESS124",
+                    Severity.WARNING,
+                    f"{node.name!r} is not a measure of {raw.source!r} "
+                    "(level properties cannot be checked without an engine)",
+                    span,
+                    source=SOURCE,
+                )
+        elif node.qualifier == "benchmark":
+            if provided is None or node.name in provided:
+                return
+            engine = context.engine
+            if engine is not None and engine.has_property(raw.source, node.name):
+                return  # benchmark-qualified level property (§8 extension)
+            kind = raw.benchmark.kind if raw.benchmark is not None else "zero"
+            bag.report(
+                "ASSESS123",
+                Severity.ERROR,
+                f"the {kind} benchmark provides no measure {node.name!r} "
+                f"under the benchmark qualifier",
+                span,
+                hint=f"available: {', '.join(sorted(provided))}",
+                source=SOURCE,
+            )
+        else:
+            bag.report(
+                "ASSESS126",
+                Severity.ERROR,
+                f"unknown qualifier {node.qualifier!r} in "
+                f"{node.column_name!r}; only 'benchmark' is supported",
+                span,
+                source=SOURCE,
+            )
+
+    walk(expression)
+
+    benchmark = raw.benchmark
+    if (
+        benchmark is not None
+        and benchmark.kind != "constant"
+        and not saw_benchmark_ref
+    ):
+        bag.report(
+            "ASSESS125",
+            Severity.WARNING,
+            f"a {benchmark.kind} benchmark is declared but the using clause "
+            "never references benchmark.*; the comparison ignores it",
+            raw.using_span,
+            source=SOURCE,
+        )
+
+
+# ----------------------------------------------------------------------
+# labels clause (ASSESS130..ASSESS134)
+# ----------------------------------------------------------------------
+def _labels_pass(
+    raw: RawStatement, context: AnalysisContext, bag: DiagnosticBag
+) -> None:
+    labels = raw.labels
+    if labels is None:
+        return
+    if labels.kind == "named":
+        _named_labels_pass(labels, context, bag)
+        return
+
+    valid_rules: List[LabelRule] = []
+    span_by_rule = {}
+    for rule in labels.rules:
+        # Infinite bounds are always open (Interval forces this), so a
+        # syntactically closed '[inf' must be judged as open here.
+        low_closed = rule.low_closed and not math.isinf(rule.low)
+        high_closed = rule.high_closed and not math.isinf(rule.high)
+        if rule.low > rule.high:
+            bag.report(
+                "ASSESS132",
+                Severity.ERROR,
+                f"empty interval: low {rule.low} > high {rule.high}",
+                rule.span,
+                source=SOURCE,
+            )
+        elif rule.low == rule.high and not (low_closed and high_closed):
+            bag.report(
+                "ASSESS132",
+                Severity.ERROR,
+                f"degenerate interval at {rule.low} must be closed on both "
+                "ends",
+                rule.span,
+                source=SOURCE,
+            )
+        else:
+            valid = LabelRule(
+                Interval(rule.low, rule.high, low_closed, high_closed),
+                rule.label,
+            )
+            valid_rules.append(valid)
+            span_by_rule[id(valid)] = rule.span
+    if not valid_rules:
+        return
+    # Report every overlapping pair (ASSESS131) and every gap (ASSESS130).
+    for earlier, later in find_overlaps(valid_rules):
+        bag.report(
+            "ASSESS131",
+            Severity.ERROR,
+            f"label ranges {earlier.interval.render()} and "
+            f"{later.interval.render()} overlap",
+            span_by_rule.get(id(later), labels.span),
+            source=SOURCE,
+        )
+    gaps = find_gaps(valid_rules)
+    if gaps:
+        bag.report(
+            "ASSESS130",
+            Severity.WARNING,
+            "label ranges leave gaps: "
+            + ", ".join(gap.render() for gap in gaps)
+            + "; values there receive the null label",
+            labels.span,
+            source=SOURCE,
+        )
+
+
+def _named_labels_pass(labels, context: AnalysisContext, bag: DiagnosticBag) -> None:
+    name = labels.name
+    if name.lower() in context.known_labelings:
+        return
+    if not context.registry.has(name):
+        bag.report(
+            "ASSESS133",
+            Severity.WARNING,
+            f"labeling function {name!r} is not registered (it may be "
+            "defined by the session before execution)",
+            labels.span,
+            hint=(
+                "registered labelings: "
+                + ", ".join(context.registry.names(kind="labeling"))
+            ),
+            source=SOURCE,
+        )
+        return
+    entry = context.registry.get(name)
+    if entry.kind != "labeling":
+        bag.report(
+            "ASSESS134",
+            Severity.ERROR,
+            f"function {name!r} has kind {entry.kind!r}; the labels clause "
+            "needs a labeling function",
+            labels.span,
+            source=SOURCE,
+        )

@@ -103,6 +103,19 @@ class AssessSession:
         """Parse statement text against the session's registered cubes."""
         return parse_statement(text, lambda name: self.engine.cube(name).schema)
 
+    def analyze(self, text: str):
+        """Statically analyze statement text without raising.
+
+        Returns a :class:`~repro.core.diagnostics.DiagnosticBag` with every
+        finding of the analyzer — syntax errors, semantic defects, and
+        warnings alike — instead of the first-failure behaviour of
+        :meth:`parse`.
+        """
+        from .analysis import AnalysisContext, analyze_text
+
+        _, bag = analyze_text(text, AnalysisContext.for_session(self))
+        return bag
+
     def _resolve(self, statement: StatementLike) -> AssessStatement:
         if isinstance(statement, AssessStatement):
             return statement

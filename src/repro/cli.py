@@ -76,7 +76,74 @@ def repl(session: AssessSession, plan: str, explain: bool, limit: int) -> int:
     return 0
 
 
+def lint_main(argv=None) -> int:
+    """The ``lint`` subcommand: statically analyze statement files.
+
+    Exits 1 when any error-severity diagnostic is found; warnings alone
+    exit 0.  All diagnostics of every statement are printed in one run.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli lint",
+        description="Statically analyze assess statements in files "
+        "(.assess/.txt statement files, .py sources) or the bundled "
+        "experiment workload.",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint (default: the "
+                        "bundled experiment statements)")
+    parser.add_argument("--cube", choices=("sales", "ssb", "all", "none"),
+                        default="all",
+                        help="demo cubes to resolve statements against "
+                        "(default: all; 'none' skips schema checks, for "
+                        "sources that register their own cubes)")
+    parser.add_argument("--rows", type=int, default=2000,
+                        help="fact rows for the demo cubes (default: 2000)")
+    parser.add_argument("--permissive", action="store_true",
+                        help="report unknown cubes as notes, not errors "
+                        "(for sources that register their own cubes)")
+    parser.add_argument("--bundled", action="store_true",
+                        help="also lint the bundled experiment statements")
+    parser.add_argument("--verbose", action="store_true",
+                        help="list clean statements too")
+    args = parser.parse_args(argv)
+
+    from .analysis import AnalysisContext, lint_paths, lint_statements, render_report
+    from .experiments.statements import STATEMENTS, prepare_engine
+
+    if args.cube == "none":
+        context = AnalysisContext(schemas=None)
+    else:
+        engines = []
+        if args.cube in ("sales", "all"):
+            engines.append(sales_engine(n_rows=args.rows))
+        if args.cube in ("ssb", "all"):
+            engines.append(prepare_engine(lineorder_rows=args.rows))
+        context = AnalysisContext.for_engines(
+            engines, strict=not args.permissive
+        )
+
+    try:
+        report = lint_paths(args.paths, context)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.bundled or not args.paths:
+        report.results.extend(
+            lint_statements(
+                [text.strip() for text in STATEMENTS.values()],
+                context,
+                "experiments.statements",
+            )
+        )
+    print(render_report(report, verbose=args.verbose))
+    return 1 if report.has_errors else 0
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Run assess statements against a bundled demo cube.",

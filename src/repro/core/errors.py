@@ -10,7 +10,37 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for every error raised by the library."""
+    """Base class for every error raised by the library.
+
+    Any library error can carry a source position: :meth:`at` attaches the
+    offending offset (and the statement text) after the fact, which the
+    parser uses to point semantic errors raised by ``core`` constructors —
+    which know nothing about the surface text — at the clause that caused
+    them.  ``__str__`` renders a ``line:column`` prefix and a caret line
+    whenever a position is known.
+    """
+
+    position: int = -1
+    text: str = ""
+
+    def at(self, position: int, text: str) -> "ReproError":
+        """Attach a source position (no-op if one is already set)."""
+        if self.position < 0 and position >= 0:
+            self.position = position
+            self.text = text
+        return self
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.position >= 0 and self.text:
+            from .diagnostics import line_and_column
+
+            line, column = line_and_column(self.text, self.position)
+            source_lines = self.text.splitlines() or [""]
+            source_line = source_lines[min(line, len(source_lines)) - 1]
+            pointer = " " * (column - 1) + "^"
+            return f"{base} (at {line}:{column})\n  {source_line}\n  {pointer}"
+        return base
 
 
 class SchemaError(ReproError):
@@ -38,21 +68,20 @@ class ParseError(ReproError):
         self.position = position
         self.text = text
 
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        base = super().__str__()
-        if self.position >= 0 and self.text:
-            pointer = " " * self.position + "^"
-            return f"{base}\n  {self.text}\n  {pointer}"
-        return base
-
 
 class ValidationError(ReproError):
     """Raised when a parsed statement is semantically invalid.
 
     Examples: the ``by`` clause names an unknown level, the sibling member in
     ``against`` belongs to a level outside the group-by set, or a label range
-    set is incomplete/overlapping.
+    set is incomplete/overlapping.  Like every :class:`ReproError` it can
+    carry a source position (see :meth:`ReproError.at`).
     """
+
+    def __init__(self, message: str, position: int = -1, text: str = ""):
+        super().__init__(message)
+        self.position = position
+        self.text = text
 
 
 class JoinabilityError(ValidationError):

@@ -117,6 +117,84 @@ class LabelRule:
         return self.render()
 
 
+def _sorted_rules(rules: Sequence[LabelRule]) -> List[LabelRule]:
+    return sorted(rules, key=lambda rule: (rule.interval.low, not rule.interval.low_closed))
+
+
+def find_overlaps(rules: Sequence[LabelRule]) -> List[Tuple[LabelRule, LabelRule]]:
+    """Every pair of rules whose intervals share at least one value.
+
+    Pairs are returned in range order (not just the first collision), so
+    callers can report the complete defect set at once.
+    """
+    ordered = _sorted_rules(rules)
+    overlapping: List[Tuple[LabelRule, LabelRule]] = []
+    for i, earlier in enumerate(ordered):
+        for later in ordered[i + 1:]:
+            p, c = earlier.interval, later.interval
+            if c.low > p.high:
+                break  # sorted by low: no later rule can reach back into p
+            overlaps = c.low < p.high or (
+                c.low == p.high and p.high_closed and c.low_closed
+            )
+            if overlaps:
+                overlapping.append((earlier, later))
+    return overlapping
+
+
+def find_gaps(
+    rules: Sequence[LabelRule],
+    domain_low: float = NEG_INF,
+    domain_high: float = POS_INF,
+) -> List[Interval]:
+    """Every maximal uncovered interval of ``[domain_low, domain_high]``.
+
+    Each returned :class:`Interval` is a region where a comparison value
+    would receive the null label.  Degenerate single-point gaps (two open
+    endpoints touching) are reported as closed ``[x, x]`` intervals.
+    Overlapping rule sets should be rejected first; gaps are still computed
+    on a best-effort basis.
+    """
+    if not rules:
+        bounds_open_low = math.isinf(domain_low)
+        bounds_open_high = math.isinf(domain_high)
+        return [
+            Interval(domain_low, domain_high, not bounds_open_low, not bounds_open_high)
+        ]
+    ordered = _sorted_rules(rules)
+    gaps: List[Interval] = []
+
+    first = ordered[0].interval
+    if first.low > domain_low:
+        gaps.append(
+            Interval(
+                domain_low, first.low, not math.isinf(domain_low), not first.low_closed
+            )
+        )
+    elif first.low == domain_low and not first.low_closed and not math.isinf(domain_low):
+        gaps.append(Interval(domain_low, domain_low, True, True))
+
+    covered_high, covered_high_closed = first.high, first.high_closed
+    for rule in ordered[1:]:
+        c = rule.interval
+        if c.low > covered_high:
+            gaps.append(Interval(covered_high, c.low, not covered_high_closed, not c.low_closed))
+        elif c.low == covered_high and not covered_high_closed and not c.low_closed:
+            gaps.append(Interval(c.low, c.low, True, True))
+        if (c.high, c.high_closed) >= (covered_high, covered_high_closed):
+            covered_high, covered_high_closed = c.high, c.high_closed
+
+    if covered_high < domain_high:
+        gaps.append(
+            Interval(
+                covered_high, domain_high, not covered_high_closed, not math.isinf(domain_high)
+            )
+        )
+    elif covered_high == domain_high and not covered_high_closed and not math.isinf(domain_high):
+        gaps.append(Interval(domain_high, domain_high, True, True))
+    return gaps
+
+
 def validate_ranges(
     rules: Sequence[LabelRule],
     domain_low: float = NEG_INF,
@@ -129,42 +207,25 @@ def validate_ranges(
     complete and non-overlapping"; we verify non-overlap always (an
     overlapping set has no well-defined semantics) and completeness over
     ``[domain_low, domain_high]`` on request (values falling in gaps
-    otherwise receive the null label).
+    otherwise receive the null label).  Error messages enumerate *every*
+    overlapping pair and *every* uncovered gap, not just the first.
     """
     if not rules:
         raise ValidationError("labeling function needs at least one range")
-    ordered = sorted(rules, key=lambda rule: (rule.interval.low, not rule.interval.low_closed))
-    for previous, current in zip(ordered, ordered[1:]):
-        p, c = previous.interval, current.interval
-        if c.low < p.high:
-            raise ValidationError(
-                f"overlapping label ranges {p.render()} and {c.render()}"
-            )
-        if c.low == p.high and p.high_closed and c.low_closed:
-            raise ValidationError(
-                f"label ranges {p.render()} and {c.render()} both include {c.low}"
-            )
-        if require_complete:
-            gap = c.low > p.high or (
-                c.low == p.high and not p.high_closed and not c.low_closed
-            )
-            if gap:
-                raise ValidationError(
-                    f"gap between label ranges {p.render()} and {c.render()}"
-                )
+    overlaps = find_overlaps(rules)
+    if overlaps:
+        rendered = "; ".join(
+            f"{p.interval.render()} and {c.interval.render()}" for p, c in overlaps
+        )
+        raise ValidationError(f"overlapping label ranges: {rendered}")
     if require_complete:
-        first, last = ordered[0].interval, ordered[-1].interval
-        if first.low > domain_low or (
-            first.low == domain_low and not first.low_closed and not math.isinf(domain_low)
-        ):
+        gaps = find_gaps(rules, domain_low, domain_high)
+        if gaps:
+            rendered = ", ".join(gap.render() for gap in gaps)
             raise ValidationError(
-                f"label ranges do not cover the lower domain bound {domain_low}"
-            )
-        if last.high < domain_high or (
-            last.high == domain_high and not last.high_closed and not math.isinf(domain_high)
-        ):
-            raise ValidationError(
-                f"label ranges do not cover the upper domain bound {domain_high}"
+                f"incomplete label ranges over "
+                f"[{_render_bound(domain_low)}, {_render_bound(domain_high)}]; "
+                f"uncovered: {rendered}"
             )
 
 

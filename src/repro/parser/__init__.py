@@ -1,6 +1,25 @@
 """The assess statement language: tokenizer and parser (Section 4.1)."""
 
-from .parser import parse_statement
+from .parser import bind_statement, parse_raw, parse_statement
+from .raw import (
+    RawBenchmark,
+    RawLabelRule,
+    RawLabels,
+    RawPredicate,
+    RawStatement,
+)
 from .tokenizer import Token, TokenType, tokenize
 
-__all__ = ["Token", "TokenType", "parse_statement", "tokenize"]
+__all__ = [
+    "RawBenchmark",
+    "RawLabelRule",
+    "RawLabels",
+    "RawPredicate",
+    "RawStatement",
+    "Token",
+    "TokenType",
+    "bind_statement",
+    "parse_raw",
+    "parse_statement",
+    "tokenize",
+]

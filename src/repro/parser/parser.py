@@ -27,15 +27,27 @@ Grammar (keywords case-insensitive)::
     bound       := ["-"] (NUMBER | "inf")
     label       := IDENT | STRING | "*"+
 
-The parser resolves the ``with`` cube name against a schema mapping and
-returns a fully validated :class:`~repro.core.statement.AssessStatement`.
+Parsing runs in two stages (see :mod:`repro.parser.raw`):
+
+* :func:`parse_raw` — purely syntactic; produces a span-carrying
+  :class:`~repro.parser.raw.RawStatement` and raises only
+  :class:`~repro.core.errors.ParseError`;
+* :func:`bind_statement` — resolves the ``with`` cube against a schema
+  mapping and builds the fully validated
+  :class:`~repro.core.statement.AssessStatement`, raising on the first
+  semantic defect with the offending clause's source position attached.
+
+:func:`parse_statement` composes the two (the classic single-error
+contract); with ``collect_diagnostics=True`` it instead runs the static
+analyzer over the raw form and returns *every* defect at once.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Mapping, Optional, Union
+from typing import Callable, List, Mapping, Optional, Tuple, Union
 
-from ..core.errors import ParseError
+from ..core.diagnostics import Span
+from ..core.errors import ParseError, ReproError
 from ..core.expression import BinaryOp, Expression, FunctionCall, Literal, MeasureRef
 from ..core.groupby import GroupBySet
 from ..core.labels import (
@@ -56,26 +68,71 @@ from ..core.statement import (
     PastBenchmark,
     SiblingBenchmark,
 )
+from .raw import RawBenchmark, RawLabelRule, RawLabels, RawPredicate, RawStatement
 from .tokenizer import Token, TokenType, tokenize
 
 SchemaResolver = Union[Mapping[str, CubeSchema], Callable[[str], CubeSchema]]
 
 
-def parse_statement(text: str, schemas: SchemaResolver) -> AssessStatement:
+def parse_statement(
+    text: str,
+    schemas: SchemaResolver,
+    collect_diagnostics: bool = False,
+):
     """Parse statement text into a validated :class:`AssessStatement`.
 
     ``schemas`` maps cube names to their schemas (a dict, or any callable
     returning a schema for a name — e.g. ``lambda n: engine.cube(n).schema``).
+
+    With ``collect_diagnostics=True`` the call never raises on statement
+    defects: it returns ``(statement_or_None, DiagnosticBag)`` where the bag
+    holds *every* finding of the static analyzer (not just the first), and
+    the statement is ``None`` whenever an error-severity diagnostic exists.
     """
-    return _Parser(text, schemas).parse()
+    if not collect_diagnostics:
+        return bind_statement(parse_raw(text), schemas)
+
+    from ..analysis import analyze_raw_statement
+    from ..core.diagnostics import Diagnostic, DiagnosticBag, Severity
+
+    try:
+        raw = parse_raw(text)
+    except ParseError as error:
+        span = (
+            Span.from_text(text, error.position)
+            if error.position >= 0
+            else None
+        )
+        bag = DiagnosticBag(
+            [Diagnostic("ASSESS001", Severity.ERROR, error.args[0], span, source="parse")]
+        )
+        return None, bag
+
+    bag = analyze_raw_statement(raw, schemas)
+    if bag.has_errors:
+        return None, bag
+    try:
+        return bind_statement(raw, schemas), bag
+    except ReproError as error:
+        span = (
+            Span.from_text(text, error.position)
+            if error.position >= 0
+            else None
+        )
+        bag.report("ASSESS002", Severity.ERROR, error.args[0], span, source="bind")
+        return None, bag
+
+
+def parse_raw(text: str) -> RawStatement:
+    """The syntactic stage alone: text → :class:`RawStatement`."""
+    return _Parser(text).parse_raw()
 
 
 class _Parser:
-    def __init__(self, text: str, schemas: SchemaResolver):
+    def __init__(self, text: str):
         self.text = text
         self.tokens = tokenize(text)
         self.position = 0
-        self._schemas = schemas
 
     # ------------------------------------------------------------------
     # Token plumbing
@@ -120,26 +177,25 @@ class _Parser:
         token = self._peek()
         return ParseError(message, position=token.position, text=self.text)
 
-    def _resolve_schema(self, cube_name: str) -> CubeSchema:
-        if callable(self._schemas):
-            return self._schemas(cube_name)
-        try:
-            return self._schemas[cube_name]
-        except KeyError:
-            known = ", ".join(sorted(self._schemas))
-            raise self._error(
-                f"unknown cube {cube_name!r} (known: {known})"
-            ) from None
+    def _span_from(self, start_token: Token) -> Span:
+        """Span from a token's start to the end of the previous token."""
+        previous = self.tokens[max(self.position - 1, 0)]
+        end = previous.end if previous.end >= 0 else start_token.position
+        return Span(
+            start_token.position,
+            max(end, start_token.position),
+            start_token.line,
+            start_token.column,
+        )
 
     # ------------------------------------------------------------------
-    # Statement
+    # Statement (syntactic stage)
     # ------------------------------------------------------------------
-    def parse(self) -> AssessStatement:
+    def parse_raw(self) -> RawStatement:
         self._expect_keyword("with")
-        source = self._expect(TokenType.IDENT, "a cube name").value
-        schema = self._resolve_schema(source)
+        source_token = self._expect(TokenType.IDENT, "a cube name")
 
-        predicates: List[Predicate] = []
+        predicates: List[RawPredicate] = []
         if self._accept_keyword("for"):
             predicates.append(self._parse_predicate())
             while self._peek().type is TokenType.COMMA:
@@ -147,58 +203,59 @@ class _Parser:
                 predicates.append(self._parse_predicate())
 
         self._expect_keyword("by")
-        levels = [self._expect(TokenType.IDENT, "a level name").value]
+        level_token = self._expect(TokenType.IDENT, "a level name")
+        levels: List[Tuple[str, Span]] = [(level_token.value, level_token.span)]
         while self._peek().type is TokenType.COMMA:
             self._advance()
-            levels.append(self._expect(TokenType.IDENT, "a level name").value)
-        group_by = GroupBySet(schema, levels)
+            level_token = self._expect(TokenType.IDENT, "a level name")
+            levels.append((level_token.value, level_token.span))
 
         self._expect_keyword("assess")
         star = False
         if self._peek().type is TokenType.STAR:
             self._advance()
             star = True
-        measure = self._expect(TokenType.IDENT, "a measure name").value
+        measure_token = self._expect(TokenType.IDENT, "a measure name")
 
-        benchmark: Optional[BenchmarkSpec] = None
+        raw = RawStatement(
+            text=self.text,
+            source=source_token.value,
+            source_span=source_token.span,
+            levels=levels,
+            star=star,
+            measure=measure_token.value,
+            measure_span=measure_token.span,
+            predicates=predicates,
+        )
+
         if self._accept_keyword("against"):
-            benchmark = self._parse_against()
-            if isinstance(benchmark, _DeferredAncestor):
-                benchmark = _resolve_deferred_ancestor(schema, group_by, benchmark)
+            raw.benchmark = self._parse_against()
 
-        using: Optional[Expression] = None
-        if self._accept_keyword("using"):
-            using = self._parse_expression()
+        if self._peek().matches_keyword("using"):
+            using_start = self._advance()
+            raw.using = self._parse_expression(raw)
+            raw.using_span = self._span_from(using_start)
 
         self._expect_keyword("labels")
-        labels = self._parse_labels()
+        raw.labels = self._parse_labels()
 
         end = self._peek()
         if end.type is not TokenType.END:
             raise self._error(f"unexpected trailing input {end.value!r}")
-
-        return AssessStatement(
-            source=source,
-            schema=schema,
-            group_by=group_by,
-            measure=measure,
-            predicates=tuple(predicates),
-            benchmark=benchmark,
-            using=using,
-            labels=labels,
-            star=star,
-        )
+        return raw
 
     # ------------------------------------------------------------------
     # for clause
     # ------------------------------------------------------------------
-    def _parse_predicate(self) -> Predicate:
-        level = self._expect(TokenType.IDENT, "a level name").value
+    def _parse_predicate(self) -> RawPredicate:
+        level_token = self._expect(TokenType.IDENT, "a level name")
+        level = level_token.value
         token = self._peek()
         if token.type is TokenType.EQUALS:
             self._advance()
-            return Predicate.eq(level, self._parse_value())
-        if token.matches_keyword("in"):
+            values: Tuple = (self._parse_value(),)
+            op = "="
+        elif token.matches_keyword("in"):
             self._advance()
             self._expect(TokenType.LPAREN, "'('")
             members = [self._parse_value()]
@@ -206,14 +263,20 @@ class _Parser:
                 self._advance()
                 members.append(self._parse_value())
             self._expect(TokenType.RPAREN, "')'")
-            return Predicate.isin(level, members)
-        if token.matches_keyword("between"):
+            values = tuple(members)
+            op = "in"
+        elif token.matches_keyword("between"):
             self._advance()
             low = self._parse_value()
             self._expect_keyword("and")
             high = self._parse_value()
-            return Predicate.between(level, low, high)
-        raise self._error(f"expected '=', 'in' or 'between' after level {level!r}")
+            values = (low, high)
+            op = "between"
+        else:
+            raise self._error(f"expected '=', 'in' or 'between' after level {level!r}")
+        return RawPredicate(
+            level, op, values, self._span_from(level_token), level_token.span
+        )
 
     def _parse_value(self):
         token = self._peek()
@@ -228,31 +291,46 @@ class _Parser:
     # ------------------------------------------------------------------
     # against clause
     # ------------------------------------------------------------------
-    def _parse_against(self) -> BenchmarkSpec:
+    def _parse_against(self) -> RawBenchmark:
         token = self._peek()
         if token.type is TokenType.NUMBER:
-            return ConstantBenchmark(_numeric(self._advance().value))
+            self._advance()
+            return RawBenchmark(
+                "constant", token.span, value=_numeric(token.value)
+            )
         if token.matches_keyword("past"):
-            self._advance()
+            start = self._advance()
             count = self._expect(TokenType.NUMBER, "the past window length")
-            return PastBenchmark(int(float(count.value)))
+            return RawBenchmark(
+                "past", self._span_from(start), k=int(float(count.value))
+            )
         if token.matches_keyword("ancestor"):
-            self._advance()
+            start = self._advance()
             # The slice level of the ancestor comparison is recovered at
-            # validation time from the group-by set; the syntax names only
+            # binding time from the group-by set; the syntax names only
             # the ancestor level (e.g. "against ancestor type").
-            ancestor = self._expect(TokenType.IDENT, "an ancestor level").value
-            return _DeferredAncestor(ancestor)
+            ancestor = self._expect(TokenType.IDENT, "an ancestor level")
+            return RawBenchmark(
+                "ancestor", self._span_from(start), ancestor_level=ancestor.value
+            )
         if token.type is TokenType.IDENT:
-            name = self._advance().value
+            start = self._advance()
             follow = self._peek()
             if follow.type is TokenType.DOT:
                 self._advance()
-                measure = self._expect(TokenType.IDENT, "a measure name").value
-                return ExternalBenchmark(name, measure)
+                measure = self._expect(TokenType.IDENT, "a measure name")
+                return RawBenchmark(
+                    "external",
+                    self._span_from(start),
+                    cube=start.value,
+                    measure=measure.value,
+                )
             if follow.type is TokenType.EQUALS:
                 self._advance()
-                return SiblingBenchmark(name, self._parse_value())
+                member = self._parse_value()
+                return RawBenchmark(
+                    "sibling", self._span_from(start), level=start.value, member=member
+                )
             raise self._error(
                 "expected '.' (external benchmark) or '=' (sibling benchmark)"
             )
@@ -261,70 +339,86 @@ class _Parser:
     # ------------------------------------------------------------------
     # using clause — expression grammar
     # ------------------------------------------------------------------
-    def _parse_expression(self) -> Expression:
-        left = self._parse_term()
+    def _parse_expression(self, raw: RawStatement) -> Expression:
+        start = self._peek()
+        left = self._parse_term(raw)
         while self._peek().type in (TokenType.PLUS, TokenType.MINUS):
             op = self._advance().value
-            right = self._parse_term()
+            right = self._parse_term(raw)
             left = BinaryOp(op, left, right)
+            raw.expr_spans[id(left)] = self._span_from(start)
         return left
 
-    def _parse_term(self) -> Expression:
-        left = self._parse_factor()
+    def _parse_term(self, raw: RawStatement) -> Expression:
+        start = self._peek()
+        left = self._parse_factor(raw)
         while self._peek().type in (TokenType.STAR, TokenType.SLASH):
             op = self._advance().value
-            right = self._parse_factor()
+            right = self._parse_factor(raw)
             left = BinaryOp(op, left, right)
+            raw.expr_spans[id(left)] = self._span_from(start)
         return left
 
-    def _parse_factor(self) -> Expression:
+    def _parse_factor(self, raw: RawStatement) -> Expression:
         token = self._peek()
         if token.type is TokenType.MINUS:
             self._advance()
-            inner = self._parse_factor()
-            return BinaryOp("-", Literal(0.0), inner)
+            inner = self._parse_factor(raw)
+            node: Expression = BinaryOp("-", Literal(0.0), inner)
+            raw.expr_spans[id(node)] = self._span_from(token)
+            return node
         if token.type is TokenType.NUMBER:
-            return Literal(_numeric(self._advance().value))
+            self._advance()
+            node = Literal(_numeric(token.value))
+            raw.expr_spans[id(node)] = token.span
+            return node
         if token.type is TokenType.LPAREN:
             self._advance()
-            inner = self._parse_expression()
+            inner = self._parse_expression(raw)
             self._expect(TokenType.RPAREN, "')'")
             return inner
         if token.type is TokenType.IDENT:
-            name = self._advance().value
+            self._advance()
             follow = self._peek()
             if follow.type is TokenType.LPAREN:
                 self._advance()
                 args: List[Expression] = []
                 if self._peek().type is not TokenType.RPAREN:
-                    args.append(self._parse_expression())
+                    args.append(self._parse_expression(raw))
                     while self._peek().type is TokenType.COMMA:
                         self._advance()
-                        args.append(self._parse_expression())
+                        args.append(self._parse_expression(raw))
                 self._expect(TokenType.RPAREN, "')'")
-                return FunctionCall(name, args)
+                node = FunctionCall(token.value, args)
+                raw.expr_spans[id(node)] = self._span_from(token)
+                return node
             if follow.type is TokenType.DOT:
                 self._advance()
-                measure = self._expect(TokenType.IDENT, "a measure name").value
-                return MeasureRef(measure, qualifier=name)
-            return MeasureRef(name)
+                measure = self._expect(TokenType.IDENT, "a measure name")
+                node = MeasureRef(measure.value, qualifier=token.value)
+                raw.expr_spans[id(node)] = token.span.merge(measure.span)
+                return node
+            node = MeasureRef(token.value)
+            raw.expr_spans[id(node)] = token.span
+            return node
         raise self._error(f"cannot parse expression at {token.value!r}")
 
     # ------------------------------------------------------------------
     # labels clause
     # ------------------------------------------------------------------
-    def _parse_labels(self) -> LabelingSpec:
+    def _parse_labels(self) -> RawLabels:
         token = self._peek()
         if token.type is TokenType.LBRACE:
             return self._parse_range_set()
         if token.type is TokenType.IDENT:
-            return NamedLabeling(self._advance().value)
+            self._advance()
+            return RawLabels("named", token.span, name=token.value)
         raise self._error(
             "expected a labeling function name or an inline range set"
         )
 
-    def _parse_range_set(self) -> RangeLabeling:
-        self._expect(TokenType.LBRACE, "'{'")
+    def _parse_range_set(self) -> RawLabels:
+        open_token = self._expect(TokenType.LBRACE, "'{'")
         rules = [self._parse_rule()]
         while self._peek().type is TokenType.COMMA:
             self._advance()
@@ -334,9 +428,9 @@ class _Parser:
                 break
             rules.append(self._parse_rule())
         self._expect(TokenType.RBRACE, "'}'")
-        return RangeLabeling(rules)
+        return RawLabels("ranges", self._span_from(open_token), rules=rules)
 
-    def _parse_rule(self) -> LabelRule:
+    def _parse_rule(self) -> RawLabelRule:
         open_token = self._peek()
         if open_token.type is TokenType.LBRACKET:
             low_closed = True
@@ -358,7 +452,9 @@ class _Parser:
         self._advance()
         self._expect(TokenType.COLON, "':'")
         label = self._parse_label()
-        return LabelRule(Interval(low, high, low_closed, high_closed), label)
+        return RawLabelRule(
+            low, high, low_closed, high_closed, label, self._span_from(open_token)
+        )
 
     def _parse_bound(self) -> float:
         sign = 1.0
@@ -388,30 +484,134 @@ class _Parser:
         raise self._error(f"expected a label, found {token.value!r}")
 
 
-class _DeferredAncestor(BenchmarkSpec):
-    """Placeholder the parser uses before the slice level is known."""
-
-    kind = "ancestor"
-
-    def __init__(self, ancestor_level: str):
-        self.ancestor_level = ancestor_level
-
-
 def _numeric(text: str) -> float:
     return float(text)
 
 
 # ----------------------------------------------------------------------
-# Post-parse fixups
+# Binding stage: RawStatement -> validated AssessStatement
 # ----------------------------------------------------------------------
-def _resolve_deferred_ancestor(
-    schema: CubeSchema, group_by: GroupBySet, spec: _DeferredAncestor
-) -> AncestorBenchmark:
-    hierarchy = schema.hierarchy_of_level(spec.ancestor_level)
-    for level_name in group_by.levels:
-        if hierarchy.has_level(level_name) and level_name != spec.ancestor_level:
-            return AncestorBenchmark(level_name, spec.ancestor_level)
+def resolve_schema(
+    schemas: SchemaResolver, cube_name: str
+) -> CubeSchema:
+    """Resolve a cube name; raises ``KeyError`` for unknown mapping keys."""
+    if callable(schemas):
+        return schemas(cube_name)
+    return schemas[cube_name]
+
+
+def bind_statement(raw: RawStatement, schemas: SchemaResolver) -> AssessStatement:
+    """Semantic stage: resolve the schema and build the validated statement.
+
+    Raises the first semantic error encountered — as the original one-shot
+    parser did — but with the offending clause's source position attached
+    (see :meth:`~repro.core.errors.ReproError.at`).
+    """
+    text = raw.text
+    try:
+        schema = resolve_schema(schemas, raw.source)
+    except KeyError:
+        known = ", ".join(sorted(schemas)) if not callable(schemas) else ""
+        suffix = f" (known: {known})" if known else ""
+        raise ParseError(
+            f"unknown cube {raw.source!r}{suffix}",
+            position=raw.source_span.start,
+            text=text,
+        ) from None
+    except ReproError as error:
+        raise error.at(raw.source_span.start, text)
+
+    predicates = [_bind_predicate(p) for p in raw.predicates]
+
+    try:
+        group_by = GroupBySet(schema, raw.level_names())
+    except ReproError as error:
+        raise error.at(raw.levels[0][1].start, text)
+
+    benchmark: Optional[BenchmarkSpec] = None
+    if raw.benchmark is not None:
+        try:
+            benchmark = _bind_benchmark(raw.benchmark, schema, group_by, text)
+        except ReproError as error:
+            raise error.at(raw.benchmark.span.start, text)
+
+    try:
+        labels = _bind_labels(raw.labels, text)
+    except ReproError as error:
+        raise error.at(raw.labels.span.start, text)
+
+    anchor = raw.benchmark.span.start if raw.benchmark is not None else raw.measure_span.start
+    try:
+        return AssessStatement(
+            source=raw.source,
+            schema=schema,
+            group_by=group_by,
+            measure=raw.measure,
+            predicates=tuple(predicates),
+            benchmark=benchmark,
+            using=raw.using,
+            labels=labels,
+            star=raw.star,
+        )
+    except ReproError as error:
+        raise error.at(anchor, text)
+
+
+def _bind_predicate(raw: RawPredicate) -> Predicate:
+    if raw.op == "=":
+        return Predicate.eq(raw.level, raw.values[0])
+    if raw.op == "in":
+        return Predicate.isin(raw.level, raw.values)
+    low, high = raw.values
+    return Predicate.between(raw.level, low, high)
+
+
+def _bind_benchmark(
+    raw: RawBenchmark, schema: CubeSchema, group_by: GroupBySet, text: str
+) -> BenchmarkSpec:
+    if raw.kind == "constant":
+        return ConstantBenchmark(raw.value)
+    if raw.kind == "past":
+        return PastBenchmark(raw.k)
+    if raw.kind == "external":
+        return ExternalBenchmark(raw.cube, raw.measure)
+    if raw.kind == "sibling":
+        return SiblingBenchmark(raw.level, raw.member)
+    if raw.kind == "ancestor":
+        return _resolve_ancestor(schema, group_by, raw, text)
     raise ParseError(
-        f"ancestor benchmark on {spec.ancestor_level!r} requires a finer "
-        f"level of hierarchy {hierarchy.name!r} in the by clause"
+        f"unknown benchmark kind {raw.kind!r}", position=raw.span.start, text=text
+    )
+
+
+def _bind_labels(raw: Optional[RawLabels], text: str) -> Optional[LabelingSpec]:
+    if raw is None:
+        return None
+    if raw.kind == "named":
+        return NamedLabeling(raw.name)
+    rules = []
+    for rule in raw.rules:
+        try:
+            interval = Interval(
+                rule.low, rule.high, rule.low_closed, rule.high_closed
+            )
+        except ReproError as error:
+            raise error.at(rule.span.start, text)
+        rules.append(LabelRule(interval, rule.label))
+    return RangeLabeling(rules)
+
+
+def _resolve_ancestor(
+    schema: CubeSchema, group_by: GroupBySet, raw: RawBenchmark, text: str
+) -> AncestorBenchmark:
+    """Recover the slice level of an ancestor benchmark from the by clause."""
+    hierarchy = schema.hierarchy_of_level(raw.ancestor_level)
+    for level_name in group_by.levels:
+        if hierarchy.has_level(level_name) and level_name != raw.ancestor_level:
+            return AncestorBenchmark(level_name, raw.ancestor_level)
+    raise ParseError(
+        f"ancestor benchmark on {raw.ancestor_level!r} requires a finer "
+        f"level of hierarchy {hierarchy.name!r} in the by clause",
+        position=raw.span.start,
+        text=text,
     )

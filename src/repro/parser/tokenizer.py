@@ -58,10 +58,21 @@ class Token(NamedTuple):
     type: TokenType
     value: str
     position: int
+    line: int = 1
+    column: int = 1
+    end: int = -1
 
     def matches_keyword(self, keyword: str) -> bool:
         """Case-insensitive keyword check (keywords are IDENT tokens)."""
         return self.type is TokenType.IDENT and self.value.lower() == keyword.lower()
+
+    @property
+    def span(self):
+        """The token's source :class:`~repro.core.diagnostics.Span`."""
+        from ..core.diagnostics import Span
+
+        end = self.end if self.end >= 0 else self.position + max(len(self.value), 1)
+        return Span(self.position, end, self.line, self.column)
 
 
 def _is_ident_start(char: str) -> bool:
@@ -73,34 +84,54 @@ def _is_ident_char(char: str) -> bool:
 
 
 def tokenize(text: str) -> List[Token]:
-    """Tokenize statement text; raises :class:`ParseError` on bad input."""
+    """Tokenize statement text; raises :class:`ParseError` on bad input.
+
+    Tokens carry their start offset, 1-based line/column, and end offset,
+    so parse and analysis diagnostics can point at exact source spans.
+    """
     tokens: List[Token] = []
     i, n = 0, len(text)
+    line, line_start = 1, 0
+
+    def emit(token_type: TokenType, value: str, start: int, end: int) -> None:
+        tokens.append(
+            Token(token_type, value, start, line, start - line_start + 1, end)
+        )
+
     while i < n:
         char = text[i]
         if char.isspace():
+            if char == "\n":
+                line += 1
+                line_start = i + 1
             i += 1
             continue
         if char == "'":
+            start = i
             value, i = _read_string(text, i)
-            tokens.append(Token(TokenType.STRING, value, i))
+            emit(TokenType.STRING, value, start, i)
+            raw = text[start:i]
+            if "\n" in raw:  # keep line tracking right across multi-line literals
+                line += raw.count("\n")
+                line_start = start + raw.rfind("\n") + 1
             continue
         if char.isdigit():
+            start = i
             value, i = _read_number(text, i)
-            tokens.append(Token(TokenType.NUMBER, value, i))
+            emit(TokenType.NUMBER, value, start, i)
             continue
         if _is_ident_start(char):
             start = i
             while i < n and _is_ident_char(text[i]):
                 i += 1
-            tokens.append(Token(TokenType.IDENT, text[start:i], start))
+            emit(TokenType.IDENT, text[start:i], start, i)
             continue
         if char in PUNCTUATION:
-            tokens.append(Token(TokenType[PUNCTUATION[char]], char, i))
+            emit(TokenType[PUNCTUATION[char]], char, i, i + 1)
             i += 1
             continue
         raise ParseError(f"unexpected character {char!r}", position=i, text=text)
-    tokens.append(Token(TokenType.END, "", n))
+    tokens.append(Token(TokenType.END, "", n, line, n - line_start + 1, n))
     return tokens
 
 

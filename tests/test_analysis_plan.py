@@ -1,0 +1,235 @@
+"""Plan-pass tests: every freshly built feasible plan verifies clean, and a
+tampered plan produces exactly the right ASSESS2xx code."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.plan import (
+    STEP_TRANSFORM,
+    AddConstantNode,
+    JoinNode,
+    LabelNode,
+    PivotNode,
+    Plan,
+    UsingNode,
+)
+from repro.algebra.planner import PlanError, build_plan, feasible_plans, validate_plan
+from repro.analysis import verify_plan
+from repro.experiments.statements import STATEMENTS, prepare_engine
+from repro.parser.parser import parse_statement
+
+
+@pytest.fixture(scope="module")
+def engine():
+    """A small engine with the experiment cubes (SSB + BUDGET at month, part)."""
+    return prepare_engine(lineorder_rows=2000)
+
+
+@pytest.fixture(scope="module")
+def statements(engine):
+    resolver = lambda name: engine.cube(name).schema  # noqa: E731
+    parsed = {
+        key.lower(): parse_statement(text, resolver)
+        for key, text in STATEMENTS.items()
+    }
+    parsed["zero"] = parse_statement(
+        "with SSB by year assess revenue labels quartiles", resolver
+    )
+    return parsed
+
+
+def fresh(statements, engine, key, plan_name):
+    """Build a plan without the planner's own validation."""
+    return build_plan(statements[key], engine, plan_name, validate=False)
+
+
+# ----------------------------------------------------------------------
+# Clean plans: every benchmark kind, every feasible plan, zero findings.
+# ----------------------------------------------------------------------
+def test_all_feasible_plans_verify_clean(statements, engine):
+    checked = 0
+    for key, statement in statements.items():
+        for plan_name in feasible_plans(statement):
+            plan = build_plan(statement, engine, plan_name, validate=False)
+            bag = verify_plan(plan, statement)
+            assert not bag, (
+                f"{key}/{plan_name}: {[str(d) for d in bag]}"
+            )
+            checked += 1
+    assert checked >= 8  # zero+constant (NP), external (NP, JOP), sibling/past (×3)
+
+
+def test_verify_plan_without_statement_runs_structural_passes(statements, engine):
+    plan = fresh(statements, engine, "sibling", "NP")
+    assert not verify_plan(plan)
+
+
+# ----------------------------------------------------------------------
+# ASSESS201 — Using -> Label tail shape
+# ----------------------------------------------------------------------
+def reparent(plan, root):
+    return Plan(
+        plan.name, root, plan.measure, plan.benchmark_column,
+        plan.comparison_column, plan.label_column,
+    )
+
+
+def test_missing_label_root(statements, engine):
+    plan = fresh(statements, engine, "constant", "NP")
+    broken = reparent(plan, plan.root.child)  # drop the Label node
+    assert "ASSESS201" in verify_plan(broken).codes()
+
+
+def test_label_over_non_using(statements, engine):
+    plan = fresh(statements, engine, "constant", "NP")
+    assert isinstance(plan.root, LabelNode)
+    assert isinstance(plan.root.child, UsingNode)
+    plan.root.child = plan.root.child.child  # splice the Using node out
+    assert "ASSESS201" in verify_plan(plan).codes()
+
+
+# ----------------------------------------------------------------------
+# ASSESS202 — column closure
+# ----------------------------------------------------------------------
+def test_label_consuming_missing_column(statements, engine):
+    plan = fresh(statements, engine, "sibling", "NP")
+    plan.root.input_column = "nonexistent"
+    bag = verify_plan(plan, statements["sibling"])
+    matches = [d for d in bag if d.code == "ASSESS202"]
+    assert matches and "nonexistent" in matches[0].message
+
+
+def test_using_consuming_missing_column(statements, engine):
+    plan = fresh(statements, engine, "external", "JOP")
+    join = next(n for n in plan.nodes() if isinstance(n, JoinNode))
+    join.alias = "wrong_alias"  # benchmark.* columns vanish downstream
+    assert "ASSESS202" in verify_plan(plan).codes()
+
+
+# ----------------------------------------------------------------------
+# ASSESS203 — join partiality
+# ----------------------------------------------------------------------
+def sibling_join(plan):
+    return next(n for n in plan.nodes() if isinstance(n, JoinNode))
+
+
+def test_natural_join_for_sibling_benchmark(statements, engine):
+    plan = fresh(statements, engine, "sibling", "NP")
+    sibling_join(plan).join_levels = None
+    bag = verify_plan(plan, statements["sibling"])
+    matches = [d for d in bag if d.code == "ASSESS203"]
+    assert matches and "partial join" in matches[0].message
+
+
+def test_join_on_wrong_subset(statements, engine):
+    statement = statements["sibling"]
+    plan = fresh(statements, engine, "sibling", "NP")
+    sibling_join(plan).join_levels = tuple(statement.group_by.levels)
+    assert "ASSESS203" in verify_plan(plan, statement).codes()
+
+
+def test_join_outside_group_by(statements, engine):
+    plan = fresh(statements, engine, "sibling", "NP")
+    join = sibling_join(plan)
+    join.join_levels = join.join_levels + ("galaxy",)
+    bag = verify_plan(plan, statements["sibling"])
+    matches = [d for d in bag if d.code == "ASSESS203"]
+    assert matches and "galaxy" in matches[0].message
+
+
+# ----------------------------------------------------------------------
+# ASSESS204 — step attribution
+# ----------------------------------------------------------------------
+def test_unknown_step_bucket(statements, engine):
+    plan = fresh(statements, engine, "constant", "NP")
+    plan.root.step = "bogus_bucket"
+    bag = verify_plan(plan)
+    matches = [d for d in bag if d.code == "ASSESS204"]
+    assert matches and "bogus_bucket" in matches[0].message
+
+
+def test_wrong_step_bucket(statements, engine):
+    plan = fresh(statements, engine, "constant", "NP")
+    plan.root.step = STEP_TRANSFORM  # a Label node must be charged to 'label'
+    bag = verify_plan(plan)
+    matches = [d for d in bag if d.code == "ASSESS204"]
+    assert matches and "'label'" in matches[0].message
+
+
+# ----------------------------------------------------------------------
+# ASSESS205 — pushed operators over non-gets
+# ----------------------------------------------------------------------
+def test_pushed_join_over_non_get(statements, engine):
+    plan = fresh(statements, engine, "external", "JOP")
+    join = next(n for n in plan.nodes() if isinstance(n, JoinNode) and n.pushed)
+    join.left = AddConstantNode(join.left, 1.0, "one")
+    bag = verify_plan(plan)
+    matches = [d for d in bag if d.code == "ASSESS205"]
+    assert matches and "left child" in matches[0].message
+
+
+def test_pushed_pivot_over_non_get(statements, engine):
+    plan = fresh(statements, engine, "sibling", "POP")
+    pivot = next(n for n in plan.nodes() if isinstance(n, PivotNode) and n.pushed)
+    pivot.child = AddConstantNode(pivot.child, 1.0, "one")
+    assert "ASSESS205" in verify_plan(plan).codes()
+
+
+# ----------------------------------------------------------------------
+# ASSESS206 — pivot members vs the combined get's predicate
+# ----------------------------------------------------------------------
+def test_pivot_member_not_fetched(statements, engine):
+    plan = fresh(statements, engine, "sibling", "POP")
+    pivot = next(n for n in plan.nodes() if isinstance(n, PivotNode))
+    pivot.member_renames["Nowhere"] = {"revenue": "benchmark.revenue"}
+    bag = verify_plan(plan)
+    matches = [d for d in bag if d.code == "ASSESS206"]
+    assert matches and "'Nowhere'" in matches[0].message
+
+
+def test_pivot_without_members(statements, engine):
+    plan = fresh(statements, engine, "sibling", "POP")
+    pivot = next(n for n in plan.nodes() if isinstance(n, PivotNode))
+    pivot.member_renames = {}
+    bag = verify_plan(plan)
+    assert any(
+        d.code == "ASSESS206" and "renames no members" in d.message for d in bag
+    )
+
+
+# ----------------------------------------------------------------------
+# ASSESS207 — feasibility matrix
+# ----------------------------------------------------------------------
+def test_infeasible_plan_name(statements, engine):
+    plan = fresh(statements, engine, "constant", "NP")
+    plan.name = "POP"  # a constant benchmark admits only NP
+    bag = verify_plan(plan, statements["constant"])
+    matches = [d for d in bag if d.code == "ASSESS207"]
+    assert matches and "constant" in matches[0].message
+
+
+def test_feasible_names_pass(statements, engine):
+    for plan_name in ("NP", "JOP", "POP"):
+        plan = fresh(statements, engine, "sibling", plan_name)
+        bag = verify_plan(plan, statements["sibling"])
+        assert "ASSESS207" not in bag.codes()
+
+
+# ----------------------------------------------------------------------
+# Planner wiring: validate_plan raises PlanError listing every finding
+# ----------------------------------------------------------------------
+def test_validate_plan_raises_with_all_codes(statements, engine):
+    plan = fresh(statements, engine, "sibling", "NP")
+    plan.root.input_column = "nonexistent"
+    sibling_join(plan).join_levels = None
+    with pytest.raises(PlanError) as excinfo:
+        validate_plan(plan, statements["sibling"])
+    message = str(excinfo.value)
+    assert "ASSESS202" in message and "ASSESS203" in message
+
+
+def test_build_plan_validates_by_default(statements, engine):
+    # The default build path runs verification and stays clean.
+    plan = build_plan(statements["sibling"], engine, "POP")
+    assert not verify_plan(plan, statements["sibling"])

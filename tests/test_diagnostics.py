@@ -1,0 +1,182 @@
+"""Tests for the structured-diagnostics core types (`repro.core.diagnostics`)."""
+
+from __future__ import annotations
+
+from repro.core.diagnostics import (
+    Diagnostic,
+    DiagnosticBag,
+    Severity,
+    Span,
+    line_and_column,
+)
+
+
+# ----------------------------------------------------------------------
+# line_and_column
+# ----------------------------------------------------------------------
+class TestLineAndColumn:
+    def test_first_character(self):
+        assert line_and_column("hello", 0) == (1, 1)
+
+    def test_middle_of_first_line(self):
+        assert line_and_column("hello", 3) == (1, 4)
+
+    def test_after_newline(self):
+        assert line_and_column("ab\ncd", 3) == (2, 1)
+        assert line_and_column("ab\ncd", 4) == (2, 2)
+
+    def test_multiple_newlines(self):
+        text = "one\ntwo\nthree"
+        assert line_and_column(text, text.index("three")) == (3, 1)
+
+    def test_offset_clamped_to_length(self):
+        assert line_and_column("ab", 99) == (1, 3)
+
+    def test_negative_offset(self):
+        assert line_and_column("ab", -1) == (1, 1)
+
+
+# ----------------------------------------------------------------------
+# Span
+# ----------------------------------------------------------------------
+class TestSpan:
+    def test_from_text_computes_line_column(self):
+        text = "with SALES\nby month"
+        span = Span.from_text(text, text.index("month"), text.index("month") + 5)
+        assert (span.line, span.column) == (2, 4)
+        assert text[span.start:span.end] == "month"
+
+    def test_from_text_defaults_to_one_char(self):
+        span = Span.from_text("abc", 1)
+        assert (span.start, span.end) == (1, 2)
+
+    def test_end_never_precedes_start(self):
+        span = Span(5, 3)
+        assert span.end == 5
+
+    def test_merge_covers_both(self):
+        a = Span.from_text("abcdefgh", 1, 3)
+        b = Span.from_text("abcdefgh", 5, 7)
+        merged = a.merge(b)
+        assert (merged.start, merged.end) == (1, 7)
+        assert (merged.line, merged.column) == (a.line, a.column)
+        # Commutative on extent, keeps the earlier operand's anchor.
+        swapped = b.merge(a)
+        assert (swapped.start, swapped.end) == (1, 7)
+        assert (swapped.line, swapped.column) == (a.line, a.column)
+
+    def test_label(self):
+        assert Span(0, 1, 3, 7).label() == "3:7"
+
+    def test_equality(self):
+        assert Span(1, 2, 1, 2) == Span(1, 2, 1, 2)
+        assert Span(1, 2) != Span(1, 3)
+
+    def test_from_token_duck_typing(self):
+        class Token:
+            position = 4
+            end = 9
+            line = 1
+            column = 5
+            value = "month"
+
+        span = Span.from_token(Token())
+        assert (span.start, span.end, span.line, span.column) == (4, 9, 1, 5)
+
+    def test_from_token_without_end_uses_value_length(self):
+        class Token:
+            position = 4
+            end = -1
+            value = "month"
+
+        span = Span.from_token(Token())
+        assert (span.start, span.end) == (4, 9)
+
+
+# ----------------------------------------------------------------------
+# Severity
+# ----------------------------------------------------------------------
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+    def test_str(self):
+        assert str(Severity.ERROR) == "error"
+        assert str(Severity.WARNING) == "warning"
+
+
+# ----------------------------------------------------------------------
+# Diagnostic
+# ----------------------------------------------------------------------
+class TestDiagnostic:
+    def test_is_error(self):
+        assert Diagnostic("X", Severity.ERROR, "m").is_error
+        assert not Diagnostic("X", Severity.WARNING, "m").is_error
+
+    def test_render_without_span(self):
+        rendered = Diagnostic("ASSESS104", Severity.ERROR, "no such measure").render()
+        assert rendered == "error[ASSESS104]: no such measure"
+
+    def test_render_with_caret(self):
+        text = "with SALES by mnth assess quantity"
+        start = text.index("mnth")
+        span = Span.from_text(text, start, start + 4)
+        rendered = Diagnostic("ASSESS102", Severity.ERROR, "unknown level", span).render(text)
+        lines = rendered.splitlines()
+        assert lines[0] == "1:15: error[ASSESS102]: unknown level"
+        assert lines[1] == f"  {text}"
+        # The caret underlines exactly the offending token.
+        assert lines[2] == "  " + " " * (start) + "^^^^"
+
+    def test_render_caret_on_second_line(self):
+        text = "with SALES\nby mnth assess quantity"
+        start = text.index("mnth")
+        span = Span.from_text(text, start, start + 4)
+        rendered = Diagnostic("ASSESS102", Severity.ERROR, "unknown level", span).render(text)
+        lines = rendered.splitlines()
+        assert lines[1] == "  by mnth assess quantity"
+        assert lines[2] == "  " + " " * 3 + "^^^^"
+
+    def test_render_hint(self):
+        d = Diagnostic("ASSESS104", Severity.ERROR, "m", hint="measures: quantity")
+        assert d.render().splitlines()[-1] == "  hint: measures: quantity"
+
+
+# ----------------------------------------------------------------------
+# DiagnosticBag
+# ----------------------------------------------------------------------
+class TestDiagnosticBag:
+    def test_report_builds_and_records(self):
+        bag = DiagnosticBag()
+        d = bag.report("ASSESS101", Severity.ERROR, "boom", source="statement")
+        assert list(bag) == [d]
+        assert d.source == "statement"
+
+    def test_accounting(self):
+        bag = DiagnosticBag()
+        bag.report("E1", Severity.ERROR, "e")
+        bag.report("W1", Severity.WARNING, "w")
+        bag.report("I1", Severity.INFO, "i")
+        assert bag.has_errors
+        assert [d.code for d in bag.errors()] == ["E1"]
+        assert [d.code for d in bag.warnings()] == ["W1"]
+        assert bag.codes() == ("E1", "W1", "I1")
+        assert len(bag) == 3 and bool(bag)
+
+    def test_empty_bag_is_falsy(self):
+        bag = DiagnosticBag()
+        assert not bag and not bag.has_errors and len(bag) == 0
+
+    def test_sorted_by_position_then_severity(self):
+        bag = DiagnosticBag()
+        bag.report("LATE", Severity.ERROR, "m", Span(10, 11))
+        bag.report("EARLY_WARN", Severity.WARNING, "m", Span(2, 3))
+        bag.report("EARLY_ERR", Severity.ERROR, "m", Span(2, 3))
+        bag.report("NOSPAN", Severity.ERROR, "m")
+        assert bag.sorted().codes() == ("NOSPAN", "EARLY_ERR", "EARLY_WARN", "LATE")
+
+    def test_extend_and_render(self):
+        bag = DiagnosticBag([Diagnostic("A", Severity.ERROR, "first")])
+        bag.extend([Diagnostic("B", Severity.WARNING, "second")])
+        rendered = bag.render()
+        assert "error[A]: first" in rendered and "warning[B]: second" in rendered

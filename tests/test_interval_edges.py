@@ -1,0 +1,153 @@
+"""Interval edge cases: degenerate points, infinite bounds, boundary
+touching, and a hypothesis property tying contains() to mask()."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ValidationError
+from repro.core.labels import (
+    NEG_INF,
+    POS_INF,
+    Interval,
+    LabelRule,
+    find_gaps,
+    find_overlaps,
+)
+
+
+# ----------------------------------------------------------------------
+# Degenerate [x, x]
+# ----------------------------------------------------------------------
+class TestDegenerate:
+    def test_closed_point_contains_only_itself(self):
+        point = Interval(2.0, 2.0, True, True)
+        assert point.contains(2.0)
+        assert not point.contains(2.0 - 1e-9)
+        assert not point.contains(2.0 + 1e-9)
+
+    def test_point_mask(self):
+        point = Interval(2.0, 2.0, True, True)
+        values = np.array([1.9, 2.0, 2.1])
+        assert point.mask(values).tolist() == [False, True, False]
+
+    @pytest.mark.parametrize(
+        "low_closed,high_closed", [(True, False), (False, True), (False, False)]
+    )
+    def test_non_closed_point_is_rejected(self, low_closed, high_closed):
+        with pytest.raises(ValidationError):
+            Interval(1.0, 1.0, low_closed, high_closed)
+
+    def test_empty_interval_is_rejected(self):
+        with pytest.raises(ValidationError):
+            Interval(5.0, 2.0, True, True)
+
+
+# ----------------------------------------------------------------------
+# Infinite bounds are forced open
+# ----------------------------------------------------------------------
+class TestInfiniteBounds:
+    def test_syntactically_closed_inf_becomes_open(self):
+        interval = Interval(NEG_INF, 0.0, True, True)
+        assert not interval.low_closed
+        assert not interval.contains(NEG_INF)
+        assert interval.contains(-1e300) and interval.contains(0.0)
+
+    def test_high_inf_forced_open(self):
+        interval = Interval(0.0, POS_INF, True, True)
+        assert not interval.high_closed
+        assert not interval.contains(POS_INF)
+
+    def test_closed_inf_point_is_degenerate(self):
+        # [inf, inf] collapses to an open-open point -> rejected, not crashed.
+        with pytest.raises(ValidationError):
+            Interval(POS_INF, POS_INF, True, True)
+
+    def test_full_line(self):
+        full = Interval(NEG_INF, POS_INF, False, False)
+        assert full.contains(0.0) and full.contains(1e308)
+        assert not full.contains(POS_INF) and not full.contains(NEG_INF)
+
+
+# ----------------------------------------------------------------------
+# Boundary touching
+# ----------------------------------------------------------------------
+class TestBoundaryTouching:
+    def test_half_open_neighbours_do_not_overlap(self):
+        rules = [
+            LabelRule(Interval(0, 1, True, False), "a"),
+            LabelRule(Interval(1, 2, True, True), "b"),
+        ]
+        assert find_overlaps(rules) == []
+        assert find_gaps(rules, 0, 2) == []
+
+    def test_closed_closed_touch_overlaps(self):
+        rules = [
+            LabelRule(Interval(0, 1, True, True), "a"),
+            LabelRule(Interval(1, 2, True, True), "b"),
+        ]
+        overlaps = find_overlaps(rules)
+        assert len(overlaps) == 1
+        assert overlaps[0][0].label == "a" and overlaps[0][1].label == "b"
+
+    def test_open_open_touch_leaves_point_gap(self):
+        rules = [
+            LabelRule(Interval(0, 1, True, False), "a"),
+            LabelRule(Interval(1, 2, False, True), "b"),
+        ]
+        assert find_overlaps(rules) == []
+        gaps = find_gaps(rules, 0, 2)
+        assert gaps == [Interval(1, 1, True, True)]
+
+    def test_boundary_value_belongs_to_exactly_one_side(self):
+        left = Interval(0, 1, True, False)
+        right = Interval(1, 2, True, True)
+        assert not left.contains(1.0) and right.contains(1.0)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: contains() and mask() always agree
+# ----------------------------------------------------------------------
+finite = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+bound = st.one_of(finite, st.just(NEG_INF), st.just(POS_INF))
+
+
+@given(
+    low=bound,
+    high=bound,
+    low_closed=st.booleans(),
+    high_closed=st.booleans(),
+    probe=finite,
+)
+def test_contains_matches_mask(low, high, low_closed, high_closed, probe):
+    if low > high:
+        low, high = high, low
+    try:
+        interval = Interval(low, high, low_closed, high_closed)
+    except ValidationError:
+        return  # degenerate open point: rejected by construction
+    # Probe an arbitrary value plus both boundaries and near-boundary values.
+    probes = [probe, low, high, math.nextafter(low, high), math.nextafter(high, low)]
+    probes = [p for p in probes if not math.isinf(p)]
+    values = np.array(probes, dtype=np.float64)
+    mask = interval.mask(values)
+    for value, masked in zip(probes, mask):
+        assert interval.contains(value) == bool(masked), (interval, value)
+
+
+@given(low=finite, high=finite)
+def test_nan_never_matches(low, high):
+    if low > high:
+        low, high = high, low
+    try:
+        interval = Interval(low, high, True, True)
+    except ValidationError:
+        return
+    assert not bool(interval.mask(np.array([float("nan")]))[0])

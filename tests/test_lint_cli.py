@@ -1,0 +1,174 @@
+"""Tests for statement extraction, the lint API, and the ``lint`` CLI
+subcommand (exit codes, multi-error reporting, backward compatibility)."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro import cli
+from repro.analysis import (
+    AnalysisContext,
+    extract_statements,
+    lint_paths,
+    lint_statements,
+    render_report,
+    statements_from_python,
+)
+
+MULTI_ERROR = (
+    "with FOO by x assess m using nosuchfn(m) / 0 "
+    "labels {[0, 5]: a, [3, 8]: b}"
+)
+CLEAN = "with FOO by x assess m labels {(-inf, 0]: low, (0, inf): high}"
+GAPPY = "with FOO by x assess m labels {[0, 1]: a}"
+
+
+# ----------------------------------------------------------------------
+# extract_statements
+# ----------------------------------------------------------------------
+def test_extract_splits_on_semicolons_and_with_lines():
+    text = textwrap.dedent(
+        """\
+        # a hash comment
+        with A by x assess m labels quartiles;
+        -- a sql comment
+        with B by y assess m labels quartiles
+        with C by z assess m
+          labels quartiles
+        """
+    )
+    statements = extract_statements(text)
+    assert len(statements) == 3
+    assert [s.split()[1] for s in statements] == ["A", "B", "C"]
+    # Continuation lines stay attached to their statement.
+    assert "labels quartiles" in statements[2]
+
+
+def test_extract_keeps_leading_junk_attached():
+    statements = extract_statements("garbage here\nwith A by x assess m labels q")
+    assert len(statements) == 1
+    assert statements[0].startswith("garbage")
+
+
+def test_extract_empty_text():
+    assert extract_statements("  \n# only a comment\n") == []
+
+
+# ----------------------------------------------------------------------
+# statements_from_python
+# ----------------------------------------------------------------------
+def test_python_extraction_finds_complete_statements():
+    source = textwrap.dedent(
+        '''\
+        QUERY = """
+            with SALES by month
+            assess quantity labels quartiles
+        """
+        OTHER = "just a string"
+        PARTIAL = "with SALES by month assess quantity"  # no labels: skipped
+        '''
+    )
+    found = statements_from_python(source)
+    assert len(found) == 1
+    assert found[0].startswith("with SALES")
+
+
+# ----------------------------------------------------------------------
+# lint API
+# ----------------------------------------------------------------------
+def test_lint_statements_report():
+    context = AnalysisContext(schemas=None)
+    results = lint_statements([MULTI_ERROR, CLEAN], context, "inline")
+    assert len(results) == 2
+    bad, good = results
+    assert bad.has_errors and not good.bag
+    # Every defect of the bad statement is reported in one run.
+    assert {"ASSESS120", "ASSESS122", "ASSESS131"} <= set(bad.bag.codes())
+
+
+def test_lint_paths_recurses_and_renders(tmp_path):
+    (tmp_path / "a.assess").write_text(MULTI_ERROR + ";\n" + GAPPY + "\n")
+    sub = tmp_path / "sub"
+    sub.mkdir()
+    (sub / "b.txt").write_text(CLEAN + "\n")
+    (sub / "ignored.cfg").write_text("with NOT a statement file\n")
+
+    from repro.analysis import LintReport
+
+    report = lint_paths([tmp_path], AnalysisContext(schemas=None))
+    assert isinstance(report, LintReport)
+    assert report.statements == 3
+    assert report.has_errors
+    rendered = render_report(report)
+    assert "ASSESS120" in rendered and "ASSESS130" in rendered
+    assert rendered.splitlines()[-1].startswith("3 statements checked:")
+
+
+# ----------------------------------------------------------------------
+# CLI subcommand
+# ----------------------------------------------------------------------
+def test_lint_cli_exits_nonzero_and_prints_all_codes(tmp_path, capsys):
+    path = tmp_path / "bad.assess"
+    path.write_text(MULTI_ERROR + ";\n" + GAPPY + "\n")
+    exit_code = cli.main(["lint", "--cube", "none", str(path)])
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    # All errors of the multi-error statement appear in one run...
+    for code in ("ASSESS120", "ASSESS122", "ASSESS131"):
+        assert code in out
+    # ...as does the second statement's warning, plus the summary.
+    assert "ASSESS130" in out
+    assert "2 statements checked" in out
+
+
+def test_lint_cli_clean_file_exits_zero(tmp_path, capsys):
+    path = tmp_path / "good.assess"
+    path.write_text(CLEAN + "\n")
+    exit_code = cli.main(["lint", "--cube", "none", str(path)])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "0 errors" in out
+
+
+def test_lint_cli_warnings_alone_exit_zero(tmp_path, capsys):
+    path = tmp_path / "gappy.assess"
+    path.write_text(GAPPY + "\n")
+    exit_code = cli.main(["lint", "--cube", "none", str(path)])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "ASSESS130" in out and "1 warning" in out
+
+
+def test_lint_cli_verbose_lists_clean_statements(tmp_path, capsys):
+    path = tmp_path / "good.assess"
+    path.write_text(CLEAN + "\n")
+    cli.main(["lint", "--cube", "none", "--verbose", str(path)])
+    out = capsys.readouterr().out
+    assert "good.assess" in out
+
+
+def test_lint_cli_resolves_against_demo_cube(tmp_path, capsys):
+    # With a real cube loaded, schema defects are reported too.
+    path = tmp_path / "sales.assess"
+    path.write_text("with SALES by mnth assess bogus labels quartiles\n")
+    exit_code = cli.main(["lint", "--cube", "sales", "--rows", "500", str(path)])
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "ASSESS102" in out and "ASSESS104" in out
+
+
+def test_lint_cli_missing_path_is_a_clean_error(capsys):
+    exit_code = cli.main(["lint", "--cube", "none", "/no/such/file.assess"])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert captured.err.startswith("error:")
+
+
+def test_run_cli_backward_compatible(capsys):
+    # The original one-shot entry point is untouched by the subcommand.
+    exit_code = cli.main(
+        ["--cube", "sales", "--rows", "500",
+         "with SALES by year assess quantity labels quartiles"]
+    )
+    assert exit_code == 0
+    assert "cells" in capsys.readouterr().out

@@ -1,0 +1,110 @@
+"""Regression guards: the shipped workloads stay lint-clean, and the
+diagnostic catalog stays in sync with its documentation."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import AnalysisContext, lint_paths, lint_statements
+from repro.analysis.codes import ALL_CODES, PLAN_CODES, STATEMENT_CODES, severity_of
+from repro.core.diagnostics import Severity
+from repro.experiments.statements import STATEMENTS, prepare_engine
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+# ----------------------------------------------------------------------
+# The bundled experiment workload is error-free
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def experiment_context():
+    engine = prepare_engine(lineorder_rows=1500)
+    return AnalysisContext.for_engines([engine])
+
+
+def test_experiment_statements_have_no_errors(experiment_context):
+    results = lint_statements(
+        [text.strip() for text in STATEMENTS.values()],
+        experiment_context,
+        "experiments.statements",
+    )
+    assert len(results) == len(STATEMENTS)
+    for result in results:
+        errors = result.bag.errors()
+        assert not errors, (
+            f"{result.statement.splitlines()[0]}: "
+            f"{[str(d) for d in errors]}"
+        )
+
+
+# ----------------------------------------------------------------------
+# The example scripts are error-free (they register their own cubes, so
+# they are linted without a schema resolver).
+# ----------------------------------------------------------------------
+def test_example_scripts_have_no_errors():
+    examples = REPO_ROOT / "examples"
+    assert examples.is_dir()
+    report = lint_paths([examples], AnalysisContext(schemas=None))
+    assert report.statements > 0
+    offenders = [
+        (result.origin, str(d))
+        for result in report.results
+        for d in result.bag.errors()
+    ]
+    assert not offenders, offenders
+
+
+# ----------------------------------------------------------------------
+# Catalog <-> docs consistency
+# ----------------------------------------------------------------------
+def docs_text() -> str:
+    return (REPO_ROOT / "docs" / "language.md").read_text()
+
+
+def test_catalog_structure():
+    assert set(STATEMENT_CODES) <= set(ALL_CODES)
+    assert set(PLAN_CODES) <= set(ALL_CODES)
+    for code, info in ALL_CODES.items():
+        assert re.fullmatch(r"ASSESS\d{3}", code)
+        assert info.code == code
+        assert severity_of(code) is info.severity
+        assert info.title
+
+
+def test_every_code_is_documented():
+    documented = set(re.findall(r"ASSESS\d{3}", docs_text()))
+    missing = set(ALL_CODES) - documented
+    assert not missing, f"codes missing from docs/language.md: {sorted(missing)}"
+
+
+def test_no_undocumented_codes_in_docs():
+    documented = set(re.findall(r"ASSESS\d{3}", docs_text()))
+    phantom = documented - set(ALL_CODES)
+    assert not phantom, f"docs mention unknown codes: {sorted(phantom)}"
+
+
+def test_documented_severities_match_catalog():
+    rows = re.findall(r"\|\s*`(ASSESS\d{3})`\s*\|\s*(\w+)\s*\|", docs_text())
+    assert rows, "docs table rows not found"
+    for code, severity_word in rows:
+        assert code in ALL_CODES
+        assert str(ALL_CODES[code].severity) == severity_word, (
+            f"{code}: docs say {severity_word!r}, "
+            f"catalog says {ALL_CODES[code].severity}"
+        )
+    # Every code appears as a table row, not just in passing prose.
+    assert {code for code, _ in rows} == set(ALL_CODES)
+
+
+def test_warning_codes_stay_warnings():
+    # These must never be errors: the bundled workloads legitimately
+    # trigger them (half-open label sets, session-defined labelings).
+    for code in ("ASSESS106", "ASSESS125", "ASSESS130", "ASSESS133"):
+        assert severity_of(code) is Severity.WARNING
+
+
+def test_readme_mentions_lint():
+    assert "repro.cli lint" in (REPO_ROOT / "README.md").read_text()
