@@ -1,0 +1,193 @@
+"""Ablation — semantic result cache off vs on for a repeated session.
+
+The interactive scenario the cache targets: a session poses the four
+reference intentions against the same target cube, then poses them again
+(refined spellings, re-runs, dashboard refreshes).  With the cache off
+every get re-executes from the fact table; with it on, repeats are exact
+hits and related group-by sets derive from cached finer results.
+
+Usage::
+
+    python benchmarks/bench_ablation_cache.py                      # 60k rung
+    python benchmarks/bench_ablation_cache.py --rows 60000,600000 --json BENCH_PR2.json
+    python benchmarks/bench_ablation_cache.py --smoke              # CI mode
+
+Per rung the script measures the summed "get" step time (the Figure 4
+breakdown buckets ``get_target``/``get_benchmark``/``get_combined``) of
+one full cold pass vs one warm pass, verifies every warm result is
+**bit-identical** to its cold counterpart, and asserts the speedup floor
+(≥ 5× at rungs of 600k rows and above, a 1.5× sanity factor in
+``--smoke`` mode).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.api import AssessSession
+from repro.experiments.statements import INTENTIONS, prepare_engine, statement_text
+
+GET_STEPS = ("get_target", "get_benchmark", "get_combined")
+FULL_SPEEDUP_FLOOR = 5.0     # acceptance: ≥5× at the 600k rung
+FULL_FLOOR_ROWS = 600_000
+SMOKE_SPEEDUP_FLOOR = 1.5    # CI sanity factor at a small rung
+
+
+def get_seconds(result) -> float:
+    return sum(result.timings.get(step, 0.0) for step in GET_STEPS)
+
+
+def same_array(left, right) -> bool:
+    if len(left) != len(right):
+        return False
+    a, b = np.asarray(left), np.asarray(right)
+    if a.dtype.kind == "f" and b.dtype.kind == "f":
+        return bool(np.array_equal(a, b, equal_nan=True))
+    return all(
+        x == y or (x != x and y != y) for x, y in zip(a.tolist(), b.tolist())
+    )
+
+
+def bit_identical(left, right) -> bool:
+    """Whether two assess results carry identical cells, values, labels."""
+    lc, rc = left.cube, right.cube
+    if list(lc.coords) != list(rc.coords) or list(lc.measures) != list(rc.measures):
+        return False
+    for name in lc.coords:
+        if not same_array(lc.coords[name], rc.coords[name]):
+            return False
+    for name in lc.measures:
+        if not same_array(lc.measures[name], rc.measures[name]):
+            return False
+    return True
+
+
+def run_rung(rows: int, plan: str, seed: int = 7) -> dict:
+    engine = prepare_engine(rows, seed=seed)
+    session = AssessSession(engine)
+    statements = [statement_text(name) for name in INTENTIONS]
+
+    # Warm dictionaries/indexes once so the cold pass measures steady-state
+    # execution, not one-time encoding costs.
+    engine.result_cache.enabled = False
+    for text in statements:
+        session.assess(text, plan=plan)
+
+    cold_start = time.perf_counter()
+    cold = [session.assess(text, plan=plan) for text in statements]
+    cold_wall = time.perf_counter() - cold_start
+
+    # Warm: enable the cache, populate with one pass, then time the repeat —
+    # the "repeated-statement session" the cache exists for.
+    engine.result_cache.enabled = True
+    for text in statements:
+        session.assess(text, plan=plan)
+    warm_start = time.perf_counter()
+    warm = [session.assess(text, plan=plan) for text in statements]
+    warm_wall = time.perf_counter() - warm_start
+
+    identical = all(bit_identical(w, c) for w, c in zip(warm, cold))
+    cold_get = sum(get_seconds(result) for result in cold)
+    warm_get = sum(get_seconds(result) for result in warm)
+    stats = session.cache_stats()
+    return {
+        "rows": rows,
+        "plan": plan,
+        "statements": list(INTENTIONS),
+        "cold_get_s": cold_get,
+        "warm_get_s": warm_get,
+        "get_speedup": cold_get / warm_get if warm_get > 0 else float("inf"),
+        "cold_wall_s": cold_wall,
+        "warm_wall_s": warm_wall,
+        "wall_speedup": cold_wall / warm_wall if warm_wall > 0 else float("inf"),
+        "bit_identical": identical,
+        "per_statement": [
+            {
+                "intention": name,
+                "cold_get_s": get_seconds(c),
+                "warm_get_s": get_seconds(w),
+                "cells": len(c),
+            }
+            for name, c, w in zip(INTENTIONS, cold, warm)
+        ],
+        "cache": {
+            key: stats[key]
+            for key in ("hits", "misses", "derivations", "evictions",
+                        "invalidations", "stores", "cached_cells")
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Cold vs warm repeated-session ablation of the "
+        "semantic result cache."
+    )
+    parser.add_argument("--rows", type=str, default="60000",
+                        help="comma-separated lineorder rungs "
+                        "(default: 60000)")
+    parser.add_argument("--plan", default="best",
+                        choices=("NP", "JOP", "POP", "best", "auto"))
+    parser.add_argument("--json", metavar="OUT", default="",
+                        help="write machine-readable results to OUT")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: one small rung, sanity-factor "
+                        "speedup floor instead of the full 5x floor")
+    args = parser.parse_args(argv)
+
+    rungs = [int(part) for part in args.rows.split(",") if part.strip()]
+    if args.smoke:
+        rungs = [20_000]
+
+    print("cache ablation — repeated 4-intention session, cold vs warm")
+    results, failures = [], []
+    for rows in rungs:
+        record = run_rung(rows, args.plan)
+        results.append(record)
+        print(
+            f"  {rows:>9,} rows: get {1000 * record['cold_get_s']:.1f} ms cold "
+            f"→ {1000 * record['warm_get_s']:.2f} ms warm "
+            f"({record['get_speedup']:.1f}x), "
+            f"wall {1000 * record['cold_wall_s']:.1f} → "
+            f"{1000 * record['warm_wall_s']:.1f} ms, "
+            f"bit-identical: {record['bit_identical']}, "
+            f"hits={record['cache']['hits']} "
+            f"derivations={record['cache']['derivations']}"
+        )
+        if not record["bit_identical"]:
+            failures.append(f"{rows} rows: warm results differ from cold")
+        floor = SMOKE_SPEEDUP_FLOOR if args.smoke else (
+            FULL_SPEEDUP_FLOOR if rows >= FULL_FLOOR_ROWS else None
+        )
+        if floor is not None and record["get_speedup"] < floor:
+            failures.append(
+                f"{rows} rows: get speedup {record['get_speedup']:.2f}x "
+                f"below the {floor}x floor"
+            )
+
+    if args.json:
+        payload = {
+            "benchmark": "bench_ablation_cache",
+            "plan": args.plan,
+            "intentions": list(INTENTIONS),
+            "rungs": results,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("ok: warm results bit-identical, speedup floors met")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,11 +12,16 @@ numbers printed in the paper (where the paper gives numbers) and verdicts
 on the paper's qualitative claims.  The default ladder is 60k/600k/6M
 lineorder rows — 1:100 of the paper's SSB ladder with the same 1:10:100
 ratios (see DESIGN.md §2).
+
+``--json OUT`` additionally writes the raw measurements of every selected
+experiment (the data behind the rendered tables) as machine-readable
+JSON, for regression tracking and plotting.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -34,38 +39,49 @@ from repro.experiments.statements import INTENTIONS, statement_text
 EXPERIMENTS = ("statements", "table1", "table2", "fig3", "table3", "fig4")
 
 
-def run_statements(runner: ExperimentRunner, repetitions: int) -> str:
+def run_statements(runner: ExperimentRunner, repetitions: int):
     lines = ["The four reference intentions (Section 6)"]
     for intention in INTENTIONS:
         lines.append(f"\n--- {intention} ---")
         lines.append(statement_text(intention))
-    return "\n".join(lines)
+    data = {intention: statement_text(intention) for intention in INTENTIONS}
+    return "\n".join(lines), data
 
 
-def run_table1(runner: ExperimentRunner, repetitions: int) -> str:
-    return render_table1(runner.table1())
+def run_table1(runner: ExperimentRunner, repetitions: int):
+    data = runner.table1()
+    return render_table1(data), data
 
 
-def run_table2(runner: ExperimentRunner, repetitions: int) -> str:
-    return render_table2(runner.table2(), runner.ladder)
+def run_table2(runner: ExperimentRunner, repetitions: int):
+    data = runner.table2()
+    return render_table2(data, runner.ladder), data
 
 
-def run_fig3(runner: ExperimentRunner, repetitions: int) -> str:
+def run_fig3(runner: ExperimentRunner, repetitions: int):
     data = runner.fig3(repetitions=repetitions)
     run_fig3.cache = data
-    return render_fig3(data, runner.ladder)
+    return render_fig3(data, runner.ladder), data
 
 
-def run_table3(runner: ExperimentRunner, repetitions: int) -> str:
+def run_table3(runner: ExperimentRunner, repetitions: int):
     cached = getattr(run_fig3, "cache", None)
     data = runner.table3(cached) if cached else runner.table3(
         runner.fig3(repetitions=repetitions)
     )
-    return render_table3(data, runner.ladder)
+    json_data = {
+        intention: {
+            scale: {"best_s": best, "np_s": np_time}
+            for scale, (best, np_time) in per_scale.items()
+        }
+        for intention, per_scale in data.items()
+    }
+    return render_table3(data, runner.ladder), json_data
 
 
-def run_fig4(runner: ExperimentRunner, repetitions: int) -> str:
-    return render_fig4(runner.fig4(repetitions=repetitions), runner.ladder)
+def run_fig4(runner: ExperimentRunner, repetitions: int):
+    data = runner.fig4(repetitions=repetitions)
+    return render_fig4(data, runner.ladder), data
 
 
 RUNNERS = {
@@ -96,6 +112,10 @@ def main(argv=None) -> int:
         "--ladder", type=str, default="",
         help="comma-separated lineorder row counts (overrides REPRO_LADDER)",
     )
+    parser.add_argument(
+        "--json", metavar="OUT", default="",
+        help="also write the raw measurements as JSON to OUT",
+    )
     args = parser.parse_args(argv)
 
     selected = args.experiments or ["all"]
@@ -116,15 +136,27 @@ def main(argv=None) -> int:
     print("repro harness — 'Assess Queries for Interactive Analysis of Data Cubes'")
     print(f"ladder: {', '.join(f'{k}={v:,} rows' for k, v in runner.ladder.items())} "
           f"(paper: SSB1=6,000,000 ... SSB100=600,000,000)")
+    collected = {}
     for name in EXPERIMENTS:
         if name not in selected:
             continue
         start = time.perf_counter()
-        text = RUNNERS[name](runner, args.repetitions)
+        text, data = RUNNERS[name](runner, args.repetitions)
         elapsed = time.perf_counter() - start
+        collected[name] = {"seconds": elapsed, "data": data}
         print("\n" + "=" * 78)
         print(text)
         print(f"[{name} regenerated in {elapsed:.1f}s]")
+    if args.json:
+        payload = {
+            "ladder": runner.ladder,
+            "repetitions": args.repetitions,
+            "experiments": collected,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote {args.json}")
     return 0
 
 

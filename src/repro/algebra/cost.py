@@ -53,6 +53,8 @@ ENGINE_PIVOT_WEIGHT = 4.0  # engine: pivot-scatter one result row
 MEMORY_ROW_WEIGHT = 40.0   # cube objects: per-cell Python-level work
 TRANSFORM_WEIGHT = 2.0     # vectorised per-cell transform work
 RANGE_SELECTIVITY = 0.3    # default selectivity of between predicates
+WARM_CELL_WEIGHT = 0.2     # cache: serve a memoized result (copy-out only)
+DERIVE_CELL_WEIGHT = 6.0   # cache: re-aggregate a cached finer result
 
 
 class CostEstimate:
@@ -128,6 +130,18 @@ class Statistics:
             return slots
         return slots * (1.0 - math.exp(-scanned / slots))
 
+    def cache_probe(self, query: CubeQuery) -> Optional[str]:
+        """Whether the engine's result cache would answer a get warm.
+
+        Returns ``"exact"``, ``"derive"``, or ``None`` (cold).  Uses the
+        cache's non-mutating probe on the same pushed query the engine
+        would build, so the planner can prefer plans whose gets are warm.
+        """
+        cache = getattr(self.engine, "result_cache", None)
+        if cache is None or not cache.enabled:
+            return None
+        return cache.would_hit(self.engine.build_aggregate_query(query))
+
 
 def estimate_plan_cost(
     plan: Plan, engine: MultidimensionalEngine,
@@ -142,8 +156,18 @@ def estimate_plan_cost(
     estimate = CostEstimate(plan)
 
     def get_cost(node: GetNode) -> float:
-        scanned = stats.scanned_rows(node.query)
         cells = stats.result_cells(node.query)
+        probe = stats.cache_probe(node.query)
+        if probe == "exact":
+            # A memoized result: no scan, no grouping — just copy-out.
+            estimate.charge(node, WARM_CELL_WEIGHT * cells)
+            return cells
+        if probe == "derive":
+            # Re-aggregated from a cached finer result: grouping-sized
+            # work over cached rows, still no fact scan.
+            estimate.charge(node, DERIVE_CELL_WEIGHT * cells)
+            return cells
+        scanned = stats.scanned_rows(node.query)
         estimate.charge(node, SCAN_WEIGHT * scanned + GROUP_WEIGHT * cells)
         return cells
 

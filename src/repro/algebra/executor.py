@@ -236,10 +236,71 @@ class PlanExecutor:
         hydrate_hierarchies(registered.schema, registered.star, self.engine.catalog)
 
     def _rollup_join(self, node: RollupJoinNode, left: Cube, right: Cube) -> Cube:
+        """Vectorised ancestor join: precomputed ancestor codes + the
+        engine's joint-factorise/searchsorted join kernel.
+
+        Each left member is mapped to its ancestor once per *distinct*
+        member (the only per-member Python work left), then both sides'
+        coordinates are jointly encoded and matched exactly like a pushed
+        drill-across.  :meth:`_rollup_join_python` keeps the original
+        row-at-a-time implementation as the test oracle.
+        """
+        from ..engine.executor import (
+            _gather_float,
+            _hash_encode_with_mapping,
+            _joint_codes,
+        )
+
+        hierarchy = left.schema.hierarchy_of_level(node.level)
+        members = left.coords[node.level]
+        member_codes, mapping = _hash_encode_with_mapping(members)
+        ancestors = np.empty(max(len(mapping), 1), dtype=object)
+        for member, code in mapping.items():
+            ancestors[code] = hierarchy.rollup_member(
+                member, node.level, node.ancestor_level
+            )
+        ancestor_column = ancestors[member_codes]
+
+        # Left key columns in left group-by order, the rolled-up level
+        # substituted; the right side's ancestor level occupies the same
+        # canonical position (same hierarchy), so the columns align.
+        left_keys = [
+            ancestor_column if name == node.level else left.coords[name]
+            for name in left.group_by.levels
+        ]
+        right_keys = [right.coords[name] for name in right.group_by.levels]
+        left_codes, right_codes = _joint_codes(left_keys, right_keys)
+
+        order = np.argsort(right_codes, kind="stable")
+        sorted_codes = right_codes[order]
+        positions = np.searchsorted(sorted_codes, left_codes)
+        clipped = np.minimum(positions, max(len(sorted_codes) - 1, 0))
+        if len(sorted_codes):
+            found = sorted_codes[clipped] == left_codes
+            matches = np.where(found, order[clipped], -1)
+        else:
+            matches = np.full(len(left_codes), -1, dtype=np.int64)
+        keep = matches >= 0
+        if node.outer:
+            keep = np.ones(len(left_codes), dtype=bool)
+        index = np.nonzero(keep)[0]
+        match_index = matches[keep]
+
+        coords = {name: column[index] for name, column in left.coords.items()}
+        measures = {name: column[index] for name, column in left.measures.items()}
+        for name, column in right.measures.items():
+            measures[qualified(node.alias, name)] = _gather_float(
+                np.asarray(column, dtype=np.float64), match_index
+            )
+        return Cube(left.schema, left.group_by, coords, measures)
+
+    def _rollup_join_python(
+        self, node: RollupJoinNode, left: Cube, right: Cube
+    ) -> Cube:
+        """Row-at-a-time reference implementation (the test oracle)."""
         hierarchy = left.schema.hierarchy_of_level(node.level)
         position = left.group_by.position_of(node.level)
         right_index = right.coordinate_index()
-        right_position = right.group_by.position_of(node.ancestor_level)
 
         keep: List[int] = []
         matches: List[int] = []

@@ -162,6 +162,20 @@ class AssessSession:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, int]:
+        """Lifetime counters and occupancy of the engine's result cache.
+
+        Keys: ``hits``/``misses``/``derivations``/``evictions``/
+        ``invalidations``/``stores`` plus ``entries``, ``cached_cells``,
+        ``cached_bytes``, ``cell_budget`` and ``enabled``.  See
+        ``docs/performance.md`` for how to read them.
+        """
+        return self.engine.result_cache.stats()
+
+    def clear_cache(self) -> None:
+        """Drop every memoized query result (counters are kept)."""
+        self.engine.result_cache.clear()
+
     def explain(self, statement: StatementLike, plan: str = "best") -> str:
         """The plan tree plus the SQL text of every pushed operation."""
         resolved = self._resolve(statement)

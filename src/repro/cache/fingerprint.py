@@ -1,0 +1,106 @@
+"""Canonical fingerprints of pushed aggregate queries.
+
+Two pushed gets that are *semantically* the same query must memoize under
+the same key, even when the session spelled them differently: predicates
+listed in another order, an ``IN`` set enumerated differently, a one-member
+``IN`` written as ``=``.  The fingerprint normalises all of that:
+
+* joins are sorted by ``(table, fact_fk, dim_key)``;
+* predicates are normalised (``EQ`` folds into a one-member ``IN``, ``IN``
+  member lists sort by ``repr``) and then sorted by ``(table, column, ...)``;
+* group-by columns and aggregates are sorted by alias.
+
+The fingerprint deliberately *drops the textual order* of group-by columns
+and aggregates, because order only affects result layout, not content; the
+cache entry keeps the original query so an exact hit can verify the layout
+matches, and order-permuted requests fall through to the (cheap) derivation
+path, which re-groups at result size.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from ..core.query import Predicate, PredicateOp
+from ..engine.query import (
+    AggregateQuery,
+    ColumnPredicate,
+    DrillAcrossQuery,
+    PivotQuery,
+)
+
+Fingerprint = Tuple
+"""An opaque, hashable fingerprint value."""
+
+CacheableQuery = Union[AggregateQuery, DrillAcrossQuery, PivotQuery]
+"""Every pushed query shape the cache memoizes.
+
+Aggregate queries additionally participate in derivation reuse; the
+composite drill-across/pivot shapes are exact-reuse only (their
+aggregate *sides* still derive individually, since the executor routes
+them back through ``execute_aggregate``)."""
+
+
+def normalize_predicate(predicate: Predicate) -> Tuple:
+    """The canonical ``(op, values)`` form of a level predicate.
+
+    Equality folds into a one-member ``IN`` and ``IN`` member lists sort by
+    ``repr`` (the same tie-break :meth:`Predicate.isin` uses), so
+    ``l = 'a'``, ``l IN {'a'}`` and differently-ordered ``IN`` sets all
+    produce the same form.  Ranges stay as-is: their bounds are ordered by
+    construction.
+    """
+    if predicate.op in (PredicateOp.EQ, PredicateOp.IN):
+        members = tuple(sorted(set(predicate.values), key=repr))
+        return ("in", members)
+    return ("between", tuple(predicate.values))
+
+
+def _predicate_key(column_predicate: ColumnPredicate) -> Tuple:
+    return (
+        column_predicate.table,
+        column_predicate.column,
+        normalize_predicate(column_predicate.predicate),
+    )
+
+
+def fingerprint_query(query: CacheableQuery) -> Fingerprint:
+    """The stable canonical fingerprint of a pushed query.
+
+    Composite queries (drill-across, pivot) fingerprint structurally over
+    their aggregate parts plus their own parameters; their parameter
+    order is kept significant where it fixes the output column layout.
+    """
+    if isinstance(query, DrillAcrossQuery):
+        return (
+            "drill_across",
+            fingerprint_query(query.left),
+            fingerprint_query(query.right),
+            query.join_on,
+            tuple(sorted(query.renames.items())),
+            query.outer,
+            query.multi,
+        )
+    if isinstance(query, PivotQuery):
+        return (
+            "pivot",
+            fingerprint_query(query.base),
+            query.pivot_alias,
+            query.reference,
+            tuple(
+                (member, tuple(renames.items()))
+                for member, renames in query.members.items()
+            ),
+            query.require_all,
+        )
+    joins = tuple(
+        sorted((join.table, join.fact_fk, join.dim_key) for join in query.joins)
+    )
+    where = tuple(sorted((_predicate_key(cp) for cp in query.where), key=repr))
+    group_by = tuple(
+        sorted((gb.alias, gb.table, gb.column) for gb in query.group_by)
+    )
+    aggregates = tuple(
+        sorted((agg.alias, agg.op, agg.column) for agg in query.aggregates)
+    )
+    return ("aggregate", query.fact, joins, where, group_by, aggregates)

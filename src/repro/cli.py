@@ -56,7 +56,8 @@ def run_statement(session: AssessSession, text: str, plan: str,
 
 def repl(session: AssessSession, plan: str, explain: bool, limit: int) -> int:
     print(f"cubes: {', '.join(session.engine.cube_names())}")
-    print("end a statement with ';' or a blank line; 'quit' to exit")
+    print("end a statement with ';' or a blank line; 'quit' to exit, "
+          "'cache' for result-cache statistics")
     buffer = []
     while True:
         try:
@@ -67,12 +68,98 @@ def repl(session: AssessSession, plan: str, explain: bool, limit: int) -> int:
         stripped = line.strip()
         if not buffer and stripped.lower() in ("quit", "exit"):
             break
+        if not buffer and stripped.rstrip(";").lower() == "cache":
+            print(render_cache_stats(session.cache_stats()))
+            continue
         terminated = stripped.endswith(";") or (not stripped and buffer)
         if stripped:
             buffer.append(stripped.rstrip(";"))
         if terminated and buffer:
             run_statement(session, " ".join(buffer), plan, explain, limit)
             buffer = []
+    return 0
+
+
+# Demo workload of the ``cache`` subcommand for the sales cube; the ssb
+# cube reuses the four experiment intentions instead.
+SALES_CACHE_WORKLOAD = (
+    """with SALES by month, product assess quantity against 1000
+       using ratio(quantity, 1000)
+       labels {[0, 0.9): low, [0.9, 1.1]: expected, (1.1, inf): high}""",
+    """with SALES for year = '1997' by month, product assess quantity
+       against 1000 using ratio(quantity, 1000)
+       labels {[0, 0.9): low, [0.9, 1.1]: expected, (1.1, inf): high}""",
+    """with SALES by year, product assess quantity against 5000
+       using ratio(quantity, 5000)
+       labels {[0, 0.9): low, [0.9, 1.1]: expected, (1.1, inf): high}""",
+)
+
+
+def render_cache_stats(stats) -> str:
+    """The ``repro cache`` stats table (also the REPL's ``cache`` command)."""
+    lines = ["result cache:"]
+    for key in ("hits", "misses", "derivations", "evictions",
+                "invalidations", "stores", "entries", "cached_cells",
+                "cached_bytes", "cell_budget"):
+        lines.append(f"  {key:<15}{stats[key]:>14,}")
+    lines.append(f"  {'enabled':<15}{'yes' if stats['enabled'] else 'no':>14}")
+    return "\n".join(lines)
+
+
+def cache_main(argv=None) -> int:
+    """The ``cache`` subcommand: run a demo workload twice, show stats.
+
+    The first pass executes cold and populates the cache; later passes
+    are served from it.  The printed per-pass times and the hit/derive
+    counters make the reuse visible; see ``docs/performance.md``.
+    """
+    import time
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli cache",
+        description="Demonstrate the semantic result cache: run a bundled "
+        "workload repeatedly and print per-pass times plus cache statistics.",
+    )
+    parser.add_argument("--cube", choices=("sales", "ssb"), default="ssb",
+                        help="demo cube (default: ssb, using the four "
+                        "experiment intentions as the workload)")
+    parser.add_argument("--rows", type=int, default=None,
+                        help="fact rows to generate")
+    parser.add_argument("--plan", default="best",
+                        choices=("NP", "JOP", "POP", "best", "auto"),
+                        help="execution plan (default: best)")
+    parser.add_argument("--passes", type=int, default=2,
+                        help="workload repetitions (default: 2)")
+    args = parser.parse_args(argv)
+
+    if args.cube == "ssb":
+        from .experiments.statements import (
+            INTENTIONS,
+            prepare_engine,
+            statement_text,
+        )
+
+        engine = prepare_engine(args.rows or 60_000)
+        statements = [statement_text(name) for name in INTENTIONS]
+    else:
+        engine = sales_engine(n_rows=args.rows or 20_000)
+        statements = list(SALES_CACHE_WORKLOAD)
+    session = AssessSession(engine)
+
+    for number in range(1, max(args.passes, 1) + 1):
+        start = time.perf_counter()
+        try:
+            for text in statements:
+                session.assess(text, plan=args.plan)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        elapsed = time.perf_counter() - start
+        label = "cold" if number == 1 else "warm"
+        print(f"pass {number} ({label}): {len(statements)} statements "
+              f"in {1000 * elapsed:.1f} ms")
+    print()
+    print(render_cache_stats(session.cache_stats()))
     return 0
 
 
@@ -144,6 +231,8 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return cache_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Run assess statements against a bundled demo cube.",

@@ -7,23 +7,42 @@ plans push "to SQL" executes against it.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from typing import Callable, Dict, Iterator, List, Tuple
 
 from ..core.errors import EngineError
 from .table import Table
 
+CatalogListener = Callable[[str, str], None]
+"""``(event, table_name)`` callback; events: ``register``/``replace``/``drop``."""
+
 
 class Catalog:
-    """A named collection of tables."""
+    """A named collection of tables.
+
+    Components that cache data derived from catalog tables (e.g. the
+    semantic result cache) can subscribe with :meth:`add_listener` to be
+    told when a table changes identity.
+    """
 
     def __init__(self):
         self._tables: Dict[str, Table] = {}
+        self._listeners: List[CatalogListener] = []
+
+    def add_listener(self, listener: CatalogListener) -> None:
+        """Subscribe to table registration/replacement/drop events."""
+        self._listeners.append(listener)
+
+    def _notify(self, event: str, name: str) -> None:
+        for listener in self._listeners:
+            listener(event, name)
 
     def register(self, table: Table, replace: bool = False) -> Table:
         """Add a table to the catalog."""
         if table.name in self._tables and not replace:
             raise EngineError(f"table {table.name!r} is already registered")
+        replaced = table.name in self._tables
         self._tables[table.name] = table
+        self._notify("replace" if replaced else "register", table.name)
         return table
 
     def drop(self, name: str) -> None:
@@ -31,6 +50,7 @@ class Catalog:
         if name not in self._tables:
             raise EngineError(f"cannot drop unknown table {name!r}")
         del self._tables[name]
+        self._notify("drop", name)
 
     def table(self, name: str) -> Table:
         """Look a table up by name."""

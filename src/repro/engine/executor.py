@@ -17,6 +17,7 @@ import numpy as np
 
 from ..core.errors import EngineError
 from .catalog import Catalog
+from .kernels import combine_codes as _combine_codes
 from .kernels import encode_column as _encode_column
 from .query import AggregateQuery, DrillAcrossQuery, FACT, PivotQuery
 from .table import Table
@@ -198,38 +199,32 @@ class EngineExecutor:
         residual_aliases = [
             alias for alias in right_group_aliases if alias not in query.join_on
         ]
-        residual_keys = [
-            tuple(right.column(alias)[row] for alias in residual_aliases)
-            for row in range(len(right))
-        ]
-        distinct = sorted(set(residual_keys), key=repr)
-        slot_of = {key: slot for slot, key in enumerate(distinct)}
-        width = len(distinct)
+        slots, width = self._residual_slots(right, residual_aliases)
 
-        buckets: Dict[int, List[Tuple[int, int]]] = {}
-        for row, code in enumerate(right_codes):
-            buckets.setdefault(int(code), []).append(
-                (slot_of[residual_keys[row]], row)
-            )
-
-        keep: List[int] = []
-        match_rows: List[List[Tuple[int, int]]] = []
-        for row, code in enumerate(left_codes):
-            matched = buckets.get(int(code))
-            if matched:
-                keep.append(row)
-                match_rows.append(matched)
-            elif query.outer:
-                keep.append(row)
-                match_rows.append([])
-        index = np.asarray(keep, dtype=np.int64)
+        # Sort-based join: for each left code, its right matches are the
+        # contiguous run [lo, hi) in the sorted right codes.
+        order = np.argsort(right_codes, kind="stable")
+        sorted_codes = right_codes[order]
+        lo = np.searchsorted(sorted_codes, left_codes, side="left")
+        hi = np.searchsorted(sorted_codes, left_codes, side="right")
+        counts = hi - lo
+        keep = (counts > 0) if not query.outer else np.ones(len(left_codes), bool)
+        index = np.nonzero(keep)[0].astype(np.int64)
         columns: Dict[str, np.ndarray] = {
             name: left.column(name)[index] for name in left.column_names
         }
-        padded = np.full((len(match_rows), max(width, 1)), -1, dtype=np.int64)
-        for i, slotted in enumerate(match_rows):
-            for slot, row in slotted:
-                padded[i, slot] = row
+
+        # Scatter every (kept left row, residual slot) pair in one pass.
+        kept_counts = counts[index]
+        total = int(kept_counts.sum())
+        padded = np.full((len(index), max(width, 1)), -1, dtype=np.int64)
+        if total:
+            out_rows = np.repeat(np.arange(len(index), dtype=np.int64), kept_counts)
+            offsets = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(kept_counts) - kept_counts, kept_counts
+            )
+            right_rows = order[np.repeat(lo[index], kept_counts) + offsets]
+            padded[out_rows, slots[right_rows]] = right_rows
         for agg in query.right.aggregates:
             base_name = query.renames.get(agg.alias, agg.alias)
             source = right.column(agg.alias)
@@ -241,6 +236,38 @@ class EngineExecutor:
                         source, padded[:, slot]
                     )
         return ResultSet(columns)
+
+    @staticmethod
+    def _residual_slots(
+        right: ResultSet, residual_aliases: "List[str]"
+    ) -> "Tuple[np.ndarray, int]":
+        """Slot id of every right row by its residual coordinate.
+
+        The residual columns are factorised into dense codes; only the (few)
+        distinct coordinates are materialised as tuples to fix the slot
+        order — sorted by ``repr``, oldest-first for time slices — so slice
+        ``i`` always lands in column ``name_i``.
+        """
+        n_right = len(right)
+        if not residual_aliases:
+            return np.zeros(n_right, dtype=np.int64), 1
+        code_columns = []
+        for alias in residual_aliases:
+            column = right.column(alias)
+            if column.dtype == object:
+                code_columns.append(_hash_encode(column))
+            else:
+                code_columns.append(_encode_column(column))
+        inverse, count, first_rows = _combine_codes(code_columns, n_right)
+        distinct = [
+            tuple(right.column(alias)[row] for alias in residual_aliases)
+            for row in first_rows
+        ]
+        by_repr = sorted(range(count), key=lambda i: repr(distinct[i]))
+        slot_of_code = np.empty(count, dtype=np.int64)
+        for slot, code in enumerate(by_repr):
+            slot_of_code[code] = slot
+        return slot_of_code[inverse], count
 
     # ------------------------------------------------------------------
     # Pivot (POP)
@@ -355,28 +382,6 @@ class EngineExecutor:
 # ----------------------------------------------------------------------
 # Kernels
 # ----------------------------------------------------------------------
-def _combine_codes(
-    code_columns: "List[Tuple[np.ndarray, int]]", n_rows: int
-) -> "Tuple[np.ndarray, int, np.ndarray]":
-    """Fold per-column integer codes into dense group ids.
-
-    Group ids follow the combined-code sort order, i.e. the lexicographic
-    order of the key columns' code order.  With no grouping columns
-    everything is one group (complete aggregation).
-    """
-    if not code_columns:
-        group_ids = np.zeros(n_rows, dtype=np.int64)
-        first = np.zeros(1 if n_rows else 0, dtype=np.int64)
-        return group_ids, (1 if n_rows else 0), first
-    combined = np.zeros(len(code_columns[0][0]), dtype=np.int64)
-    for codes, cardinality in code_columns:
-        combined = combined * cardinality + codes
-    uniques, first, group_ids = np.unique(
-        combined, return_index=True, return_inverse=True
-    )
-    return group_ids.astype(np.int64, copy=False), len(uniques), first
-
-
 def _aggregate(
     group_ids: np.ndarray, group_count: int, measure: np.ndarray, op: str
 ) -> np.ndarray:

@@ -248,6 +248,30 @@ class DrillAcrossQuery:
         )
         return self.left.output_columns + extra
 
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DrillAcrossQuery) and (
+            other.left,
+            other.right,
+            other.join_on,
+            other.renames,
+            other.outer,
+            other.multi,
+        ) == (self.left, self.right, self.join_on, self.renames,
+              self.outer, self.multi)
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                "DrillAcrossQuery",
+                self.left,
+                self.right,
+                self.join_on,
+                tuple(sorted(self.renames.items())),
+                self.outer,
+                self.multi,
+            )
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"DrillAcrossQuery(on={list(self.join_on)}, outer={self.outer}, "
@@ -297,6 +321,26 @@ class PivotQuery:
             for new_name in renames.values()
         )
         return kept + extra
+
+    def _identity(self) -> Tuple:
+        # Member *order* is part of the identity: it fixes the output
+        # column layout, which plain dict equality would ignore.
+        return (
+            self.base,
+            self.pivot_alias,
+            self.reference,
+            tuple(
+                (member, tuple(renames.items()))
+                for member, renames in self.members.items()
+            ),
+            self.require_all,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PivotQuery) and other._identity() == self._identity()
+
+    def __hash__(self) -> int:
+        return hash(("PivotQuery",) + self._identity())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -61,9 +61,16 @@ class ExperimentRunner:
         return tuple(self.ladder.keys())
 
     def session(self, scale: str) -> AssessSession:
-        """The (cached) session for one ladder rung."""
+        """The (cached) session for one ladder rung.
+
+        The engine's result cache is disabled: the paper's measurements
+        are cold-execution times, and the repeated runs of
+        :meth:`run_timed` would otherwise all be served warm.  The cache
+        ablation benchmark re-enables it explicitly.
+        """
         if scale not in self._sessions:
             engine = prepare_engine(self.ladder[scale], seed=self.seed)
+            engine.result_cache.enabled = False
             self._sessions[scale] = AssessSession(engine)
         return self._sessions[scale]
 

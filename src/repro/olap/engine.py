@@ -18,7 +18,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.cube import Cube
-from ..core.errors import EngineError, SchemaError
+from ..core.errors import EngineError, MemberError, SchemaError
 from ..core.groupby import GroupBySet
 from ..core.query import CubeQuery
 from ..core.schema import CubeSchema
@@ -53,13 +53,32 @@ class MultidimensionalEngine:
     """Rewrites OLAP-level operations to engine queries and executes them."""
 
     def __init__(self, catalog: Catalog):
+        from ..cache import CachingEngineExecutor, SemanticResultCache
         from .materialized import ViewRegistry
 
         self.catalog = catalog
-        self.executor = EngineExecutor(catalog)
+        self.result_cache = SemanticResultCache()
+        self.result_cache.rollup_resolver = self.member_rollup
+        self.executor: EngineExecutor = CachingEngineExecutor(
+            catalog, self.result_cache
+        )
         self._cubes: Dict[str, RegisteredCube] = {}
         self._views = ViewRegistry()
         self.use_materialized_views = True
+        self._rollup_maps: Dict[Tuple[str, str, str], Optional[Dict]] = {}
+        catalog.add_listener(self._on_catalog_change)
+
+    def _on_catalog_change(self, event: str, table_name: str) -> None:
+        """Invalidate caches when a catalog table changes identity.
+
+        Replacing or dropping a table makes every cached result (and
+        member roll-up map) that read from it stale.  Fresh registrations
+        cannot be referenced by any cached result, so they only reset the
+        roll-up maps (cheap to rebuild) in case a cube binding follows.
+        """
+        if event in ("replace", "drop"):
+            self.result_cache.invalidate_table(table_name)
+        self._rollup_maps.clear()
 
     # ------------------------------------------------------------------
     # Registration & lookup
@@ -109,7 +128,7 @@ class MultidimensionalEngine:
 
             view = self._views.best_for(query, schema)
             if view is not None:
-                return rewrite_on_view(query, view, schema)
+                return self._annotated(rewrite_on_view(query, view, schema), query)
 
         group_by = []
         for level_name in query.group_by.levels:
@@ -128,13 +147,35 @@ class MultidimensionalEngine:
             column = star.column_for_measure(measure_name)
             aggregates.append(Aggregate(column, measure.op, measure_name))
 
-        return AggregateQuery(
-            fact=star.fact_table,
-            joins=star.all_joins(),
-            where=where,
-            group_by=group_by,
-            aggregates=aggregates,
+        return self._annotated(
+            AggregateQuery(
+                fact=star.fact_table,
+                joins=star.all_joins(),
+                where=where,
+                group_by=group_by,
+                aggregates=aggregates,
+            ),
+            query,
         )
+
+    def _annotated(
+        self, aggregate: AggregateQuery, query: CubeQuery
+    ) -> AggregateQuery:
+        """Record the cube-level semantics of a pushed query in the cache.
+
+        The physical query carries no hierarchy knowledge; this side
+        annotation is what lets the cache later decide whether a cached
+        result is finer than (and so can answer) another query, and which
+        base tables invalidate it.
+        """
+        from ..cache import QueryMeta
+
+        star = self.cube(query.source).star
+        base_tables = frozenset(
+            {star.fact_table} | {binding.table for binding in star.dimensions}
+        )
+        self.result_cache.annotate(aggregate, QueryMeta(query, base_tables))
+        return aggregate
 
     # ------------------------------------------------------------------
     # Execution entry points (one per pushable logical operator)
@@ -319,6 +360,48 @@ class MultidimensionalEngine:
     def has_property(self, source: str, property_name: str) -> bool:
         """Whether a cube's star binds a descriptive property."""
         return self.cube(source).star.has_property(property_name)
+
+    # ------------------------------------------------------------------
+    # Member roll-up maps (used by cache derivation)
+    # ------------------------------------------------------------------
+    def member_rollup(self, source: str, fine: str, coarse: str) -> Optional[Dict]:
+        """The ``{fine_member: coarse_member}`` map of one hierarchy.
+
+        Built from the dimension table binding both levels (one column
+        scan, cached until the catalog changes), falling back to hydrated
+        hierarchy part-of maps for degenerate or cross-table levels.
+        Returns ``None`` when neither source is available, which makes
+        cache derivation bail out — always sound.
+        """
+        key = (source, fine, coarse)
+        if key not in self._rollup_maps:
+            self._rollup_maps[key] = self._build_rollup(source, fine, coarse)
+        return self._rollup_maps[key]
+
+    def _build_rollup(self, source: str, fine: str, coarse: str) -> Optional[Dict]:
+        registered = self.cube(source)
+        try:
+            hierarchy = registered.schema.hierarchy_of_level(fine)
+        except SchemaError:
+            return None
+        if not hierarchy.has_level(coarse) or not hierarchy.rolls_up_to(fine, coarse):
+            return None
+        star = registered.star
+        fine_table, fine_column = star.column_for_level(fine)
+        coarse_table, coarse_column = star.column_for_level(coarse)
+        if fine_table == coarse_table and fine_table != "__fact__":
+            table = self.catalog.table(fine_table)
+            return dict(zip(table.column(fine_column), table.column(coarse_column)))
+        members = hierarchy.members_of(fine)
+        if not members:
+            return None
+        try:
+            return {
+                member: hierarchy.rollup_member(member, fine, coarse)
+                for member in members
+            }
+        except MemberError:
+            return None
 
     # ------------------------------------------------------------------
     # Domain helpers (used by sibling/past planning)

@@ -166,3 +166,48 @@ class TestPredictionDispatch:
             executor = PlanExecutor(sales_session.engine, sales_session.registry)
             result = executor.execute(plan, statement)
             assert len(result) == 1
+
+
+ANCESTOR = """
+with SALES by product, country assess quantity against ancestor type
+using ratio(quantity, benchmark.quantity)
+labels {[0, 0.2): small, [0.2, 1]: large}
+"""
+
+
+class TestRollupJoinVectorized:
+    """The vectorised ancestor join must agree with the row-at-a-time oracle."""
+
+    @pytest.mark.parametrize("outer", [False, True])
+    def test_matches_python_oracle(self, sales_session, outer):
+        import numpy as np
+
+        from repro.algebra.plan import RollupJoinNode
+
+        statement = sales_session.parse(ANCESTOR)
+        plan = build_plan(statement, sales_session.engine, "NP")
+        executor = PlanExecutor(sales_session.engine, sales_session.registry)
+        nodes = [n for n in plan.nodes() if isinstance(n, RollupJoinNode)]
+        assert len(nodes) == 1
+        node = nodes[0]
+        node.outer = outer
+        executor._ensure_hydrated(node)
+        timings = {}
+        left = executor._run(node.left, timings)
+        right = executor._run(node.right, timings)
+        fast = executor._rollup_join(node, left, right)
+        slow = executor._rollup_join_python(node, left, right)
+        assert len(fast) == len(slow)
+        assert fast.coordinates() == slow.coordinates()
+        assert set(fast.measure_names) == set(slow.measure_names)
+        for name in fast.measure_names:
+            assert np.array_equal(
+                np.asarray(fast.measure(name), dtype=np.float64),
+                np.asarray(slow.measure(name), dtype=np.float64),
+                equal_nan=True,
+            )
+
+    def test_ancestor_statement_end_to_end(self, sales_session):
+        result = sales_session.assess(ANCESTOR, plan="NP")
+        assert len(result) > 0
+        assert set(result.label_counts()) <= {"small", "large"}
