@@ -1,0 +1,174 @@
+"""Ablation — batched execution vs sequential for an overlapping workload.
+
+The scenario the batch subsystem targets: a dashboard (or an analyst's
+saved workload) poses many assess statements that share predicates and
+stars.  Sequentially, every statement pays its own fact scan; through
+``AssessSession.execute_many`` the merged plan DAG answers compatible
+statements from fused shared scans.
+
+The workload is the 10-statement file
+``examples/ssb_batch_workload.assess``: every statement slices
+``year = '1997'`` on SSB and assesses ``quantity`` under a different
+group-by (two with an extra predicate, exercising subsumption
+residuals), so the whole file fuses into one fact pass.
+
+Usage::
+
+    python benchmarks/bench_ablation_batch.py                   # 60k rung
+    python benchmarks/bench_ablation_batch.py --rows 600000 --json BENCH_PR3.json
+    python benchmarks/bench_ablation_batch.py --smoke           # CI mode
+
+Per rung the script runs the workload sequentially and as one batch —
+both on **cold** result caches (the cache ablation covers warm reuse) —
+verifies every batch result is bit-identical to its sequential
+counterpart, asserts the batch executed fewer engine scans than there
+are statements, and asserts the speedup floor (≥ 3x at rungs of 600k
+rows and above; in ``--smoke`` mode the batch only has to beat
+sequential wall-clock).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.api import AssessSession
+from repro.analysis import extract_statements
+from repro.batch import results_identical
+from repro.experiments.statements import prepare_engine
+
+WORKLOAD_FILE = Path(__file__).resolve().parent.parent / "examples" / "ssb_batch_workload.assess"
+FULL_SPEEDUP_FLOOR = 3.0     # acceptance: ≥3x at the 600k rung
+FULL_FLOOR_ROWS = 600_000
+SMOKE_SPEEDUP_FLOOR = 1.0    # CI mode: batched must beat sequential
+
+
+def load_workload() -> list:
+    return extract_statements(WORKLOAD_FILE.read_text())
+
+
+def run_rung(rows: int, plan: str, repetitions: int, seed: int = 7) -> dict:
+    statements = load_workload()
+    engine = prepare_engine(rows, seed=seed)
+    engine.result_cache.enabled = False  # both arms cold, every repetition
+    session = AssessSession(engine)
+
+    # Warm dictionary encodings and key indexes once (shared engine state,
+    # identical for both arms) so the timings measure execution, not
+    # one-time encoding costs.
+    sequential = [session.assess(text, plan=plan) for text in statements]
+
+    sequential_times, batch_times = [], []
+    batch = None
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        sequential = [session.assess(text, plan=plan) for text in statements]
+        sequential_times.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        batch = session.execute_many(statements, plan=plan)
+        batch_times.append(time.perf_counter() - start)
+
+    identical = all(
+        results_identical(ours, theirs)
+        for ours, theirs in zip(batch.results, sequential)
+    )
+    report = batch.report.to_dict()
+    sequential_s = min(sequential_times)
+    batch_s = min(batch_times)
+    return {
+        "rows": rows,
+        "plan": plan,
+        "statements": len(statements),
+        "repetitions": repetitions,
+        "sequential_s": sequential_s,
+        "batch_s": batch_s,
+        "speedup": sequential_s / batch_s if batch_s > 0 else float("inf"),
+        "bit_identical": identical,
+        "engine_scans": report["engine_scans"],
+        "report": report,
+        "per_statement_ms": [1000 * seconds for seconds in batch.seconds],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Batched vs sequential execution of the overlapping "
+        "SSB workload (cold caches)."
+    )
+    parser.add_argument("--rows", type=str, default="60000",
+                        help="comma-separated lineorder rungs "
+                        "(default: 60000)")
+    parser.add_argument("--plan", default="best",
+                        choices=("NP", "JOP", "POP", "best", "auto"))
+    parser.add_argument("--repetitions", type=int, default=3,
+                        help="timed repetitions per arm; min is reported "
+                        "(default: 3)")
+    parser.add_argument("--json", metavar="OUT", default="",
+                        help="write machine-readable results to OUT")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: one small rung; the batch must beat "
+                        "sequential wall-clock and scan less than once per "
+                        "statement")
+    args = parser.parse_args(argv)
+
+    rungs = [int(part) for part in args.rows.split(",") if part.strip()]
+    if args.smoke:
+        rungs = [60_000]
+
+    print("batch ablation — 10-statement overlapping workload, "
+          "sequential vs execute_many (cold caches)")
+    results, failures = [], []
+    for rows in rungs:
+        record = run_rung(rows, args.plan, args.repetitions)
+        results.append(record)
+        print(
+            f"  {rows:>9,} rows: sequential {1000 * record['sequential_s']:.1f} ms "
+            f"→ batch {1000 * record['batch_s']:.1f} ms "
+            f"({record['speedup']:.1f}x), "
+            f"engine scans {record['engine_scans']}/{record['statements']}, "
+            f"fused {record['report']['fused_groups']} "
+            f"({record['report']['fused_derived']} derived, "
+            f"{record['report']['fused_fallbacks']} fallback), "
+            f"bit-identical: {record['bit_identical']}"
+        )
+        if not record["bit_identical"]:
+            failures.append(f"{rows} rows: batch results differ from sequential")
+        if record["engine_scans"] >= record["statements"]:
+            failures.append(
+                f"{rows} rows: {record['engine_scans']} engine scans for "
+                f"{record['statements']} statements — nothing was shared"
+            )
+        floor = SMOKE_SPEEDUP_FLOOR if args.smoke else (
+            FULL_SPEEDUP_FLOOR if rows >= FULL_FLOOR_ROWS else None
+        )
+        if floor is not None and record["speedup"] < floor:
+            failures.append(
+                f"{rows} rows: speedup {record['speedup']:.2f}x below "
+                f"the {floor}x floor"
+            )
+
+    if args.json:
+        payload = {
+            "benchmark": "bench_ablation_batch",
+            "workload": str(WORKLOAD_FILE.name),
+            "plan": args.plan,
+            "rungs": results,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("ok: batch bit-identical, shared scans, speedup floors met")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

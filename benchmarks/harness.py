@@ -36,10 +36,10 @@ from repro.experiments import (
 from repro.experiments.statements import INTENTIONS, statement_text
 
 # fig3 runs before table3 so the latter reuses fig3's measurements
-EXPERIMENTS = ("statements", "table1", "table2", "fig3", "table3", "fig4")
+EXPERIMENTS = ("statements", "table1", "table2", "fig3", "table3", "fig4", "workload")
 
 
-def run_statements(runner: ExperimentRunner, repetitions: int):
+def run_statements(runner: ExperimentRunner, repetitions: int, warmup: int):
     lines = ["The four reference intentions (Section 6)"]
     for intention in INTENTIONS:
         lines.append(f"\n--- {intention} ---")
@@ -48,26 +48,26 @@ def run_statements(runner: ExperimentRunner, repetitions: int):
     return "\n".join(lines), data
 
 
-def run_table1(runner: ExperimentRunner, repetitions: int):
+def run_table1(runner: ExperimentRunner, repetitions: int, warmup: int):
     data = runner.table1()
     return render_table1(data), data
 
 
-def run_table2(runner: ExperimentRunner, repetitions: int):
+def run_table2(runner: ExperimentRunner, repetitions: int, warmup: int):
     data = runner.table2()
     return render_table2(data, runner.ladder), data
 
 
-def run_fig3(runner: ExperimentRunner, repetitions: int):
-    data = runner.fig3(repetitions=repetitions)
+def run_fig3(runner: ExperimentRunner, repetitions: int, warmup: int):
+    data = runner.fig3(repetitions=repetitions, warmup=warmup)
     run_fig3.cache = data
     return render_fig3(data, runner.ladder), data
 
 
-def run_table3(runner: ExperimentRunner, repetitions: int):
+def run_table3(runner: ExperimentRunner, repetitions: int, warmup: int):
     cached = getattr(run_fig3, "cache", None)
     data = runner.table3(cached) if cached else runner.table3(
-        runner.fig3(repetitions=repetitions)
+        runner.fig3(repetitions=repetitions, warmup=warmup)
     )
     json_data = {
         intention: {
@@ -79,9 +79,37 @@ def run_table3(runner: ExperimentRunner, repetitions: int):
     return render_table3(data, runner.ladder), json_data
 
 
-def run_fig4(runner: ExperimentRunner, repetitions: int):
-    data = runner.fig4(repetitions=repetitions)
+def run_fig4(runner: ExperimentRunner, repetitions: int, warmup: int):
+    data = runner.fig4(repetitions=repetitions, warmup=warmup)
     return render_fig4(data, runner.ladder), data
+
+
+def run_workload(runner: ExperimentRunner, repetitions: int, warmup: int):
+    """Batched (execute_many) vs sequential reference workload per scale."""
+    data = {
+        scale: runner.workload(scale, repetitions=repetitions, warmup=warmup)
+        for scale in runner.scales
+    }
+    lines = [
+        "Batched workload (the four intentions through execute_many; "
+        "min/median of repeated runs)",
+        f"{'scale':<8} {'sequential':>22} {'batched':>22} {'speedup':>8} "
+        f"{'scans':>6} {'CSE':>4}",
+    ]
+    for scale, row in data.items():
+        report = row["report"]
+        sequential = (
+            f"{row['sequential_min_s']:.3f}s/{row['sequential_median_s']:.3f}s"
+        )
+        batched = f"{row['batch_min_s']:.3f}s/{row['batch_median_s']:.3f}s"
+        lines.append(
+            f"{scale:<8} {sequential:>22} {batched:>22} "
+            f"{row['speedup']:>7.2f}x "
+            f"{report['engine_scans']:>6} {report['shared_hits']:>4}"
+        )
+    lines.append("(columns: min/median seconds per arm; engine scans and "
+                 "CSE hits from the batch's sharing report)")
+    return "\n".join(lines), data
 
 
 RUNNERS = {
@@ -91,6 +119,7 @@ RUNNERS = {
     "table3": run_table3,
     "fig3": run_fig3,
     "fig4": run_fig4,
+    "workload": run_workload,
 }
 
 
@@ -109,6 +138,14 @@ def main(argv=None) -> int:
         help="timed runs per measurement (paper: 5)",
     )
     parser.add_argument(
+        "--repeat", type=int, default=0,
+        help="overrides --repetitions when set (shorthand)",
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=0,
+        help="untimed runs before each measurement",
+    )
+    parser.add_argument(
         "--ladder", type=str, default="",
         help="comma-separated lineorder row counts (overrides REPRO_LADDER)",
     )
@@ -117,6 +154,7 @@ def main(argv=None) -> int:
         help="also write the raw measurements as JSON to OUT",
     )
     args = parser.parse_args(argv)
+    repetitions = args.repeat if args.repeat > 0 else args.repetitions
 
     selected = args.experiments or ["all"]
     if "all" in selected:
@@ -141,7 +179,7 @@ def main(argv=None) -> int:
         if name not in selected:
             continue
         start = time.perf_counter()
-        text, data = RUNNERS[name](runner, args.repetitions)
+        text, data = RUNNERS[name](runner, repetitions, args.warmup)
         elapsed = time.perf_counter() - start
         collected[name] = {"seconds": elapsed, "data": data}
         print("\n" + "=" * 78)
@@ -150,7 +188,8 @@ def main(argv=None) -> int:
     if args.json:
         payload = {
             "ladder": runner.ladder,
-            "repetitions": args.repetitions,
+            "repetitions": repetitions,
+            "warmup": args.warmup,
             "experiments": collected,
         }
         with open(args.json, "w") as handle:

@@ -25,7 +25,7 @@ its brains.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.query import CubeQuery, Predicate, PredicateOp
 from ..core.statement import AssessStatement
@@ -143,20 +143,73 @@ class Statistics:
         return cache.would_hit(self.engine.build_aggregate_query(query))
 
 
+class BatchSharedState:
+    """Pushed work already paid for by earlier statements of a batch.
+
+    Tracks the canonical fingerprints of chosen plans' pushed gets (a
+    repeated get costs only the memo copy-out) and their *scan keys* —
+    fact + joins + canonical predicate set.  A get whose scan key is
+    already chosen shares a fused fact pass with it, so only its
+    grouping-sized work is charged.  :func:`choose_plan_batch` feeds one
+    instance through a greedy per-statement selection.
+    """
+
+    __slots__ = ("nodes", "scans")
+
+    def __init__(self):
+        self.nodes: Set[Tuple] = set()
+        self.scans: Set[Tuple] = set()
+
+    def observe(self, plan: Plan, engine: MultidimensionalEngine) -> None:
+        """Record a chosen plan's pushed gets as shared for later plans."""
+        from ..cache.fingerprint import fingerprint_query
+
+        for node in plan.nodes():
+            if isinstance(node, GetNode):
+                aggregate = engine.build_aggregate_query(node.query)
+                self.nodes.add(fingerprint_query(aggregate))
+                self.scans.add(_scan_key(aggregate))
+
+
+def _scan_key(aggregate) -> Tuple:
+    """The shared-scan identity of a pushed get: star + predicate set."""
+    from ..cache.fingerprint import _predicate_key
+
+    return (
+        aggregate.fact,
+        tuple(sorted(
+            (j.table, j.fact_fk, j.dim_key) for j in aggregate.joins
+        )),
+        frozenset(_predicate_key(cp) for cp in aggregate.where),
+    )
+
+
 def estimate_plan_cost(
     plan: Plan, engine: MultidimensionalEngine,
     statistics: Optional[Statistics] = None,
+    shared: Optional[BatchSharedState] = None,
 ) -> CostEstimate:
     """Estimate a plan's execution cost bottom-up.
 
     Returns the estimate with a per-node-type breakdown; node visits return
     their estimated output cardinality so parents can price their own work.
+    With ``shared`` (batch mode), gets whose fingerprint or scan key an
+    earlier statement already chose are priced as shared.
     """
     stats = statistics or Statistics(engine)
     estimate = CostEstimate(plan)
 
     def get_cost(node: GetNode) -> float:
+        from ..cache.fingerprint import fingerprint_query
+
         cells = stats.result_cells(node.query)
+        if shared is not None:
+            aggregate = engine.build_aggregate_query(node.query)
+            if fingerprint_query(aggregate) in shared.nodes:
+                # An earlier statement executes this exact get; the batch
+                # memo serves it at copy-out cost.
+                estimate.charge(node, WARM_CELL_WEIGHT * cells)
+                return cells
         probe = stats.cache_probe(node.query)
         if probe == "exact":
             # A memoized result: no scan, no grouping — just copy-out.
@@ -166,6 +219,11 @@ def estimate_plan_cost(
             # Re-aggregated from a cached finer result: grouping-sized
             # work over cached rows, still no fact scan.
             estimate.charge(node, DERIVE_CELL_WEIGHT * cells)
+            return cells
+        if shared is not None and _scan_key(aggregate) in shared.scans:
+            # Same star and predicates as an already-chosen get: the fused
+            # scan is paid once, only the grouping work is marginal.
+            estimate.charge(node, GROUP_WEIGHT * cells)
             return cells
         scanned = stats.scanned_rows(node.query)
         estimate.charge(node, SCAN_WEIGHT * scanned + GROUP_WEIGHT * cells)
@@ -238,3 +296,30 @@ def choose_plan(
     }
     best = min(estimates, key=lambda name: estimates[name].total)
     return plans[best], {name: e.total for name, e in estimates.items()}
+
+
+def choose_plan_batch(
+    statements: Sequence[AssessStatement], engine: MultidimensionalEngine
+) -> Tuple[List[Plan], List[Dict[str, float]]]:
+    """Greedy batch-aware plan selection: maximize cross-statement sharing.
+
+    Statements are planned in input order; each picks the plan with the
+    smallest *marginal* cost given what earlier statements already pay
+    for (shared fingerprints and scan keys).  Returns the chosen plans
+    plus each statement's candidate totals (for explain/debug output).
+    """
+    stats = Statistics(engine)
+    shared = BatchSharedState()
+    chosen: List[Plan] = []
+    totals: List[Dict[str, float]] = []
+    for statement in statements:
+        candidates = build_all_plans(statement, engine)
+        estimates = {
+            name: estimate_plan_cost(plan, engine, stats, shared=shared)
+            for name, plan in candidates.items()
+        }
+        best = min(estimates, key=lambda name: estimates[name].total)
+        shared.observe(candidates[best], engine)
+        chosen.append(candidates[best])
+        totals.append({name: e.total for name, e in estimates.items()})
+    return chosen, totals

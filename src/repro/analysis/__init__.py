@@ -19,11 +19,12 @@ Entry points
 * :mod:`.lint` — file-level linting behind ``python -m repro.cli lint``.
 """
 
-from .codes import ALL_CODES, PLAN_CODES, STATEMENT_CODES, severity_of
+from .codes import ALL_CODES, BATCH_CODES, PLAN_CODES, STATEMENT_CODES, severity_of
 from .context import AnalysisContext
 from .lint import (
     LintReport,
     LintResult,
+    batch_diagnostics,
     extract_statements,
     lint_path,
     lint_paths,
@@ -38,12 +39,14 @@ from .statement_passes import analyze_raw_statement, analyze_text
 __all__ = [
     "ALL_CODES",
     "AnalysisContext",
+    "BATCH_CODES",
     "LintReport",
     "LintResult",
     "PLAN_CODES",
     "STATEMENT_CODES",
     "analyze_raw_statement",
     "analyze_text",
+    "batch_diagnostics",
     "extract_statements",
     "lint_path",
     "lint_paths",

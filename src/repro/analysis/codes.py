@@ -5,7 +5,9 @@ grouped by the layer that produces them:
 
 * ``ASSESS0xx`` — parsing/binding failures surfaced as diagnostics;
 * ``ASSESS1xx`` — statement passes (semantic checks on the raw AST);
-* ``ASSESS2xx`` — plan passes (structural checks on logical plan trees).
+* ``ASSESS2xx`` — plan passes (structural checks on logical plan trees);
+* ``ASSESS3xx`` — batch passes (checks over a statement *list*, run by
+  ``repro batch`` and :func:`repro.analysis.lint.batch_diagnostics`).
 
 The catalog is the single source of truth: the docs section in
 ``docs/language.md`` and the tests assert against it, so adding a code here
@@ -87,11 +89,15 @@ ALL_CODES: Dict[str, CodeInfo] = {
               "pivot members inconsistent with the combined get predicate"),
         _info("ASSESS207", Severity.ERROR,
               "plan is not feasible for the statement's benchmark type"),
+        # -- batch passes (3xx) ----------------------------------------------
+        _info("ASSESS301", Severity.WARNING, "batch contains no statements"),
+        _info("ASSESS302", Severity.WARNING, "duplicate statement in batch"),
     )
 }
 
 STATEMENT_CODES = tuple(c for c in ALL_CODES if c.startswith("ASSESS1"))
 PLAN_CODES = tuple(c for c in ALL_CODES if c.startswith("ASSESS2"))
+BATCH_CODES = tuple(c for c in ALL_CODES if c.startswith("ASSESS3"))
 
 
 def severity_of(code: str) -> Severity:

@@ -115,6 +115,42 @@ def statements_from_python(source: str) -> List[str]:
     return found
 
 
+def batch_diagnostics(statements: Sequence[str]) -> DiagnosticBag:
+    """Batch-level checks (ASSESS3xx) over a statement list.
+
+    These are warnings about the batch as a whole, orthogonal to the
+    per-statement analysis: an empty batch (ASSESS301) is a no-op worth
+    flagging, and duplicate statements (ASSESS302) execute once anyway —
+    the batch executor's CSE memo serves the repeats — so a duplicate
+    usually means a copy-paste slip in a workload file.
+    """
+    from ..core.diagnostics import Severity
+    from .codes import severity_of
+
+    bag = DiagnosticBag()
+    if not statements:
+        bag.report(
+            "ASSESS301", severity_of("ASSESS301"),
+            "batch contains no statements", source="batch",
+        )
+        return bag
+    seen: dict = {}
+    for position, statement in enumerate(statements):
+        normalized = " ".join(statement.split()).lower()
+        first = seen.setdefault(normalized, position)
+        if first != position:
+            head = statement.strip().splitlines()[0] if statement.strip() else ""
+            bag.report(
+                "ASSESS302", Severity.WARNING,
+                f"statement {position + 1} duplicates statement {first + 1}"
+                f" ({head!r})",
+                hint="duplicates are answered from the batch memo; "
+                "drop the repeat unless it is intentional",
+                source="batch",
+            )
+    return bag
+
+
 def lint_text(
     text: str, context: AnalysisContext, origin: str = "<string>"
 ) -> List[LintResult]:

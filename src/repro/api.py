@@ -159,6 +159,25 @@ class AssessSession:
         """Execute an already-built plan (benchmark harness entry point)."""
         return self._executor.execute(plan, self._resolve(statement))
 
+    def execute_many(
+        self, statements: Sequence[StatementLike], plan: str = "best"
+    ):
+        """Plan and execute a statement batch with cross-statement sharing.
+
+        The batch subsystem merges the statements' plans into one shared
+        DAG: identical pushed queries execute once (CSE by canonical
+        fingerprint), and compatible gets over the same star are answered
+        from fused multi-group-by scans.  Results are bit-identical to
+        calling :meth:`assess` once per statement and come back in input
+        order, with per-statement timings and a sharing report
+        (``result.report.render()``).  ``plan="auto"`` uses the
+        batch-aware cost model, which prefers plans that maximize
+        sharing.  See ``docs/performance.md``.
+        """
+        from .batch import run_batch
+
+        return run_batch(self, list(statements), plan=plan)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

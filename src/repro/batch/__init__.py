@@ -1,0 +1,20 @@
+"""Batched multi-query execution (plan-DAG merging + fused shared scans).
+
+See ``docs/performance.md`` ("Batched execution") for the user-facing
+story; the entry point is :meth:`repro.api.AssessSession.execute_many`.
+"""
+
+from .executor import BatchEngineExecutor, SharingReport
+from .fuse import FusedMember, FusionGroup, plan_fusion
+from .session import BatchResult, results_identical, run_batch
+
+__all__ = [
+    "BatchEngineExecutor",
+    "BatchResult",
+    "FusedMember",
+    "FusionGroup",
+    "SharingReport",
+    "plan_fusion",
+    "results_identical",
+    "run_batch",
+]

@@ -1,0 +1,135 @@
+"""Fusion planning: group compatible pushed gets into shared scans.
+
+Given the distinct :class:`AggregateQuery`s a statement batch pushes, the
+planner partitions them by star (fact table + joins) and, within a
+partition, assigns each query's predicate set to a *scan key* — the
+smallest predicate set present in the partition that it subsumes (is a
+superset of).  Queries sharing a scan key form a :class:`FusionGroup`:
+the engine answers them all from one pass over the fact rows selected by
+the scan key, applying each member's *residual* predicates (its
+predicates beyond the scan key) on the finest-group coordinates.
+
+Because a scan key is always some member's own complete predicate set,
+the shared scan never reads more rows than that member itself requires —
+fusing is never worse than the widest member's standalone execution.
+Groups with a single member are discarded: a lone query gains nothing
+from the fused path, so it keeps the ordinary execution (and cache)
+route.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from ..cache.fingerprint import Fingerprint, fingerprint_query
+from ..cache.fingerprint import _predicate_key as predicate_key
+from ..engine.query import AggregateQuery, ColumnPredicate
+
+
+class FusedMember:
+    """One query of a fusion group plus its residual predicates."""
+
+    __slots__ = ("query", "residual", "fingerprint")
+
+    def __init__(
+        self, query: AggregateQuery, residual: Sequence[ColumnPredicate]
+    ):
+        self.query = query
+        self.residual: Tuple[ColumnPredicate, ...] = tuple(residual)
+        self.fingerprint: Fingerprint = fingerprint_query(query)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FusedMember({self.query!r}, residual={list(self.residual)})"
+
+
+class FusionGroup:
+    """Queries answered together from one shared fact pass."""
+
+    __slots__ = ("scan_where", "members", "executed")
+
+    def __init__(
+        self,
+        scan_where: Sequence[ColumnPredicate],
+        members: Sequence[FusedMember],
+    ):
+        self.scan_where: Tuple[ColumnPredicate, ...] = tuple(scan_where)
+        self.members: List[FusedMember] = list(members)
+        self.executed = False
+
+    @property
+    def fingerprints(self) -> List[Fingerprint]:
+        return [member.fingerprint for member in self.members]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FusionGroup(members={len(self.members)}, scan={list(self.scan_where)})"
+
+
+def plan_fusion(queries: Sequence[AggregateQuery]) -> List[FusionGroup]:
+    """Partition distinct queries into fusion groups of two or more.
+
+    Queries are deduplicated by fingerprint first (identical gets are the
+    CSE memo's job, not fusion's).  Within one star, each distinct
+    predicate-key set ``W`` is assigned the smallest predicate-key set
+    ``S`` present with ``S ⊆ W`` as its scan key; all queries assigned to
+    the same ``S`` fuse, with residual ``W \\ S``.
+    """
+    unique: Dict[Fingerprint, AggregateQuery] = {}
+    for query in queries:
+        fingerprint = fingerprint_query(query)
+        if fingerprint not in unique:
+            unique[fingerprint] = query
+
+    partitions: Dict[Tuple, List[AggregateQuery]] = {}
+    for query in unique.values():
+        star_key = (
+            query.fact,
+            tuple(sorted((j.table, j.fact_fk, j.dim_key) for j in query.joins)),
+        )
+        partitions.setdefault(star_key, []).append(query)
+
+    groups: List[FusionGroup] = []
+    for members in partitions.values():
+        groups.extend(_fuse_partition(members))
+    return groups
+
+
+def _where_keys(query: AggregateQuery) -> FrozenSet[Tuple]:
+    return frozenset(predicate_key(cp) for cp in query.where)
+
+
+def _fuse_partition(queries: List[AggregateQuery]) -> List[FusionGroup]:
+    by_where: Dict[FrozenSet[Tuple], List[AggregateQuery]] = {}
+    for query in queries:
+        by_where.setdefault(_where_keys(query), []).append(query)
+
+    # Smallest key sets first; ties broken deterministically by repr.
+    key_sets = sorted(
+        by_where, key=lambda keys: (len(keys), repr(sorted(keys, key=repr)))
+    )
+    by_scan: Dict[FrozenSet[Tuple], List[AggregateQuery]] = {}
+    for where_keys, where_queries in by_where.items():
+        scan_keys = next(keys for keys in key_sets if keys <= where_keys)
+        by_scan.setdefault(scan_keys, []).extend(where_queries)
+
+    groups: List[FusionGroup] = []
+    for scan_keys, scan_queries in by_scan.items():
+        if len(scan_queries) < 2:
+            continue
+        representative = next(
+            query for query in scan_queries if _where_keys(query) == scan_keys
+        )
+        members = [
+            FusedMember(
+                query,
+                tuple(
+                    cp for cp in query.where
+                    if predicate_key(cp) not in scan_keys
+                ),
+            )
+            for query in scan_queries
+        ]
+        groups.append(FusionGroup(representative.where, members))
+    return groups

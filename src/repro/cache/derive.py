@@ -46,7 +46,7 @@ import numpy as np
 
 from ..core.query import CubeQuery, Predicate, PredicateOp
 from ..engine.executor import ResultSet, _aggregate, _hash_encode_with_mapping
-from ..engine.kernels import combine_codes, encode_column
+from ..engine.kernels import combine_codes, encode_column, sums_exactly
 from ..olap.materialized import REAGGREGATION_OPS
 
 RollupResolver = Callable[[str, str, str], Optional[Mapping]]
@@ -238,24 +238,10 @@ def derive_result(
     return ResultSet(columns)
 
 
-def _sums_exactly(values: np.ndarray) -> bool:
-    """Whether summing these partial aggregates is exact in float64.
-
-    Integer-valued floats add exactly while every partial result stays
-    below 2**53, so integral measures (quantities, counts, money in
-    integral units) re-aggregate bit-identically in any association
-    order.  Fractional values do not — their queries go back to the
-    fact table instead.
-    """
-    if len(values) == 0:
-        return True
-    floats = np.asarray(values, dtype=np.float64)
-    if not np.all(np.isfinite(floats)):
-        return False
-    if np.any(floats != np.trunc(floats)):
-        return False
-    bound = float(np.abs(floats).max()) * len(floats)
-    return bound < 2.0**53
+# The float-sum exactness gate is shared with the fused-scan path of the
+# engine executor, which applies it at fact-row granularity; here it gates
+# cached *partial* sums before re-association.
+_sums_exactly = sums_exactly
 
 
 def _rollup_column(

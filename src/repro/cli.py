@@ -163,6 +163,111 @@ def cache_main(argv=None) -> int:
     return 0
 
 
+def batch_main(argv=None) -> int:
+    """The ``batch`` subcommand: run a statement-file workload as one batch.
+
+    Statements are extracted from the given files (same format as ``repro
+    lint``: ``;``- or ``with``-separated, ``#``/``--`` comments ignored),
+    checked with the batch diagnostics (ASSESS3xx), and executed through
+    :meth:`AssessSession.execute_many`.  Prints per-statement timings and
+    the sharing report; ``--compare`` additionally runs the statements
+    one by one on a fresh session and verifies bit-identical results.
+    """
+    import time
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli batch",
+        description="Execute a multi-statement workload as one batch with "
+        "plan merging and fused shared scans (see docs/performance.md).",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="statement files (default: the four bundled "
+                        "experiment intentions)")
+    parser.add_argument("--cube", choices=("sales", "ssb"), default="ssb",
+                        help="demo cube to run against (default: ssb)")
+    parser.add_argument("--rows", type=int, default=None,
+                        help="fact rows to generate")
+    parser.add_argument("--plan", default="best",
+                        choices=("NP", "JOP", "POP", "best", "auto"),
+                        help="execution plan (default: best; auto uses the "
+                        "batch-aware cost model)")
+    parser.add_argument("--compare", action="store_true",
+                        help="also run sequentially on a fresh session and "
+                        "verify bit-identical results")
+    args = parser.parse_args(argv)
+
+    from .analysis import batch_diagnostics, extract_statements
+    from .batch import results_identical
+
+    if args.paths:
+        statements = []
+        for path in args.paths:
+            try:
+                with open(path) as handle:
+                    statements.extend(extract_statements(handle.read()))
+            except OSError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+    elif args.cube == "ssb":
+        from .experiments.statements import INTENTIONS, statement_text
+
+        statements = [statement_text(name) for name in INTENTIONS]
+    else:
+        statements = list(SALES_CACHE_WORKLOAD)
+
+    for diagnostic in batch_diagnostics(statements).sorted():
+        print(diagnostic.render())
+    if not statements:
+        return 0
+
+    def fresh_session() -> AssessSession:
+        if args.cube == "ssb":
+            from .experiments.statements import prepare_engine
+
+            return AssessSession(prepare_engine(args.rows or 60_000))
+        return AssessSession(sales_engine(n_rows=args.rows or 20_000))
+
+    session = fresh_session()
+    start = time.perf_counter()
+    try:
+        batch = session.execute_many(statements, plan=args.plan)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    batch_elapsed = time.perf_counter() - start
+    for number, (result, seconds) in enumerate(
+        zip(batch.results, batch.seconds), start=1
+    ):
+        print(f"statement {number:>2}: {len(result):>6} cells, "
+              f"plan {result.plan_name:<4} {1000 * seconds:>8.1f} ms")
+    print()
+    print(batch.report.render())
+    print(f"batch wall time     {1000 * batch_elapsed:.1f} ms")
+
+    if args.compare:
+        sequential_session = fresh_session()
+        start = time.perf_counter()
+        try:
+            sequential = [
+                sequential_session.assess(text, plan=args.plan)
+                for text in statements
+            ]
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        sequential_elapsed = time.perf_counter() - start
+        identical = all(
+            results_identical(ours, theirs)
+            for ours, theirs in zip(batch.results, sequential)
+        )
+        print(f"sequential          {1000 * sequential_elapsed:.1f} ms "
+              f"({sequential_elapsed / max(batch_elapsed, 1e-9):.2f}x the batch)")
+        print(f"bit-identical       {'yes' if identical else 'NO'}")
+        if not identical:
+            return 1
+    return 0
+
+
 def lint_main(argv=None) -> int:
     """The ``lint`` subcommand: statically analyze statement files.
 
@@ -233,6 +338,8 @@ def main(argv=None) -> int:
         return lint_main(argv[1:])
     if argv and argv[0] == "cache":
         return cache_main(argv[1:])
+    if argv and argv[0] == "batch":
+        return batch_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Run assess statements against a bundled demo cube.",

@@ -239,7 +239,7 @@ class LabelingSpec:
 class RangeLabeling(LabelingSpec):
     """Inline, explicit-range labeling: ``{[0,0.9): bad, [0.9,1.1]: ok, …}``."""
 
-    __slots__ = ("rules",)
+    __slots__ = ("rules", "_lows", "_highs", "_low_closed", "_high_closed", "_labels")
 
     @classmethod
     def from_cutpoints(cls, bounds: Sequence[float], labels: Sequence[str]) -> "RangeLabeling":
@@ -267,6 +267,14 @@ class RangeLabeling(LabelingSpec):
         self.rules: Tuple[LabelRule, ...] = tuple(
             sorted(rules, key=lambda rule: (rule.interval.low, not rule.interval.low_closed))
         )
+        # Edge arrays for the vectorised apply: rules are sorted by low and
+        # non-overlapping, so a searchsorted over the lows narrows each value
+        # to at most two candidate rules (see ``apply``).
+        self._lows = np.array([r.interval.low for r in self.rules], dtype=np.float64)
+        self._highs = np.array([r.interval.high for r in self.rules], dtype=np.float64)
+        self._low_closed = np.array([r.interval.low_closed for r in self.rules], dtype=bool)
+        self._high_closed = np.array([r.interval.high_closed for r in self.rules], dtype=bool)
+        self._labels = np.array([r.label for r in self.rules], dtype=object)
 
     @property
     def labels(self) -> Tuple[str, ...]:
@@ -283,12 +291,48 @@ class RangeLabeling(LabelingSpec):
         return None
 
     def apply(self, values: np.ndarray) -> np.ndarray:
-        """Label a column of comparison values (object array of labels)."""
-        out = np.full(len(values), None, dtype=object)
+        """Label a column of comparison values (object array of labels).
+
+        One ``searchsorted`` over the sorted interval lows finds each
+        value's candidate rule; because the rule set is non-overlapping,
+        a value excluded by its candidate (open low endpoint, or past the
+        high bound) can only belong to the immediately preceding rule, so
+        a single step back completes the assignment.  Values in gaps and
+        NaNs stay ``None``.  :meth:`apply_python` is the per-cell oracle.
+        """
         numeric = np.asarray(values, dtype=np.float64)
-        for rule in self.rules:
-            mask = rule.interval.mask(numeric)
-            out[mask] = rule.label
+        out = np.full(len(numeric), None, dtype=object)
+        if numeric.size == 0:
+            return out
+        candidates = np.searchsorted(self._lows, numeric, side="right") - 1
+        hit = self._contains_at(candidates, numeric)
+        missed = ~hit
+        if missed.any():
+            stepped = candidates - 1
+            rescue = self._contains_at(stepped, numeric) & missed
+            candidates = np.where(rescue, stepped, candidates)
+            hit |= rescue
+        out[hit] = self._labels[candidates[hit]]
+        return out
+
+    def _contains_at(self, indices: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Vectorised ``rules[i].interval.contains(v)`` (NaN never matches)."""
+        in_range = indices >= 0
+        safe = np.where(in_range, indices, 0)
+        above = np.where(
+            self._low_closed[safe], values >= self._lows[safe], values > self._lows[safe]
+        )
+        below = np.where(
+            self._high_closed[safe], values <= self._highs[safe], values < self._highs[safe]
+        )
+        return in_range & above & below
+
+    def apply_python(self, values: np.ndarray) -> np.ndarray:
+        """Per-cell reference implementation of :meth:`apply` (test oracle)."""
+        numeric = np.asarray(values, dtype=np.float64)
+        out = np.full(len(numeric), None, dtype=object)
+        for row in range(len(numeric)):
+            out[row] = self.apply_scalar(float(numeric[row]))
         return out
 
     def render(self) -> str:
@@ -354,7 +398,27 @@ class CoordinateLabeling(LabelingSpec):
         return self.cases.get(member, self.default)
 
     def apply(self, values: np.ndarray, members: Sequence) -> np.ndarray:
-        """Label a comparison column, choosing ranges by each cell's member."""
+        """Label a comparison column, choosing ranges by each cell's member.
+
+        Rows are grouped by member so each distinct member pays one
+        vectorised :meth:`RangeLabeling.apply` over its rows instead of a
+        per-cell scalar probe.  :meth:`apply_python` is the oracle.
+        """
+        numeric = np.asarray(values, dtype=np.float64)
+        out = np.full(len(numeric), None, dtype=object)
+        rows_of: dict = {}
+        for row, member in enumerate(members):
+            rows_of.setdefault(member, []).append(row)
+        for member, rows in rows_of.items():
+            labeling = self.labeling_for(member)
+            if labeling is None:
+                continue
+            indices = np.asarray(rows, dtype=np.intp)
+            out[indices] = labeling.apply(numeric[indices])
+        return out
+
+    def apply_python(self, values: np.ndarray, members: Sequence) -> np.ndarray:
+        """Per-cell reference implementation of :meth:`apply` (test oracle)."""
         out = np.full(len(values), None, dtype=object)
         for row, member in enumerate(members):
             labeling = self.labeling_for(member)

@@ -19,8 +19,18 @@ from ..core.errors import EngineError
 from .catalog import Catalog
 from .kernels import combine_codes as _combine_codes
 from .kernels import encode_column as _encode_column
-from .query import AggregateQuery, DrillAcrossQuery, FACT, PivotQuery
+from .kernels import sums_exactly as _sums_exactly
+from .query import (
+    AggregateQuery,
+    ColumnPredicate,
+    DrillAcrossQuery,
+    FACT,
+    PivotQuery,
+)
 from .table import Table
+
+_MAX_COMBINED_KEY = 2**62
+"""Bail out of key folding when the cardinality product nears int64."""
 
 
 class ResultSet:
@@ -57,6 +67,10 @@ class EngineExecutor:
 
     def __init__(self, catalog: Catalog):
         self.catalog = catalog
+        # Fact passes actually executed (cold aggregates, fused scans, and
+        # per-member fused fallbacks).  Cache hits and derived results do
+        # not count; the batch sharing report reads this.
+        self.scan_count = 0
 
     # ------------------------------------------------------------------
     # Aggregate (get)
@@ -84,6 +98,22 @@ class EngineExecutor:
         fact = self.catalog.table(query.fact)
         positions = self._dimension_positions(fact, query)
         mask = self._selection_mask(fact, query, positions)
+        self.scan_count += 1
+        return self._grouped_aggregate(fact, query, positions, mask)
+
+    def _grouped_aggregate(
+        self,
+        fact: Table,
+        query: AggregateQuery,
+        positions: "Dict[str, np.ndarray]",
+        mask: Optional[np.ndarray],
+    ) -> ResultSet:
+        """Group and aggregate the masked fact rows (steps 3–5).
+
+        Split out of :meth:`execute_aggregate` so the fused-scan fallback
+        can reuse the exact same grouping code with a shared semi-join
+        mask — bit-identity between the two paths is then structural.
+        """
         n_rows = len(fact) if mask is None else int(mask.sum())
 
         # Integer key codes: dimension-sourced grouping columns use the FK
@@ -128,6 +158,245 @@ class EngineExecutor:
                 measure = measure[mask]
             columns[agg.alias] = _aggregate(group_ids, group_count, measure, agg.op)
         return ResultSet(columns)
+
+    # ------------------------------------------------------------------
+    # Fused multi-group-by scan
+    # ------------------------------------------------------------------
+    def execute_fused(
+        self,
+        queries: Sequence[AggregateQuery],
+        scan_where: Sequence[ColumnPredicate],
+        residuals: Sequence[Sequence[ColumnPredicate]],
+    ) -> "Tuple[List[ResultSet], List[bool]]":
+        """Answer several compatible aggregate queries from one fact pass.
+
+        All queries must share the same fact table and joins, and each
+        query's predicate set must equal ``scan_where ∧ residuals[i]``
+        (the caller — the batch fusion planner — guarantees this, using
+        predicate subsumption so the scan is never broader than what some
+        member itself requires).
+
+        One semi-join mask and one set of gathered dictionary codes build
+        the *finest shared group-by* (the union of every member's grouping
+        columns plus residual predicate columns); each member is then
+        derived from the finest partial aggregates via the distributive
+        re-aggregation rules, with residual predicates evaluated on the
+        (tiny) finest-group coordinates.  ``sum`` members are only derived
+        when the masked measure passes the same float-exactness gate the
+        result cache uses; anything else (``avg``, fractional sums) falls
+        back to a direct grouping pass that reuses the shared mask — never
+        faster than fused, never different by a bit.
+
+        Returns the per-query results (input order) and a parallel list of
+        flags: ``True`` when the result was derived from the fused pass,
+        ``False`` when it fell back to a direct grouping pass.
+        """
+        if not queries:
+            return [], []
+        fact = self.catalog.table(queries[0].fact)
+        fact_name = queries[0].fact
+
+        # Union dimension positions: one FK resolution serves every member.
+        referenced = set()
+        for query in queries:
+            referenced |= {gb.table for gb in query.group_by}
+            referenced |= {cp.table for cp in query.where}
+        positions: Dict[str, np.ndarray] = {}
+        for join in queries[0].joins:
+            if join.table not in referenced:
+                continue
+            dimension = self.catalog.table(join.table)
+            index = dimension.key_index(join.dim_key)
+            positions[join.table] = index.positions_of(fact.column(join.fact_fk))
+
+        self.scan_count += 1
+        base_mask = self._predicate_mask(fact, fact_name, scan_where, positions)
+        n_rows = len(fact) if base_mask is None else int(base_mask.sum())
+
+        def column_key(table: str) -> str:
+            return FACT if table in (FACT, fact_name) else table
+
+        # The finest shared key: every member grouping column plus every
+        # residual predicate column, ordered by first appearance.
+        finest: List[Tuple[str, str]] = []
+        seen = set()
+        for query, residual in zip(queries, residuals):
+            for gb in query.group_by:
+                key = (column_key(gb.table), gb.column)
+                if key not in seen:
+                    seen.add(key)
+                    finest.append(key)
+            for cp in residual:
+                key = (column_key(cp.table), cp.column)
+                if key not in seen:
+                    seen.add(key)
+                    finest.append(key)
+
+        codes_of: Dict[Tuple[str, str], Tuple[np.ndarray, int]] = {}
+        value_emitters: Dict[Tuple[str, str], object] = {}
+        key_space = 1
+        for table, column in finest:
+            if table == FACT:
+                codes, cardinality = fact.dictionary(column)
+                values = fact.column(column)
+                if base_mask is not None:
+                    codes = codes[base_mask]
+                    values = values[base_mask]
+                emit = (lambda first, values=values: values[first])
+            else:
+                dimension = self.catalog.table(table)
+                pos = positions[table]
+                if base_mask is not None:
+                    pos = pos[base_mask]
+                dim_codes, cardinality = dimension.dictionary(column)
+                codes = dim_codes[pos]
+                member_column = dimension.column(column)
+                emit = (lambda first, pos=pos, col=member_column: col[pos[first]])
+            codes_of[(table, column)] = (codes, cardinality)
+            value_emitters[(table, column)] = emit
+            key_space *= max(cardinality, 1)
+        if key_space >= _MAX_COMBINED_KEY:
+            # The folded finest key would overflow int64; run every member
+            # as its own direct pass (still sharing mask and positions).
+            return self._fused_fallback_all(
+                fact, queries, residuals, positions, base_mask
+            )
+
+        finest_ids, finest_count, finest_first = _combine_codes(
+            [codes_of[key] for key in finest], n_rows
+        )
+        group_codes = {
+            key: (codes_of[key][0][finest_first], codes_of[key][1]) for key in finest
+        }
+        group_values = {
+            key: value_emitters[key](finest_first) for key in finest  # type: ignore[operator]
+        }
+
+        # Finest partial aggregates, computed once per distinct (column, op).
+        partials: Dict[Tuple[str, str], np.ndarray] = {}
+        sum_exact: Dict[str, bool] = {}
+        count_partial: Optional[np.ndarray] = None
+
+        def masked_measure(column: str) -> np.ndarray:
+            measure = fact.column(column)
+            return measure if base_mask is None else measure[base_mask]
+
+        results: List[ResultSet] = []
+        derived_flags: List[bool] = []
+        for query, residual in zip(queries, residuals):
+            derivable = True
+            for agg in query.aggregates:
+                if agg.op == "avg":
+                    derivable = False
+                    break
+                if agg.op == "sum":
+                    if agg.column not in sum_exact:
+                        sum_exact[agg.column] = _sums_exactly(
+                            masked_measure(agg.column)
+                        )
+                    if not sum_exact[agg.column]:
+                        derivable = False
+                        break
+            if not derivable:
+                results.append(
+                    self._fused_member_direct(
+                        fact, query, residual, positions, base_mask
+                    )
+                )
+                derived_flags.append(False)
+                continue
+
+            # Residual predicates evaluated on finest-group coordinates
+            # (residual columns are part of the finest key, so they are
+            # constant within each finest group).
+            rmask: Optional[np.ndarray] = None
+            for cp in residual:
+                key = (column_key(cp.table), cp.column)
+                part = cp.predicate.mask(group_values[key])
+                rmask = part if rmask is None else (rmask & part)
+
+            if rmask is None:
+                group_rows = finest_count
+                member_codes = [
+                    group_codes[(column_key(gb.table), gb.column)]
+                    for gb in query.group_by
+                ]
+            else:
+                group_rows = int(rmask.sum())
+                member_codes = [
+                    (group_codes[(column_key(gb.table), gb.column)][0][rmask],
+                     group_codes[(column_key(gb.table), gb.column)][1])
+                    for gb in query.group_by
+                ]
+            ids, count, first = _combine_codes(member_codes, group_rows)
+
+            columns: Dict[str, np.ndarray] = {}
+            for gb in query.group_by:
+                values = group_values[(column_key(gb.table), gb.column)]
+                if rmask is not None:
+                    values = values[rmask]
+                columns[gb.alias] = values[first]
+            for agg in query.aggregates:
+                if agg.op == "count":
+                    if count_partial is None:
+                        count_partial = _aggregate(
+                            finest_ids, finest_count, np.empty(0), "count"
+                        )
+                    values = count_partial
+                    reagg = "sum"
+                else:
+                    pkey = (agg.column, agg.op)
+                    if pkey not in partials:
+                        partials[pkey] = _aggregate(
+                            finest_ids, finest_count,
+                            masked_measure(agg.column), agg.op,
+                        )
+                    values = partials[pkey]
+                    reagg = "sum" if agg.op == "sum" else agg.op
+                if rmask is not None:
+                    values = values[rmask]
+                columns[agg.alias] = _aggregate(ids, count, values, reagg)
+            results.append(ResultSet(columns))
+            derived_flags.append(True)
+        return results, derived_flags
+
+    def _fused_member_direct(
+        self,
+        fact: Table,
+        query: AggregateQuery,
+        residual: Sequence[ColumnPredicate],
+        positions: Dict[str, np.ndarray],
+        base_mask: Optional[np.ndarray],
+    ) -> ResultSet:
+        """Direct grouping pass for one fused member, reusing the scan mask.
+
+        The member mask is ``base ∧ residual`` — the same predicate parts a
+        standalone execution would AND together, so the result is
+        bit-identical to :meth:`execute_aggregate` on the member's query.
+        """
+        self.scan_count += 1
+        residual_mask = self._predicate_mask(fact, query.fact, residual, positions)
+        if base_mask is None:
+            mask = residual_mask
+        elif residual_mask is None:
+            mask = base_mask
+        else:
+            mask = base_mask & residual_mask
+        return self._grouped_aggregate(fact, query, positions, mask)
+
+    def _fused_fallback_all(
+        self,
+        fact: Table,
+        queries: Sequence[AggregateQuery],
+        residuals: Sequence[Sequence[ColumnPredicate]],
+        positions: Dict[str, np.ndarray],
+        base_mask: Optional[np.ndarray],
+    ) -> "Tuple[List[ResultSet], List[bool]]":
+        results = [
+            self._fused_member_direct(fact, query, residual, positions, base_mask)
+            for query, residual in zip(queries, residuals)
+        ]
+        return results, [False] * len(queries)
 
     # ------------------------------------------------------------------
     # Drill-across (JOP)
@@ -350,9 +619,18 @@ class EngineExecutor:
         query: AggregateQuery,
         positions: Dict[str, np.ndarray],
     ) -> Optional[np.ndarray]:
+        return self._predicate_mask(fact, query.fact, query.where, positions)
+
+    def _predicate_mask(
+        self,
+        fact: Table,
+        fact_name: str,
+        predicates: Sequence[ColumnPredicate],
+        positions: Dict[str, np.ndarray],
+    ) -> Optional[np.ndarray]:
         mask: Optional[np.ndarray] = None
-        for cp in query.where:
-            if cp.table in (FACT, query.fact):
+        for cp in predicates:
+            if cp.table in (FACT, fact_name):
                 part = cp.predicate.mask(fact.column(cp.column))
             else:
                 dimension = self.catalog.table(cp.table)

@@ -127,3 +127,21 @@ class TestEndToEnd:
             sales_session.assess(
                 "with SALES by year assess storeSales labels noSuchSpec"
             )
+
+
+def test_apply_matches_per_cell_oracle():
+    """Grouped vectorised apply equals the per-row scalar oracle."""
+    import numpy as np
+
+    from repro.core.labels import CoordinateLabeling, RangeLabeling, five_stars_rules
+
+    strict = RangeLabeling(five_stars_rules())
+    lenient = RangeLabeling.from_cutpoints([0.0], ["neg", "pos"])
+    rng = np.random.default_rng(11)
+    members = list(rng.choice(["Italy", "France", "Japan"], 200)) + [None]
+    values = np.append(rng.uniform(-1.5, 1.5, 200), np.nan)
+    for spec in (
+        CoordinateLabeling("country", {"Italy": strict}, default=lenient),
+        CoordinateLabeling("country", {"Italy": strict, "France": lenient}),
+    ):
+        assert spec.apply(values, members).tolist() == spec.apply_python(values, members).tolist()

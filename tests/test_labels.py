@@ -187,3 +187,45 @@ class TestNamedLabeling:
     def test_empty_name_rejected(self):
         with pytest.raises(ValidationError):
             NamedLabeling("")
+
+
+class TestVectorisedApplyOracle:
+    """The searchsorted ``apply`` must agree with the per-cell oracle."""
+
+    def cases(self):
+        yield RangeLabeling(five_stars_rules())
+        yield RangeLabeling.from_cutpoints([0.0, 0.9, 1.1], ["awful", "bad", "ok", "good"])
+        # gaps, a degenerate point interval, and mixed closedness
+        yield RangeLabeling(
+            [
+                LabelRule(Interval(-INF, -2, False, False), "low"),
+                LabelRule(Interval(-2, -2, True, True), "exactly"),
+                LabelRule(Interval(0, 1, False, True), "unit"),
+                LabelRule(Interval(3, INF, True, False), "high"),
+            ]
+        )
+
+    def probes(self, labeling):
+        edges = []
+        for rule in labeling.rules:
+            for bound in (rule.interval.low, rule.interval.high):
+                if math.isfinite(bound):
+                    edges += [
+                        bound,
+                        float(np.nextafter(bound, -INF)),
+                        float(np.nextafter(bound, INF)),
+                    ]
+        rng = np.random.default_rng(7)
+        return np.array(
+            edges + list(rng.uniform(-10, 10, 64)) + [math.nan, -1e308, 1e308],
+            dtype=np.float64,
+        )
+
+    def test_matches_oracle_on_edges_and_random_values(self):
+        for labeling in self.cases():
+            values = self.probes(labeling)
+            assert labeling.apply(values).tolist() == labeling.apply_python(values).tolist()
+
+    def test_empty_column(self):
+        labeling = RangeLabeling(five_stars_rules())
+        assert labeling.apply(np.array([], dtype=np.float64)).tolist() == []
