@@ -153,6 +153,12 @@ def main(argv=None) -> int:
         "--json", metavar="OUT", default="",
         help="also write the raw measurements as JSON to OUT",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="run with the execution tracer installed and print a span "
+        "summary per experiment (timings include tracing overhead; see "
+        "docs/observability.md)",
+    )
     args = parser.parse_args(argv)
     repetitions = args.repeat if args.repeat > 0 else args.repetitions
 
@@ -179,11 +185,24 @@ def main(argv=None) -> int:
         if name not in selected:
             continue
         start = time.perf_counter()
-        text, data = RUNNERS[name](runner, repetitions, args.warmup)
+        if args.trace:
+            from repro.obs import render_span_summary, summarize_spans, tracing
+
+            with tracing() as tracer:
+                text, data = RUNNERS[name](runner, repetitions, args.warmup)
+            summary = summarize_spans(tracer)
+        else:
+            text, data = RUNNERS[name](runner, repetitions, args.warmup)
+            summary = None
         elapsed = time.perf_counter() - start
         collected[name] = {"seconds": elapsed, "data": data}
+        if summary is not None:
+            collected[name]["trace_summary"] = summary
         print("\n" + "=" * 78)
         print(text)
+        if summary is not None:
+            print(f"\ntrace summary ({name}):")
+            print(render_span_summary(summary))
         print(f"[{name} regenerated in {elapsed:.1f}s]")
     if args.json:
         payload = {

@@ -32,6 +32,7 @@ from ..core.statement import AssessStatement
 from ..olap.engine import MultidimensionalEngine
 from .plan import (
     AddConstantNode,
+    AttachPropertyNode,
     GetNode,
     JoinNode,
     LabelNode,
@@ -58,17 +59,29 @@ DERIVE_CELL_WEIGHT = 6.0   # cache: re-aggregate a cached finer result
 
 
 class CostEstimate:
-    """An estimated plan cost with its per-node breakdown."""
+    """An estimated plan cost with its per-node breakdown.
+
+    Besides the per-node-type totals, the estimate records each visited
+    node's charged cost and estimated output cardinality keyed by
+    ``id(node)`` — the per-node annotations ``explain()`` and
+    ``explain_analyze()`` render next to the actual row counts.
+    """
 
     def __init__(self, plan: Plan):
         self.plan = plan
         self.total = 0.0
         self.breakdown: Dict[str, float] = {}
+        self.node_costs: Dict[int, float] = {}
+        self.node_rows: Dict[int, float] = {}
 
     def charge(self, node: PlanNode, cost: float) -> None:
         self.total += cost
         key = type(node).__name__
         self.breakdown[key] = self.breakdown.get(key, 0.0) + cost
+        self.node_costs[id(node)] = self.node_costs.get(id(node), 0.0) + cost
+
+    def record_rows(self, node: PlanNode, rows: float) -> None:
+        self.node_rows[id(node)] = rows
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CostEstimate({self.plan.name}, total={self.total:.0f})"
@@ -200,6 +213,11 @@ def estimate_plan_cost(
     estimate = CostEstimate(plan)
 
     def get_cost(node: GetNode) -> float:
+        cells = _get_cost(node)
+        estimate.record_rows(node, cells)
+        return cells
+
+    def _get_cost(node: GetNode) -> float:
         from ..cache.fingerprint import fingerprint_query
 
         cells = stats.result_cells(node.query)
@@ -230,6 +248,11 @@ def estimate_plan_cost(
         return cells
 
     def visit(node: PlanNode) -> float:
+        out = _visit(node)
+        estimate.record_rows(node, out)
+        return out
+
+    def _visit(node: PlanNode) -> float:
         if isinstance(node, GetNode):
             return get_cost(node)
         if isinstance(node, JoinNode):
@@ -270,7 +293,7 @@ def estimate_plan_cost(
             cells = visit(node.child)
             estimate.charge(node, TRANSFORM_WEIGHT * cells)
             return cells
-        if isinstance(node, (ProjectNode, AddConstantNode)):
+        if isinstance(node, (ProjectNode, AddConstantNode, AttachPropertyNode)):
             cells = visit(node.child)
             estimate.charge(node, 0.1 * cells)
             return cells

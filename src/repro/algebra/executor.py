@@ -22,6 +22,7 @@ from ..core.result import AssessResult
 from ..core.statement import AssessStatement
 from ..functions.evaluate import evaluate
 from ..functions.registry import FunctionRegistry, default_registry
+from ..obs.tracer import active as _active_tracer
 from ..olap.engine import MultidimensionalEngine
 from .plan import (
     AddConstantNode,
@@ -67,6 +68,35 @@ class PlanExecutor:
 
     # ------------------------------------------------------------------
     def _run(self, node: PlanNode, timings: Dict[str, float]) -> Cube:
+        """Evaluate one node; under tracing, wrap it in an operator span.
+
+        The span covers the node *and* its children (children's spans
+        nest inside, so inclusive/exclusive times both fall out of the
+        tree), while the Figure 4 ``timings`` buckets stay exclusive —
+        :meth:`_timed` is unchanged.
+        """
+        tracer = _active_tracer()
+        if not tracer.enabled:
+            return self._run_node(node, timings)
+        name = _OPERATOR_NAMES.get(type(node), type(node).__name__)
+        with tracer.span(f"op.{name}", node_id=id(node)) as span:
+            cube = self._run_node(node, timings)
+            rows_in = sum(
+                child.attrs["rows_out"]
+                for child in span.children
+                if child.name.startswith("op.") and "rows_out" in child.attrs
+            )
+            span.set(
+                step=node.step,
+                rows_in=rows_in,
+                rows_out=len(cube),
+                cells_out=len(cube) * max(len(cube.measures), 1),
+                pushed=bool(getattr(node, "pushed", False)),
+                detail=node.describe(),
+            )
+            return cube
+
+    def _run_node(self, node: PlanNode, timings: Dict[str, float]) -> Cube:
         if isinstance(node, GetNode):
             return self._timed(node, timings, lambda: self.engine.get(node.query))
 
@@ -376,6 +406,21 @@ class PlanExecutor:
         elapsed = time.perf_counter() - start
         timings[node.step] = timings.get(node.step, 0.0) + elapsed
         return result
+
+
+_OPERATOR_NAMES = {
+    GetNode: "get",
+    JoinNode: "join",
+    RollupJoinNode: "rollup-join",
+    PivotNode: "pivot",
+    PredictNode: "cell-transform",
+    UsingNode: "h-transform",
+    LabelNode: "labeling",
+    AddConstantNode: "add-constant",
+    ProjectNode: "project",
+    AttachPropertyNode: "attach-property",
+}
+"""Span names of the algebra operators (the paper's get/⋈/⊟/⊡/⊞)."""
 
 
 def _strip_suffix(name: str) -> str:

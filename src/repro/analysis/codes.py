@@ -7,7 +7,9 @@ grouped by the layer that produces them:
 * ``ASSESS1xx`` — statement passes (semantic checks on the raw AST);
 * ``ASSESS2xx`` — plan passes (structural checks on logical plan trees);
 * ``ASSESS3xx`` — batch passes (checks over a statement *list*, run by
-  ``repro batch`` and :func:`repro.analysis.lint.batch_diagnostics`).
+  ``repro batch`` and :func:`repro.analysis.lint.batch_diagnostics`);
+* ``ASSESS4xx`` — observability passes (pre-flight checks of ``repro
+  trace`` and :meth:`AssessSession.explain_analyze`).
 
 The catalog is the single source of truth: the docs section in
 ``docs/language.md`` and the tests assert against it, so adding a code here
@@ -92,12 +94,16 @@ ALL_CODES: Dict[str, CodeInfo] = {
         # -- batch passes (3xx) ----------------------------------------------
         _info("ASSESS301", Severity.WARNING, "batch contains no statements"),
         _info("ASSESS302", Severity.WARNING, "duplicate statement in batch"),
+        # -- observability passes (4xx) ---------------------------------------
+        _info("ASSESS401", Severity.ERROR,
+              "tracing requested on an unregistered cube"),
     )
 }
 
 STATEMENT_CODES = tuple(c for c in ALL_CODES if c.startswith("ASSESS1"))
 PLAN_CODES = tuple(c for c in ALL_CODES if c.startswith("ASSESS2"))
 BATCH_CODES = tuple(c for c in ALL_CODES if c.startswith("ASSESS3"))
+TRACE_CODES = tuple(c for c in ALL_CODES if c.startswith("ASSESS4"))
 
 
 def severity_of(code: str) -> Severity:

@@ -186,25 +186,70 @@ class AssessSession:
 
         Keys: ``hits``/``misses``/``derivations``/``evictions``/
         ``invalidations``/``stores`` plus ``entries``, ``cached_cells``,
-        ``cached_bytes``, ``cell_budget`` and ``enabled``.  See
-        ``docs/performance.md`` for how to read them.
+        ``cached_bytes``, ``cell_budget`` and ``enabled``, and the batch
+        sharing counters ``batch_statements``/``batch_cse_hits``/
+        ``batch_fused_groups``/``batch_fused_scans``/
+        ``batch_fused_derived``/``batch_fused_fallbacks``.  All counters
+        are served by the engine's metrics registry
+        (``session.engine.metrics``); see ``docs/performance.md`` and
+        ``docs/observability.md`` for how to read them.
         """
-        return self.engine.result_cache.stats()
+        stats = self.engine.result_cache.stats()
+        metrics = self.engine.metrics
+        stats.update(
+            batch_statements=metrics.get("batch.statements"),
+            batch_cse_hits=metrics.get("batch.cse_hits"),
+            batch_fused_groups=metrics.get("batch.fused_groups"),
+            batch_fused_scans=metrics.get("engine.fused_scans"),
+            batch_fused_derived=metrics.get("engine.fused_derived"),
+            batch_fused_fallbacks=metrics.get("engine.fused_fallbacks"),
+        )
+        return stats
 
     def clear_cache(self) -> None:
         """Drop every memoized query result (counters are kept)."""
         self.engine.result_cache.clear()
 
     def explain(self, statement: StatementLike, plan: str = "best") -> str:
-        """The plan tree plus the SQL text of every pushed operation."""
+        """The plan tree (with per-node cost-model estimates) plus the SQL
+        text of every pushed operation."""
+        from .algebra.cost import estimate_plan_cost
+        from .obs.analyze import annotate_estimates
+
         resolved = self._resolve(statement)
         built = build_plan(resolved, self.engine, plan)
-        parts = [built.explain(), ""]
+        estimate = estimate_plan_cost(built, self.engine)
+        parts = [annotate_estimates(built, estimate), ""]
         for i, sql in enumerate(self.pushed_sql(built), start=1):
             parts.append(f"-- pushed query {i}")
             parts.append(sql)
             parts.append("")
         return "\n".join(parts).rstrip() + "\n"
+
+    def explain_analyze(
+        self,
+        statement: Union[StatementLike, Sequence[StatementLike]],
+        plan: str = "best",
+    ):
+        """Execute with tracing and annotate the plan tree with actuals.
+
+        Accepts one statement or a list (a list executes as a shared
+        batch via :meth:`execute_many`, so the annotations show CSE and
+        fusion provenance).  Returns an
+        :class:`~repro.obs.analyze.ExplainAnalyzeReport`: ``render()``
+        for the estimated-vs-actual tree, ``to_json()`` /
+        ``to_chrome()`` for machine-readable traces, ``result`` /
+        ``results`` for the assess results themselves.  Raises on an
+        unregistered cube (diagnostic ``ASSESS401``).
+        """
+        from .obs.analyze import explain_analyze as _explain_analyze
+
+        statements: List[StatementLike]
+        if isinstance(statement, (str, AssessStatement)):
+            statements = [statement]
+        else:
+            statements = list(statement)
+        return _explain_analyze(self, statements, plan=plan)
 
     def pushed_sql(self, plan: Plan) -> List[str]:
         """The SQL statements a plan sends to the DBMS, in execution order."""

@@ -24,12 +24,16 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from typing import Optional
+
 from ..cache.executor import CachingEngineExecutor
 from ..cache.fingerprint import CacheableQuery, Fingerprint, fingerprint_query
 from ..cache.store import SemanticResultCache
 from ..engine.catalog import Catalog
 from ..engine.executor import ResultSet
 from ..engine.query import AggregateQuery, DrillAcrossQuery, PivotQuery
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import active as _active_tracer
 from .fuse import FusionGroup
 
 
@@ -87,8 +91,9 @@ class BatchEngineExecutor(CachingEngineExecutor):
         cache: SemanticResultCache,
         groups: Sequence[FusionGroup],
         report: SharingReport,
+        metrics: Optional[MetricsRegistry] = None,
     ):
-        super().__init__(catalog, cache)
+        super().__init__(catalog, cache, metrics)
         self.report = report
         self._memo: Dict[Fingerprint, Tuple[CacheableQuery, ResultSet]] = {}
         self._group_of: Dict[Fingerprint, FusionGroup] = {}
@@ -101,14 +106,18 @@ class BatchEngineExecutor(CachingEngineExecutor):
         fingerprint = fingerprint_query(query)
         served = self._from_memo(fingerprint, query)
         if served is not None:
-            self.report.shared_hits += 1
+            self._count_cse_hit()
             return served
         group = self._group_of.get(fingerprint)
         if group is not None and not group.executed:
             self._run_group(group)
             served = self._from_memo(fingerprint, query)
             if served is not None:
-                return served  # first consumption of the fused result
+                # First consumption of the fused result.
+                tracer = _active_tracer()
+                if tracer.enabled:
+                    tracer.event("batch.fused-serve", rows_out=len(served))
+                return served
         result = super().execute_aggregate(query)
         self._memo[fingerprint] = (query, result)
         return result
@@ -120,11 +129,18 @@ class BatchEngineExecutor(CachingEngineExecutor):
         return self._composite(query, super().execute_pivot)
 
     # ------------------------------------------------------------------
+    def _count_cse_hit(self) -> None:
+        self.report.shared_hits += 1
+        self.metrics.inc("batch.cse_hits")
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.event("batch.cse-hit")
+
     def _composite(self, query: CacheableQuery, execute) -> ResultSet:
         fingerprint = fingerprint_query(query)
         served = self._from_memo(fingerprint, query)
         if served is not None:
-            self.report.shared_hits += 1
+            self._count_cse_hit()
             return served
         # A cold composite routes its aggregate sides back through
         # execute_aggregate (method dispatch), so the sides still share.
@@ -141,11 +157,14 @@ class BatchEngineExecutor(CachingEngineExecutor):
     def _run_group(self, group: FusionGroup) -> None:
         queries = [member.query for member in group.members]
         residuals = [member.residual for member in group.members]
-        results, derived = self.execute_fused(
-            queries, group.scan_where, residuals
-        )
+        tracer = _active_tracer()
+        with tracer.span("batch.fused-group", members=len(group.members)):
+            results, derived = self.execute_fused(
+                queries, group.scan_where, residuals
+            )
         group.executed = True
         self.report.fused_groups += 1
+        self.metrics.inc("batch.fused_groups")
         for member, result, was_derived in zip(group.members, results, derived):
             self._memo[member.fingerprint] = (member.query, result)
             if was_derived:

@@ -29,6 +29,7 @@ from ..algebra.plan import GetNode, Plan
 from ..cache.fingerprint import fingerprint_query
 from ..core.result import AssessResult
 from ..core.statement import AssessStatement
+from ..obs.tracer import active as _active_tracer
 from .executor import BatchEngineExecutor, SharingReport
 from .fuse import plan_fusion
 
@@ -39,17 +40,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class BatchResult:
     """The outcome of one ``execute_many`` call."""
 
-    __slots__ = ("results", "seconds", "report")
+    __slots__ = ("results", "seconds", "report", "plans")
 
     def __init__(
         self,
         results: Sequence[AssessResult],
         seconds: Sequence[float],
         report: SharingReport,
+        plans: Sequence[Plan] = (),
     ):
         self.results: List[AssessResult] = list(results)
         self.seconds: List[float] = list(seconds)
         self.report = report
+        # The executed plan objects, input order — explain_analyze
+        # correlates operator spans back to these by node identity.
+        self.plans: List[Plan] = list(plans)
 
     def __len__(self) -> int:
         return len(self.results)
@@ -104,6 +109,8 @@ def run_batch(
 ) -> BatchResult:
     """Plan, merge, and execute a statement batch against one session."""
     engine = session.engine
+    engine.metrics.inc("batch.batches")
+    engine.metrics.inc("batch.statements", len(statements))
     resolved: List[AssessStatement] = []
     for statement in statements:
         statement = session._resolve(statement)
@@ -134,23 +141,28 @@ def run_batch(
     report = SharingReport(statements=len(resolved), unique_queries=len(seen))
     report.plan_names = [built.name for built in plans]
     before = cache.counters.snapshot()
-    batch_executor = BatchEngineExecutor(engine.catalog, cache, groups, report)
+    batch_executor = BatchEngineExecutor(
+        engine.catalog, cache, groups, report, metrics=engine.metrics
+    )
     original = engine.executor
     engine.executor = batch_executor
     results: List[AssessResult] = []
     seconds: List[float] = []
+    tracer = _active_tracer()
     try:
-        for built, statement in zip(plans, resolved):
-            start = time.perf_counter()
-            results.append(session._executor.execute(built, statement))
-            seconds.append(time.perf_counter() - start)
+        with tracer.span("batch", statements=len(resolved)):
+            for index, (built, statement) in enumerate(zip(plans, resolved)):
+                with tracer.span("statement", index=index, plan=built.name):
+                    start = time.perf_counter()
+                    results.append(session._executor.execute(built, statement))
+                    seconds.append(time.perf_counter() - start)
     finally:
         engine.executor = original
     after = cache.counters.snapshot()
     report.engine_scans = batch_executor.scan_count
     report.cache_hits = after["hits"] - before["hits"]
     report.cache_derivations = after["derivations"] - before["derivations"]
-    return BatchResult(results, seconds, report)
+    return BatchResult(results, seconds, report, plans=plans)
 
 
 def _pushed_aggregates(plan: Plan, engine):

@@ -23,17 +23,25 @@ timings honest.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..engine.catalog import Catalog
 from ..engine.executor import EngineExecutor, ResultSet
 from ..engine.query import AggregateQuery, DrillAcrossQuery, PivotQuery
+from ..obs.metrics import MetricsRegistry
 from .store import SemanticResultCache
 
 
 class CachingEngineExecutor(EngineExecutor):
     """An engine executor that consults a semantic result cache."""
 
-    def __init__(self, catalog: Catalog, cache: SemanticResultCache):
-        super().__init__(catalog)
+    def __init__(
+        self,
+        catalog: Catalog,
+        cache: SemanticResultCache,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        super().__init__(catalog, metrics)
         self.cache = cache
 
     def execute_aggregate(self, query: AggregateQuery) -> ResultSet:

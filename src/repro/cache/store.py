@@ -28,6 +28,8 @@ from typing import Dict, FrozenSet, Optional, Set
 
 from ..engine.executor import ResultSet
 from ..engine.query import AggregateQuery, DrillAcrossQuery, PivotQuery
+from ..obs.metrics import METRICS, MetricsRegistry
+from ..obs.tracer import active as _active_tracer
 from .derive import QueryMeta, RollupResolver, can_derive, derive_result
 from .fingerprint import CacheableQuery, Fingerprint, fingerprint_query
 
@@ -74,31 +76,64 @@ class CacheEntry:
 
 
 class CacheStats:
-    """Counters of one cache's lifetime activity."""
+    """Counters of one cache's lifetime activity.
 
-    __slots__ = ("hits", "misses", "derivations", "evictions", "invalidations",
-                 "stores")
+    Since the observability refactor the counters live in a
+    :class:`~repro.obs.metrics.MetricsRegistry` (by default a private
+    child of the process-wide registry, so every bump also aggregates
+    upward as ``cache.<name>``).  The attribute API is unchanged —
+    ``stats.hits`` reads and ``stats.hits += 1`` writes exactly as the
+    old plain-int fields did, and :meth:`snapshot` returns the same flat
+    dict of ints.
+    """
 
-    def __init__(self):
-        self.hits = 0
-        self.misses = 0
-        self.derivations = 0
-        self.evictions = 0
-        self.invalidations = 0
-        self.stores = 0
+    NAMES = ("hits", "misses", "derivations", "evictions", "invalidations",
+             "stores")
+
+    __slots__ = ("metrics",)
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        self.metrics = (
+            metrics
+            if metrics is not None
+            else MetricsRegistry(parent=METRICS, prefix="cache")
+        )
 
     def snapshot(self) -> Dict[str, int]:
-        return {name: getattr(self, name) for name in self.__slots__}
+        return {name: self.metrics.get(name) for name in self.NAMES}
+
+
+def _counter_property(name: str) -> property:
+    def getter(self: CacheStats) -> int:
+        return self.metrics.get(name)
+
+    def setter(self: CacheStats, value: int) -> None:
+        # Assignment is expressed as a delta so the increment propagates
+        # to parent registries (plain assignment would bypass them).
+        delta = value - self.metrics.get(name)
+        if delta:
+            self.metrics.inc(name, delta)
+
+    return property(getter, setter)
+
+
+for _name in CacheStats.NAMES:
+    setattr(CacheStats, _name, _counter_property(_name))
+del _name
 
 
 class SemanticResultCache:
     """LRU result cache with exact and derivation reuse."""
 
-    def __init__(self, cell_budget: int = DEFAULT_CELL_BUDGET):
+    def __init__(
+        self,
+        cell_budget: int = DEFAULT_CELL_BUDGET,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.enabled = True
         self.cell_budget = cell_budget
         self.rollup_resolver: Optional[RollupResolver] = None
-        self.counters = CacheStats()
+        self.counters = CacheStats(metrics)
         self._entries: "OrderedDict[Fingerprint, CacheEntry]" = OrderedDict()
         self._semantics: "OrderedDict[Fingerprint, QueryMeta]" = OrderedDict()
         self._by_source: Dict[str, Set[Fingerprint]] = {}
@@ -138,19 +173,29 @@ class SemanticResultCache:
         """
         if not self.enabled:
             return None
-        fingerprint = fingerprint_query(query)
-        entry = self._entries.get(fingerprint)
-        if entry is not None and entry.query == query:
-            self._entries.move_to_end(fingerprint)
-            self.counters.hits += 1
-            return _serve(entry.result)
-        derived = self._derive(query, fingerprint)
-        if derived is not None:
-            self.counters.derivations += 1
-            self.store(query, derived, derived_from_cache=True)
-            return _serve(derived)
-        self.counters.misses += 1
-        return None
+        tracer = _active_tracer()
+        with tracer.span("cache.lookup") as span:
+            fingerprint = fingerprint_query(query)
+            entry = self._entries.get(fingerprint)
+            if entry is not None and entry.query == query:
+                self._entries.move_to_end(fingerprint)
+                self.counters.hits += 1
+                if tracer.enabled:
+                    span.set(outcome="hit", fingerprint=_short(fingerprint),
+                             rows_out=len(entry.result))
+                return _serve(entry.result)
+            derived = self._derive(query, fingerprint)
+            if derived is not None:
+                self.counters.derivations += 1
+                self.store(query, derived, derived_from_cache=True)
+                if tracer.enabled:
+                    span.set(outcome="derive", fingerprint=_short(fingerprint),
+                             rows_out=len(derived))
+                return _serve(derived)
+            self.counters.misses += 1
+            if tracer.enabled:
+                span.set(outcome="miss", fingerprint=_short(fingerprint))
+            return None
 
     def store(
         self,
@@ -275,6 +320,14 @@ class SemanticResultCache:
             )
             if result is not None:
                 self._entries.move_to_end(candidate.fingerprint)
+                tracer = _active_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        "cache.rollup-derivation",
+                        source_fingerprint=_short(candidate.fingerprint),
+                        source_rows=len(candidate.result),
+                        rows_out=len(result),
+                    )
                 return result
         return None
 
@@ -284,6 +337,18 @@ class SemanticResultCache:
             fingerprints = self._by_source.get(entry.meta.source)
             if fingerprints is not None:
                 fingerprints.discard(entry.fingerprint)
+
+
+def _short(fingerprint: Fingerprint) -> str:
+    """A short stable digest of a fingerprint, for span attributes.
+
+    Fingerprints are deterministic tuples of strings, so the digest of
+    their ``repr`` is stable within a process run and across runs —
+    enough to correlate a derivation with its source entry in a trace.
+    """
+    import hashlib
+
+    return hashlib.sha1(repr(fingerprint).encode()).hexdigest()[:10]
 
 
 def _serve(result: ResultSet) -> ResultSet:

@@ -268,6 +268,104 @@ def batch_main(argv=None) -> int:
     return 0
 
 
+def trace_main(argv=None) -> int:
+    """The ``trace`` subcommand: EXPLAIN ANALYZE for statements or batches.
+
+    Executes the statements with the tracer installed and prints the plan
+    tree annotated with actual rows, per-operator timings, cost-model
+    estimates, and cache/fusion provenance (see ``docs/observability.md``).
+    Several statements (from files or the bundled workload) execute as one
+    shared batch, so the annotations show CSE and fused-scan reuse.
+    ``--json`` writes the full machine-readable trace document (schema
+    version 1); ``--format=chrome`` emits Chrome ``trace_event`` JSON for
+    ``chrome://tracing`` / Perfetto instead of the tree.
+    """
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli trace",
+        description="Execute assess statements with tracing enabled and "
+        "print the plan annotated with actual rows, timings, and "
+        "estimated-vs-actual cost (EXPLAIN ANALYZE).",
+    )
+    parser.add_argument("statements", nargs="*",
+                        help="statement texts or statement files (default: "
+                        "the four bundled experiment intentions)")
+    parser.add_argument("--cube", choices=("sales", "ssb"), default="ssb",
+                        help="demo cube to run against (default: ssb)")
+    parser.add_argument("--rows", type=int, default=None,
+                        help="fact rows to generate")
+    parser.add_argument("--plan", default="best",
+                        choices=("NP", "JOP", "POP", "best", "auto"),
+                        help="execution plan (default: best)")
+    parser.add_argument("--format", choices=("tree", "chrome"),
+                        default="tree", dest="format_",
+                        help="stdout format: annotated tree (default) or "
+                        "Chrome trace_event JSON")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the trace document (schema v1, "
+                        "estimates + actuals + span tree) to PATH "
+                        "('-' for stdout)")
+    args = parser.parse_args(argv)
+
+    import os
+
+    from .analysis import extract_statements
+    from .obs.analyze import trace_diagnostics
+
+    statements = []
+    for item in args.statements:
+        if os.path.exists(item):
+            try:
+                with open(item) as handle:
+                    statements.extend(extract_statements(handle.read()))
+            except OSError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+        else:
+            statements.append(item)
+    if not statements:
+        if args.cube == "ssb":
+            from .experiments.statements import INTENTIONS, statement_text
+
+            statements = [statement_text(name) for name in INTENTIONS]
+        else:
+            statements = list(SALES_CACHE_WORKLOAD)
+
+    if args.cube == "ssb":
+        from .experiments.statements import prepare_engine
+
+        session = AssessSession(prepare_engine(args.rows or 60_000))
+    else:
+        session = AssessSession(sales_engine(n_rows=args.rows or 20_000))
+
+    bag = trace_diagnostics(session, statements)
+    for diagnostic in bag.sorted():
+        print(diagnostic.render(), file=sys.stderr)
+    if bag.has_errors:
+        return 1
+
+    try:
+        report = session.explain_analyze(statements, plan=args.plan)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    if args.format_ == "chrome":
+        print(json.dumps(report.to_chrome(), indent=2))
+    else:
+        print(report.render())
+    if args.json:
+        document = json.dumps(report.to_json(), indent=2)
+        if args.json == "-":
+            print(document)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(document + "\n")
+            print(f"-- trace document written to {args.json}", file=sys.stderr)
+    return 0
+
+
 def lint_main(argv=None) -> int:
     """The ``lint`` subcommand: statically analyze statement files.
 
@@ -340,6 +438,8 @@ def main(argv=None) -> int:
         return cache_main(argv[1:])
     if argv and argv[0] == "batch":
         return batch_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Run assess statements against a bundled demo cube.",

@@ -16,6 +16,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.errors import EngineError
+from ..obs.metrics import METRICS, MetricsRegistry
+from ..obs.tracer import active as _active_tracer
 from .catalog import Catalog
 from .kernels import combine_codes as _combine_codes
 from .kernels import encode_column as _encode_column
@@ -65,12 +67,24 @@ class ResultSet:
 class EngineExecutor:
     """Evaluates pushed queries against a catalog."""
 
-    def __init__(self, catalog: Catalog):
+    def __init__(self, catalog: Catalog, metrics: Optional[MetricsRegistry] = None):
         self.catalog = catalog
         # Fact passes actually executed (cold aggregates, fused scans, and
         # per-member fused fallbacks).  Cache hits and derived results do
         # not count; the batch sharing report reads this.
         self.scan_count = 0
+        # Counter registry ("engine.scans", "engine.rows_scanned", ...);
+        # engine-owned executors share their engine's registry, standalone
+        # ones report straight into the process-wide aggregate.
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry(parent=METRICS)
+        )
+
+    def _count_scan(self, fact: Table) -> None:
+        """One executed fact pass: bump the scan counters together."""
+        self.scan_count += 1
+        self.metrics.inc("engine.scans")
+        self.metrics.inc("engine.rows_scanned", len(fact))
 
     # ------------------------------------------------------------------
     # Aggregate (get)
@@ -96,10 +110,31 @@ class EngineExecutor:
         ufunc.at kernels.
         """
         fact = self.catalog.table(query.fact)
-        positions = self._dimension_positions(fact, query)
-        mask = self._selection_mask(fact, query, positions)
-        self.scan_count += 1
-        return self._grouped_aggregate(fact, query, positions, mask)
+        tracer = _active_tracer()
+        if not tracer.enabled:
+            positions = self._dimension_positions(fact, query)
+            mask = self._selection_mask(fact, query, positions)
+            self._count_scan(fact)
+            return self._grouped_aggregate(fact, query, positions, mask)
+        with tracer.span("engine.scan", fact=query.fact) as span:
+            with tracer.span("engine.semijoin") as semijoin:
+                positions = self._dimension_positions(fact, query)
+                mask = self._selection_mask(fact, query, positions)
+                semijoin.set(
+                    rows_in=len(fact),
+                    rows_matched=len(fact) if mask is None else int(mask.sum()),
+                    predicates=len(query.where),
+                )
+            self._count_scan(fact)
+            with tracer.span("engine.groupby") as groupby:
+                result = self._grouped_aggregate(fact, query, positions, mask)
+                groupby.set(rows_out=len(result), keys=len(query.group_by))
+            span.set(
+                rows_in=len(fact),
+                rows_out=len(result),
+                cells_out=len(result) * max(len(result.column_names), 1),
+            )
+            return result
 
     def _grouped_aggregate(
         self,
@@ -191,6 +226,27 @@ class EngineExecutor:
         flags: ``True`` when the result was derived from the fused pass,
         ``False`` when it fell back to a direct grouping pass.
         """
+        tracer = _active_tracer()
+        if not tracer.enabled:
+            return self._execute_fused(queries, scan_where, residuals)
+        with tracer.span("engine.fused-scan", members=len(queries)) as span:
+            results, derived_flags = self._execute_fused(
+                queries, scan_where, residuals
+            )
+            derived = int(sum(derived_flags))
+            span.set(
+                derived=derived,
+                fallbacks=len(derived_flags) - derived,
+                rows_out=int(sum(len(result) for result in results)),
+            )
+            return results, derived_flags
+
+    def _execute_fused(
+        self,
+        queries: Sequence[AggregateQuery],
+        scan_where: Sequence[ColumnPredicate],
+        residuals: Sequence[Sequence[ColumnPredicate]],
+    ) -> "Tuple[List[ResultSet], List[bool]]":
         if not queries:
             return [], []
         fact = self.catalog.table(queries[0].fact)
@@ -209,7 +265,8 @@ class EngineExecutor:
             index = dimension.key_index(join.dim_key)
             positions[join.table] = index.positions_of(fact.column(join.fact_fk))
 
-        self.scan_count += 1
+        self._count_scan(fact)
+        self.metrics.inc("engine.fused_scans")
         base_mask = self._predicate_mask(fact, fact_name, scan_where, positions)
         n_rows = len(fact) if base_mask is None else int(base_mask.sum())
 
@@ -304,6 +361,7 @@ class EngineExecutor:
                     )
                 )
                 derived_flags.append(False)
+                self.metrics.inc("engine.fused_fallbacks")
                 continue
 
             # Residual predicates evaluated on finest-group coordinates
@@ -358,6 +416,7 @@ class EngineExecutor:
                 columns[agg.alias] = _aggregate(ids, count, values, reagg)
             results.append(ResultSet(columns))
             derived_flags.append(True)
+            self.metrics.inc("engine.fused_derived")
         return results, derived_flags
 
     def _fused_member_direct(
@@ -374,7 +433,7 @@ class EngineExecutor:
         standalone execution would AND together, so the result is
         bit-identical to :meth:`execute_aggregate` on the member's query.
         """
-        self.scan_count += 1
+        self._count_scan(fact)
         residual_mask = self._predicate_mask(fact, query.fact, residual, positions)
         if base_mask is None:
             mask = residual_mask
@@ -396,6 +455,7 @@ class EngineExecutor:
             self._fused_member_direct(fact, query, residual, positions, base_mask)
             for query, residual in zip(queries, residuals)
         ]
+        self.metrics.inc("engine.fused_fallbacks", len(queries))
         return results, [False] * len(queries)
 
     # ------------------------------------------------------------------
@@ -409,9 +469,24 @@ class EngineExecutor:
         lookup table — the vectorised analogue of the DBMS hash join the
         paper's JOP relies on.
         """
-        left = self.execute_aggregate(query.left)
-        right = self.execute_aggregate(query.right)
+        self.metrics.inc("engine.drill_across")
+        tracer = _active_tracer()
+        with tracer.span("engine.join", multi=bool(query.multi)) as span:
+            with tracer.span("engine.side", side="left") as side:
+                left = self.execute_aggregate(query.left)
+                side.set(rows_out=len(left))
+            with tracer.span("engine.side", side="right") as side:
+                right = self.execute_aggregate(query.right)
+                side.set(rows_out=len(right))
+            result = self._drill_across_join(query, left, right)
+            if tracer.enabled:
+                span.set(rows_in=len(left) + len(right), rows_out=len(result))
+            return result
 
+    def _drill_across_join(
+        self, query: DrillAcrossQuery, left: ResultSet, right: ResultSet
+    ) -> ResultSet:
+        """The join itself, after both sides have been aggregated."""
         left_keys = [left.column(alias) for alias in query.join_on]
         right_keys = [right.column(alias) for alias in query.join_on]
         left_codes, right_codes = _joint_codes(left_keys, right_keys)
@@ -549,7 +624,19 @@ class EngineExecutor:
         then filled by scatter for each aggregate, and reference rows are
         emitted with their neighbours' values as extra columns (Listing 5).
         """
-        base = self.execute_aggregate(query.base)
+        self.metrics.inc("engine.pivots")
+        tracer = _active_tracer()
+        with tracer.span("engine.pivot") as span:
+            with tracer.span("engine.side", side="base") as side:
+                base = self.execute_aggregate(query.base)
+                side.set(rows_out=len(base))
+            result = self._pivot_of_base(query, base)
+            if tracer.enabled:
+                span.set(rows_in=len(base), rows_out=len(result))
+            return result
+
+    def _pivot_of_base(self, query: PivotQuery, base: ResultSet) -> ResultSet:
+        """The pivot scatter itself, after the base has been aggregated."""
         rest_aliases = [
             gb.alias for gb in query.base.group_by if gb.alias != query.pivot_alias
         ]

@@ -1,0 +1,63 @@
+"""Observability: tracing spans, metrics, and EXPLAIN ANALYZE.
+
+Zero-dependency instrumentation threaded through every execution layer
+(algebra operators, engine kernels, the semantic cache, and batch
+execution).  See ``docs/observability.md`` for the full tour.
+
+Quick start::
+
+    from repro.obs import tracing, render_span_tree
+
+    with tracing() as tracer:
+        session.assess(text)
+    print(render_span_tree(tracer))
+
+Tracing is off by default (:data:`~repro.obs.tracer.NULL_TRACER` is
+installed) and instrumented call sites guard attribute computation
+behind ``tracer.enabled``, so the disabled overhead is a branch per
+operator — benchmarked under 2% in
+``benchmarks/bench_obs_overhead.py``.
+
+Only :mod:`~repro.obs.tracer` and :mod:`~repro.obs.metrics` load
+eagerly — they are imported by the execution layers themselves, so this
+package must stay import-cycle-free; the analyze/export helpers (which
+depend on the algebra layer) resolve lazily on first attribute access.
+"""
+
+from .metrics import METRICS, MetricsRegistry
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer, active, install, tracing
+
+_LAZY = {
+    "ExplainAnalyzeReport": "analyze",
+    "annotate_estimates": "analyze",
+    "explain_analyze": "analyze",
+    "trace_diagnostics": "analyze",
+    "TraceFormatError": "export",
+    "render_span_summary": "export",
+    "render_span_tree": "export",
+    "summarize_spans": "export",
+    "trace_to_chrome": "export",
+    "trace_to_json": "export",
+    "validate_trace": "export",
+}
+
+__all__ = [
+    "METRICS",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "active",
+    "install",
+    "tracing",
+] + sorted(_LAZY)
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    return getattr(import_module(f".{module_name}", __name__), name)

@@ -1,0 +1,202 @@
+"""Trace export: the span-tree JSON schema and Chrome ``trace_event``.
+
+The JSON document (``trace_to_json``) is the stable interchange format
+of ``repro trace --json`` and the one CI validates:
+
+.. code-block:: text
+
+    {
+      "version": 1,
+      "spans": [            # top-level spans, one per statement/batch
+        {
+          "name": str,
+          "start_us": number,      # relative to the first span's start
+          "duration_us": number,
+          "attrs": {str: scalar},  # row counts, outcomes, node ids, ...
+          "children": [<span>, ...]
+        },
+        ...
+      ]
+    }
+
+:func:`validate_trace` is a hand-rolled structural checker (the repo is
+zero-dependency, so no jsonschema); it raises :class:`TraceFormatError`
+with a JSON-pointer-ish path on the first violation.
+
+``trace_to_chrome`` flattens the same tree into the Chrome / Perfetto
+``trace_event`` array format (``chrome://tracing``, https://ui.perfetto.dev):
+one complete ``"ph": "X"`` event per span, nesting reconstructed from
+timestamps on a single thread track.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .tracer import Span, Tracer
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+class TraceFormatError(ValueError):
+    """A trace document violates the span-tree schema."""
+
+
+def _first_start(roots: Sequence[Span]) -> float:
+    return min((span.start for span in roots), default=0.0)
+
+
+def span_to_dict(span: Span, epoch: float) -> Dict[str, object]:
+    """One span (and its subtree) as a JSON-ready dict."""
+    return {
+        "name": span.name,
+        "start_us": round((span.start - epoch) * 1e6, 3),
+        "duration_us": round(span.duration * 1e6, 3),
+        "attrs": {
+            key: (value if isinstance(value, _SCALARS) else repr(value))
+            for key, value in span.attrs.items()
+        },
+        "children": [span_to_dict(child, epoch) for child in span.children],
+    }
+
+
+def trace_to_json(tracer: Tracer) -> Dict[str, object]:
+    """The whole trace as the versioned JSON document."""
+    epoch = _first_start(tracer.roots)
+    return {
+        "version": 1,
+        "spans": [span_to_dict(span, epoch) for span in tracer.roots],
+    }
+
+
+def trace_to_chrome(tracer: Tracer) -> List[Dict[str, object]]:
+    """The trace as a Chrome ``trace_event`` array (complete events)."""
+    epoch = _first_start(tracer.roots)
+    events: List[Dict[str, object]] = []
+
+    def emit(span: Span) -> None:
+        events.append({
+            "name": span.name,
+            "ph": "X",
+            "ts": round((span.start - epoch) * 1e6, 3),
+            "dur": round(span.duration * 1e6, 3),
+            "pid": 1,
+            "tid": 1,
+            "args": {
+                key: (value if isinstance(value, _SCALARS) else repr(value))
+                for key, value in span.attrs.items()
+            },
+        })
+        for child in span.children:
+            emit(child)
+
+    for root in tracer.roots:
+        emit(root)
+    return events
+
+
+def validate_trace(document: object) -> None:
+    """Structurally validate a trace JSON document; raises on violation."""
+    if not isinstance(document, dict):
+        raise TraceFormatError("trace document must be an object")
+    if document.get("version") != 1:
+        raise TraceFormatError(
+            f"unsupported trace version {document.get('version')!r}"
+        )
+    spans = document.get("spans")
+    if not isinstance(spans, list):
+        raise TraceFormatError("'spans' must be an array")
+    for index, span in enumerate(spans):
+        _validate_span(span, f"spans[{index}]")
+
+
+def _validate_span(span: object, path: str) -> None:
+    if not isinstance(span, dict):
+        raise TraceFormatError(f"{path}: span must be an object")
+    unknown = set(span) - {"name", "start_us", "duration_us", "attrs", "children"}
+    if unknown:
+        raise TraceFormatError(f"{path}: unknown keys {sorted(unknown)}")
+    name = span.get("name")
+    if not isinstance(name, str) or not name:
+        raise TraceFormatError(f"{path}: 'name' must be a non-empty string")
+    for key in ("start_us", "duration_us"):
+        value = span.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise TraceFormatError(f"{path}: {key!r} must be a number")
+        if value < 0:
+            raise TraceFormatError(f"{path}: {key!r} must be non-negative")
+    attrs = span.get("attrs")
+    if not isinstance(attrs, dict):
+        raise TraceFormatError(f"{path}: 'attrs' must be an object")
+    for key, value in attrs.items():
+        if not isinstance(key, str):
+            raise TraceFormatError(f"{path}: attr keys must be strings")
+        if not isinstance(value, _SCALARS):
+            raise TraceFormatError(
+                f"{path}: attr {key!r} must be a scalar, got "
+                f"{type(value).__name__}"
+            )
+    children = span.get("children")
+    if not isinstance(children, list):
+        raise TraceFormatError(f"{path}: 'children' must be an array")
+    for index, child in enumerate(children):
+        _validate_span(child, f"{path}.children[{index}]")
+
+
+def render_span_tree(tracer: Tracer, min_us: float = 0.0) -> str:
+    """Human-readable indented rendering of the trace (the CLI default)."""
+    lines: List[str] = []
+
+    def render(span: Span, indent: int) -> None:
+        attrs = ", ".join(
+            f"{key}={value}" for key, value in span.attrs.items()
+            if key != "node_id"
+        )
+        suffix = f"  [{attrs}]" if attrs else ""
+        lines.append(
+            f"{'  ' * indent}{span.name:<18} {1000 * span.duration:8.3f} ms"
+            f"{suffix}"
+        )
+        for child in span.children:
+            render(child, indent + 1)
+
+    for root in tracer.roots:
+        render(root, 0)
+    return "\n".join(lines)
+
+
+def summarize_spans(tracer: Tracer) -> Dict[str, Dict[str, float]]:
+    """Aggregate the trace by span name: call count and total/self ms.
+
+    Self time excludes child spans, so the per-name self totals add up
+    to (at most) the traced wall clock — the view ``harness.py --trace``
+    prints after each experiment.
+    """
+    summary: Dict[str, Dict[str, float]] = {}
+
+    def visit(span: Span) -> None:
+        bucket = summary.setdefault(
+            span.name, {"count": 0, "total_ms": 0.0, "self_ms": 0.0}
+        )
+        bucket["count"] += 1
+        bucket["total_ms"] += 1000 * span.duration
+        bucket["self_ms"] += 1000 * span.self_time
+        for child in span.children:
+            visit(child)
+
+    for root in tracer.roots:
+        visit(root)
+    return summary
+
+
+def render_span_summary(summary: Dict[str, Dict[str, float]]) -> str:
+    """The span summary as an aligned table, busiest (self time) first."""
+    lines = [f"{'span':<22} {'count':>7} {'total ms':>12} {'self ms':>12}"]
+    for name, bucket in sorted(
+        summary.items(), key=lambda item: -item[1]["self_ms"]
+    ):
+        lines.append(
+            f"{name:<22} {bucket['count']:>7,} {bucket['total_ms']:>12.1f} "
+            f"{bucket['self_ms']:>12.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""The metrics registry: process-wide counters and histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named **counters**
+(monotonic integers, always cheap to bump) and **histograms** (running
+count/total/min/max of observed values, used for operator timings).
+Registries form a tree: a child registry created with ``parent=``
+propagates every increment and observation upward, optionally under a
+``prefix`` — so a per-cache registry records ``hits`` locally while the
+engine-wide parent sees the same bump as ``cache.hits``, and the global
+:data:`METRICS` singleton aggregates across every engine in the process.
+
+This layering is what lets :meth:`AssessSession.cache_stats` stay
+per-session accurate (each engine owns its counters) while
+``MetricsRegistry.snapshot()`` on :data:`METRICS` still answers "what
+has this process done so far".
+
+Counters are always on — a bump is one dict operation.  Histograms are
+fed by the tracer (span exit times), so they only accumulate while
+tracing is enabled; see :mod:`repro.obs.tracer`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class MetricsRegistry:
+    """Named counters and histograms with optional upward propagation."""
+
+    __slots__ = ("parent", "prefix", "_counters", "_histograms")
+
+    def __init__(
+        self, parent: "Optional[MetricsRegistry]" = None, prefix: str = ""
+    ):
+        self.parent = parent
+        # The name under which our metrics appear in the parent:
+        # "" keeps names unchanged, "cache" maps "hits" -> "cache.hits".
+        self.prefix = f"{prefix}." if prefix and not prefix.endswith(".") else prefix
+        self._counters: Dict[str, int] = {}
+        self._histograms: Dict[str, Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: int = 1) -> None:
+        """Bump a counter (created at zero on first touch)."""
+        self._counters[name] = self._counters.get(name, 0) + value
+        if self.parent is not None:
+            self.parent.inc(self.prefix + name, value)
+
+    def get(self, name: str) -> int:
+        """Current value of a counter (zero if never bumped)."""
+        return self._counters.get(name, 0)
+
+    # ------------------------------------------------------------------
+    # Histograms
+    # ------------------------------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation (e.g. a span duration in seconds)."""
+        bucket = self._histograms.get(name)
+        if bucket is None:
+            bucket = {"count": 0, "total": 0.0, "min": float("inf"),
+                      "max": float("-inf")}
+            self._histograms[name] = bucket
+        bucket["count"] += 1
+        bucket["total"] += value
+        if value < bucket["min"]:
+            bucket["min"] = value
+        if value > bucket["max"]:
+            bucket["max"] = value
+        if self.parent is not None:
+            self.parent.observe(self.prefix + name, value)
+
+    def histogram(self, name: str) -> Dict[str, float]:
+        """A copy of one histogram's running stats (empty dict if unseen)."""
+        return dict(self._histograms.get(name, {}))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """All counters and histograms of *this* registry, as plain dicts."""
+        return {
+            "counters": dict(self._counters),
+            "histograms": {
+                name: dict(bucket) for name, bucket in self._histograms.items()
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero this registry's counters and drop its histograms.
+
+        Local only: parents keep their aggregates (a child reset must not
+        silently rewrite another component's history).
+        """
+        self._counters.clear()
+        self._histograms.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"histograms={len(self._histograms)})"
+        )
+
+
+METRICS = MetricsRegistry()
+"""The process-wide registry every engine-scoped registry reports into."""

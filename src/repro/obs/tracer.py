@@ -1,0 +1,240 @@
+"""Execution tracing: nested spans with near-zero disabled overhead.
+
+A :class:`Span` records one timed unit of work — an algebra operator, an
+engine kernel stage, a cache lookup — with a name, wall-clock duration,
+and a flat dict of attributes (row counts, fingerprints, plan node ids).
+Spans nest: whatever spans open while another span is active become its
+children, so one traced statement yields a tree mirroring the plan.
+
+The module keeps exactly one *active* tracer per process.  By default it
+is :data:`NULL_TRACER`, whose ``span()`` returns a shared no-op context
+manager and whose ``enabled`` flag is ``False`` — instrumented call
+sites guard any non-trivial attribute computation behind that flag, so
+production runs pay only an attribute load and a branch per site.
+Enable tracing either explicitly::
+
+    tracer = Tracer()
+    previous = install(tracer)
+    try:
+        session.assess(text)
+    finally:
+        install(previous)
+    tree = tracer.roots
+
+or with the :func:`tracing` context manager, which does the same dance::
+
+    with tracing() as tracer:
+        session.assess(text)
+
+Tracing never changes what executes — only observes it — so traced
+results are bit-identical to untraced ones (property-tested in
+``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Dict, List, Optional
+
+from .metrics import MetricsRegistry
+
+
+class Span:
+    """One timed, attributed unit of work in the trace tree."""
+
+    __slots__ = ("name", "attrs", "start", "duration", "children", "_tracer")
+
+    def __init__(self, name: str, tracer: "Optional[Tracer]" = None, **attrs):
+        self.name = name
+        self.attrs: Dict[str, object] = attrs
+        self.start = 0.0
+        self.duration = 0.0
+        self.children: List[Span] = []
+        self._tracer = tracer
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes (row counts, outcomes, ...) to the span."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def self_time(self) -> float:
+        """Duration minus the children's durations (exclusive time)."""
+        return self.duration - sum(child.duration for child in self.children)
+
+    def find(self, name: str) -> "List[Span]":
+        """All descendant spans (self included) with a given name."""
+        found = [self] if self.name == name else []
+        for child in self.children:
+            found.extend(child.find(name))
+        return found
+
+    def walk(self):
+        """Yield self and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    # -- context manager protocol (driven by the owning tracer) --------
+    def __enter__(self) -> "Span":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration = time.perf_counter() - self.start
+        if self._tracer is not None:
+            self._tracer._pop(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Span({self.name!r}, {1000 * self.duration:.3f} ms, "
+            f"children={len(self.children)})"
+        )
+
+
+class Tracer:
+    """Collects spans into trees; optionally feeds timing histograms.
+
+    ``roots`` holds the top-level spans (one per traced statement or
+    batch).  When constructed with a :class:`MetricsRegistry`, every
+    closed span records its duration into the ``<name>.seconds``
+    histogram — the "kernel timings" of the metrics catalog.
+    """
+
+    enabled = True
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        self.roots: List[Span] = []
+        self.metrics = metrics
+        self._stack: List[Span] = []
+
+    def span(self, name: str, **attrs) -> Span:
+        """Open a span; use as a context manager (``with tracer.span(...)``)."""
+        span = Span(name, tracer=self, **attrs)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def event(self, name: str, **attrs) -> Span:
+        """A zero-duration marker span (cache hit, CSE serve, ...)."""
+        span = Span(name, tracer=None, **attrs)
+        span.start = time.perf_counter()
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate out-of-order exits defensively (exceptions unwinding
+        # through several spans): pop up to and including the span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        if self.metrics is not None:
+            self.metrics.observe(f"{span.name}.seconds", span.duration)
+
+    def wrap(self, name: str, **attrs):
+        """Decorator form: trace every call of a function as one span."""
+
+        def decorate(func):
+            @functools.wraps(func)
+            def traced(*args, **kwargs):
+                with self.span(name, **attrs):
+                    return func(*args, **kwargs)
+
+            return traced
+
+        return decorate
+
+    def clear(self) -> None:
+        self.roots = []
+        self._stack = []
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tracer(roots={len(self.roots)}, depth={len(self._stack)})"
+
+
+class _NullSpan:
+    """The shared do-nothing span the disabled tracer hands out."""
+
+    __slots__ = ()
+    name = ""
+    attrs: Dict[str, object] = {}
+    start = 0.0
+    duration = 0.0
+    children: List[Span] = []
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a constant-time no-op."""
+
+    enabled = False
+    roots: List[Span] = []
+    metrics = None
+
+    __slots__ = ()
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def wrap(self, name: str, **attrs):
+        def decorate(func):
+            return func
+
+        return decorate
+
+    def clear(self) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+NULL_TRACER = NullTracer()
+
+_ACTIVE = NULL_TRACER
+
+
+def active():
+    """The process's active tracer (the shared no-op one by default)."""
+    return _ACTIVE
+
+
+def install(tracer) -> object:
+    """Swap the active tracer; returns the previous one for restoring."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+class tracing:
+    """``with tracing() as tracer:`` — enable tracing for a block."""
+
+    def __init__(self, tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        self.tracer = tracer if tracer is not None else Tracer(metrics=metrics)
+        self._previous: object = None
+
+    def __enter__(self) -> Tracer:
+        self._previous = install(self.tracer)
+        return self.tracer
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        install(self._previous)

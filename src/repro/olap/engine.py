@@ -54,13 +54,20 @@ class MultidimensionalEngine:
 
     def __init__(self, catalog: Catalog):
         from ..cache import CachingEngineExecutor, SemanticResultCache
+        from ..obs.metrics import METRICS, MetricsRegistry
         from .materialized import ViewRegistry
 
         self.catalog = catalog
-        self.result_cache = SemanticResultCache()
+        # Engine-scoped metrics: the cache and executor report into this
+        # registry (the cache under the "cache." prefix), and it in turn
+        # aggregates into the process-wide repro.obs.METRICS.
+        self.metrics = MetricsRegistry(parent=METRICS)
+        self.result_cache = SemanticResultCache(
+            metrics=MetricsRegistry(parent=self.metrics, prefix="cache")
+        )
         self.result_cache.rollup_resolver = self.member_rollup
         self.executor: EngineExecutor = CachingEngineExecutor(
-            catalog, self.result_cache
+            catalog, self.result_cache, metrics=self.metrics
         )
         self._cubes: Dict[str, RegisteredCube] = {}
         self._views = ViewRegistry()
