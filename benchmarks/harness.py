@@ -154,6 +154,12 @@ def main(argv=None) -> int:
         help="also write the raw measurements as JSON to OUT",
     )
     parser.add_argument(
+        "--parallelism", type=int, default=None, metavar="N",
+        help="worker threads for morsel-driven fact scans (default: the "
+        "REPRO_PARALLELISM environment variable, else serial; results "
+        "are bit-identical to serial execution)",
+    )
+    parser.add_argument(
         "--trace", action="store_true",
         help="run with the execution tracer installed and print a span "
         "summary per experiment (timings include tracing overhead; see "
@@ -175,7 +181,7 @@ def main(argv=None) -> int:
 
         rows = [int(part) for part in args.ladder.split(",") if part.strip()]
         ladder = {name: count for name, count in zip(SCALES, rows)}
-    runner = ExperimentRunner(ladder)
+    runner = ExperimentRunner(ladder, parallelism=args.parallelism)
 
     print("repro harness — 'Assess Queries for Interactive Analysis of Data Cubes'")
     print(f"ladder: {', '.join(f'{k}={v:,} rows' for k, v in runner.ladder.items())} "

@@ -56,6 +56,8 @@ TRANSFORM_WEIGHT = 2.0     # vectorised per-cell transform work
 RANGE_SELECTIVITY = 0.3    # default selectivity of between predicates
 WARM_CELL_WEIGHT = 0.2     # cache: serve a memoized result (copy-out only)
 DERIVE_CELL_WEIGHT = 6.0   # cache: re-aggregate a cached finer result
+MORSEL_OVERHEAD = 50.0     # parallel: dispatch + collect one morsel task
+MERGE_ROW_WEIGHT = 2.0     # parallel: merge one per-morsel partial row
 
 
 class CostEstimate:
@@ -73,6 +75,13 @@ class CostEstimate:
         self.breakdown: Dict[str, float] = {}
         self.node_costs: Dict[int, float] = {}
         self.node_rows: Dict[int, float] = {}
+        # How the model expects each get to execute ("serial", "parallel",
+        # "warm", "derive", "shared") — explain() renders this next to the
+        # cost, and tests assert the serial-vs-parallel decision.
+        self.node_modes: Dict[int, str] = {}
+
+    def record_mode(self, node: PlanNode, mode: str) -> None:
+        self.node_modes[id(node)] = mode
 
     def charge(self, node: PlanNode, cost: float) -> None:
         self.total += cost
@@ -94,6 +103,29 @@ class Statistics:
         self.engine = engine
         self._fact_rows: Dict[str, int] = {}
         self._cardinalities: Dict[Tuple[str, str], int] = {}
+
+    def parallel_config(self):
+        """The engine's parallel config (``None`` when serial)."""
+        return getattr(self.engine, "parallel", None)
+
+    def parallel_degree(self, source: str) -> int:
+        """The parallelism a fact pass over this source would run at.
+
+        1 when parallelism is off or the fact table falls below the
+        eligibility floor — the executor would stay serial, so the model
+        must price it serial too.
+        """
+        config = self.parallel_config()
+        if config is None or not config.eligible(self.fact_rows(source)):
+            return 1
+        return config.degree
+
+    def morsels(self, source: str) -> int:
+        """How many morsel tasks a parallel pass over this source spawns."""
+        config = self.parallel_config()
+        if config is None:
+            return 1
+        return max(1, -(-self.fact_rows(source) // config.morsel_rows))
 
     def fact_rows(self, source: str) -> int:
         if source not in self._fact_rows:
@@ -227,24 +259,47 @@ def estimate_plan_cost(
                 # An earlier statement executes this exact get; the batch
                 # memo serves it at copy-out cost.
                 estimate.charge(node, WARM_CELL_WEIGHT * cells)
+                estimate.record_mode(node, "warm")
                 return cells
         probe = stats.cache_probe(node.query)
         if probe == "exact":
             # A memoized result: no scan, no grouping — just copy-out.
             estimate.charge(node, WARM_CELL_WEIGHT * cells)
+            estimate.record_mode(node, "warm")
             return cells
         if probe == "derive":
             # Re-aggregated from a cached finer result: grouping-sized
             # work over cached rows, still no fact scan.
             estimate.charge(node, DERIVE_CELL_WEIGHT * cells)
+            estimate.record_mode(node, "derive")
             return cells
         if shared is not None and _scan_key(aggregate) in shared.scans:
             # Same star and predicates as an already-chosen get: the fused
             # scan is paid once, only the grouping work is marginal.
             estimate.charge(node, GROUP_WEIGHT * cells)
+            estimate.record_mode(node, "shared")
             return cells
         scanned = stats.scanned_rows(node.query)
-        estimate.charge(node, SCAN_WEIGHT * scanned + GROUP_WEIGHT * cells)
+        serial_cost = SCAN_WEIGHT * scanned + GROUP_WEIGHT * cells
+        degree = stats.parallel_degree(node.query.source)
+        if degree > 1:
+            # Morsel-parallel alternative: the scan+group work divides
+            # across workers, plus per-morsel dispatch overhead and a
+            # merge pass over the per-morsel partial groups (bounded by
+            # both cells·morsels and the scanned rows themselves).
+            morsels = stats.morsels(node.query.source)
+            merge_rows = min(cells * morsels, scanned)
+            parallel_cost = (
+                serial_cost / degree
+                + MORSEL_OVERHEAD * morsels
+                + MERGE_ROW_WEIGHT * merge_rows
+            )
+            if parallel_cost < serial_cost:
+                estimate.charge(node, parallel_cost)
+                estimate.record_mode(node, "parallel")
+                return cells
+        estimate.charge(node, serial_cost)
+        estimate.record_mode(node, "serial")
         return cells
 
     def visit(node: PlanNode) -> float:

@@ -45,6 +45,9 @@ class AssessSession:
         self,
         engine: MultidimensionalEngine,
         registry: Optional[FunctionRegistry] = None,
+        parallelism: Optional[int] = None,
+        morsel_rows: Optional[int] = None,
+        parallel_backend: str = "thread",
     ):
         self.engine = engine
         # Copy the default registry so user registrations stay session-local.
@@ -53,6 +56,38 @@ class AssessSession:
         # Named labeling *specs* (e.g. coordinate-dependent labelings) that
         # cannot be plain value→label functions; resolved at plan time.
         self._named_specs: Dict[str, object] = {}
+        # Morsel-driven parallel execution: an explicit ``parallelism=N``
+        # wins; otherwise the REPRO_PARALLELISM environment variable (the
+        # CI parallel-smoke hook) supplies the session default.  Results
+        # are bit-identical to serial either way, so this is safe to set
+        # globally.  Degree <= 1 leaves the engine untouched (another
+        # session may already have configured it).
+        if parallelism is None:
+            from .parallel.config import env_parallelism
+
+            parallelism = env_parallelism()
+        if parallelism is not None and parallelism > 1:
+            engine.set_parallelism(
+                parallelism, morsel_rows=morsel_rows, backend=parallel_backend
+            )
+
+    def set_parallelism(
+        self,
+        degree: Optional[int],
+        morsel_rows: Optional[int] = None,
+        backend: str = "thread",
+        min_rows: Optional[int] = None,
+    ) -> None:
+        """Reconfigure parallel execution (``None``/``1`` turns it off)."""
+        self.engine.set_parallelism(
+            degree, morsel_rows=morsel_rows, backend=backend, min_rows=min_rows
+        )
+
+    @property
+    def parallelism(self) -> int:
+        """The effective parallelism degree (1 when serial)."""
+        config = self.engine.parallel
+        return config.degree if config is not None else 1
 
     # ------------------------------------------------------------------
     # Registration

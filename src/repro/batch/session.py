@@ -144,6 +144,9 @@ def run_batch(
     batch_executor = BatchEngineExecutor(
         engine.catalog, cache, groups, report, metrics=engine.metrics
     )
+    # The batch executor inherits the session's parallel config so fused
+    # scans go morsel-parallel exactly when standalone scans would.
+    batch_executor.parallel = engine.executor.parallel
     original = engine.executor
     engine.executor = batch_executor
     results: List[AssessResult] = []

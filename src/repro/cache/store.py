@@ -23,6 +23,7 @@ entry whose physical or base tables include it is discarded.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, FrozenSet, Optional, Set
 
@@ -138,6 +139,13 @@ class SemanticResultCache:
         self._semantics: "OrderedDict[Fingerprint, QueryMeta]" = OrderedDict()
         self._by_source: Dict[str, Set[Fingerprint]] = {}
         self._cached_cells = 0
+        # One reentrant lock over all mutable state: sessions may be
+        # shared across threads (and catalog listeners may invalidate
+        # concurrently with lookups), and the LRU bookkeeping — entry
+        # dict, per-source index, cell accounting — must move together
+        # or an eviction could leave a torn entry.  Reentrant because
+        # ``fetch`` stores derived results while already holding it.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Annotation (populated by the OLAP layer's query rewriting)
@@ -150,15 +158,18 @@ class SemanticResultCache:
         query that flows through the engine carries its provenance.
         """
         fingerprint = fingerprint_query(query)
-        self._semantics[fingerprint] = meta
-        self._semantics.move_to_end(fingerprint)
-        # Bounded LRU; live entries keep their own ``meta`` reference, so
-        # evicting an annotation never breaks candidate scans.
-        while len(self._semantics) > _MAX_SEMANTICS:
-            self._semantics.popitem(last=False)
+        with self._lock:
+            self._semantics[fingerprint] = meta
+            self._semantics.move_to_end(fingerprint)
+            # Bounded LRU; live entries keep their own ``meta`` reference, so
+            # evicting an annotation never breaks candidate scans.
+            while len(self._semantics) > _MAX_SEMANTICS:
+                self._semantics.popitem(last=False)
 
     def semantics_for(self, query: AggregateQuery) -> Optional[QueryMeta]:
-        return self._semantics.get(fingerprint_query(query))
+        fingerprint = fingerprint_query(query)
+        with self._lock:
+            return self._semantics.get(fingerprint)
 
     # ------------------------------------------------------------------
     # Lookup protocol
@@ -176,23 +187,25 @@ class SemanticResultCache:
         tracer = _active_tracer()
         with tracer.span("cache.lookup") as span:
             fingerprint = fingerprint_query(query)
-            entry = self._entries.get(fingerprint)
-            if entry is not None and entry.query == query:
-                self._entries.move_to_end(fingerprint)
-                self.counters.hits += 1
-                if tracer.enabled:
-                    span.set(outcome="hit", fingerprint=_short(fingerprint),
-                             rows_out=len(entry.result))
-                return _serve(entry.result)
-            derived = self._derive(query, fingerprint)
-            if derived is not None:
-                self.counters.derivations += 1
-                self.store(query, derived, derived_from_cache=True)
-                if tracer.enabled:
-                    span.set(outcome="derive", fingerprint=_short(fingerprint),
-                             rows_out=len(derived))
-                return _serve(derived)
-            self.counters.misses += 1
+            with self._lock:
+                entry = self._entries.get(fingerprint)
+                if entry is not None and entry.query == query:
+                    self._entries.move_to_end(fingerprint)
+                    self.counters.hits += 1
+                    if tracer.enabled:
+                        span.set(outcome="hit", fingerprint=_short(fingerprint),
+                                 rows_out=len(entry.result))
+                    return _serve(entry.result)
+                derived = self._derive(query, fingerprint)
+                if derived is not None:
+                    self.counters.derivations += 1
+                    self.store(query, derived, derived_from_cache=True)
+                    if tracer.enabled:
+                        span.set(outcome="derive",
+                                 fingerprint=_short(fingerprint),
+                                 rows_out=len(derived))
+                    return _serve(derived)
+                self.counters.misses += 1
             if tracer.enabled:
                 span.set(outcome="miss", fingerprint=_short(fingerprint))
             return None
@@ -207,31 +220,33 @@ class SemanticResultCache:
         if not self.enabled:
             return
         fingerprint = fingerprint_query(query)
-        meta = self._semantics.get(fingerprint)
-        tables: Set[str] = set()
-        for aggregate in _component_aggregates(query):
-            tables |= {aggregate.fact}
-            tables |= {join.table for join in aggregate.joins}
-            component_meta = self._semantics.get(fingerprint_query(aggregate))
-            if component_meta is not None:
-                tables |= component_meta.base_tables
-        entry = CacheEntry(
-            fingerprint, query, result, meta, frozenset(tables), derived_from_cache
-        )
-        if entry.cells > self.cell_budget:
-            return  # would evict the whole cache for one oversized result
-        old = self._entries.pop(fingerprint, None)
-        if old is not None:
-            self._forget(old)
-        self._entries[fingerprint] = entry
-        self._cached_cells += entry.cells
-        if meta is not None:
-            self._by_source.setdefault(meta.source, set()).add(fingerprint)
-        self.counters.stores += 1
-        while self._cached_cells > self.cell_budget and self._entries:
-            _, evicted = self._entries.popitem(last=False)
-            self._forget(evicted)
-            self.counters.evictions += 1
+        with self._lock:
+            meta = self._semantics.get(fingerprint)
+            tables: Set[str] = set()
+            for aggregate in _component_aggregates(query):
+                tables |= {aggregate.fact}
+                tables |= {join.table for join in aggregate.joins}
+                component_meta = self._semantics.get(fingerprint_query(aggregate))
+                if component_meta is not None:
+                    tables |= component_meta.base_tables
+            entry = CacheEntry(
+                fingerprint, query, result, meta, frozenset(tables),
+                derived_from_cache,
+            )
+            if entry.cells > self.cell_budget:
+                return  # would evict the whole cache for one oversized result
+            old = self._entries.pop(fingerprint, None)
+            if old is not None:
+                self._forget(old)
+            self._entries[fingerprint] = entry
+            self._cached_cells += entry.cells
+            if meta is not None:
+                self._by_source.setdefault(meta.source, set()).add(fingerprint)
+            self.counters.stores += 1
+            while self._cached_cells > self.cell_budget and self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self._forget(evicted)
+                self.counters.evictions += 1
 
     def would_hit(self, query: AggregateQuery) -> Optional[str]:
         """Non-mutating probe: ``"exact"``, ``"derive"``, or ``None``.
@@ -243,14 +258,15 @@ class SemanticResultCache:
         if not self.enabled:
             return None
         fingerprint = fingerprint_query(query)
-        entry = self._entries.get(fingerprint)
-        if entry is not None and entry.query == query:
-            return "exact"
-        meta = self._semantics.get(fingerprint)
-        if meta is not None:
-            for candidate in self._candidates(meta):
-                if can_derive(meta, candidate.meta):  # type: ignore[arg-type]
-                    return "derive"
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is not None and entry.query == query:
+                return "exact"
+            meta = self._semantics.get(fingerprint)
+            if meta is not None:
+                for candidate in self._candidates(meta):
+                    if can_derive(meta, candidate.meta):  # type: ignore[arg-type]
+                        return "derive"
         return None
 
     # ------------------------------------------------------------------
@@ -258,21 +274,23 @@ class SemanticResultCache:
     # ------------------------------------------------------------------
     def invalidate_table(self, table_name: str) -> int:
         """Discard every entry depending on a table; returns the count."""
-        stale = [
-            fingerprint
-            for fingerprint, entry in self._entries.items()
-            if table_name in entry.tables
-        ]
-        for fingerprint in stale:
-            self._forget(self._entries.pop(fingerprint))
-        self.counters.invalidations += len(stale)
-        return len(stale)
+        with self._lock:
+            stale = [
+                fingerprint
+                for fingerprint, entry in self._entries.items()
+                if table_name in entry.tables
+            ]
+            for fingerprint in stale:
+                self._forget(self._entries.pop(fingerprint))
+            self.counters.invalidations += len(stale)
+            return len(stale)
 
     def clear(self) -> None:
         """Drop all cached results (counters are kept)."""
-        self._entries.clear()
-        self._by_source.clear()
-        self._cached_cells = 0
+        with self._lock:
+            self._entries.clear()
+            self._by_source.clear()
+            self._cached_cells = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -280,17 +298,19 @@ class SemanticResultCache:
     def stats(self) -> Dict[str, int]:
         """Lifetime counters plus current occupancy, as one flat dict."""
         snapshot = self.counters.snapshot()
-        snapshot.update(
-            entries=len(self._entries),
-            cached_cells=self._cached_cells,
-            cached_bytes=sum(e.nbytes for e in self._entries.values()),
-            cell_budget=self.cell_budget,
-            enabled=int(self.enabled),
-        )
+        with self._lock:
+            snapshot.update(
+                entries=len(self._entries),
+                cached_cells=self._cached_cells,
+                cached_bytes=sum(e.nbytes for e in self._entries.values()),
+                cell_budget=self.cell_budget,
+                enabled=int(self.enabled),
+            )
         return snapshot
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     # ------------------------------------------------------------------
     # Internals

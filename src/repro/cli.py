@@ -26,13 +26,29 @@ from .core.errors import ReproError
 from .datagen import sales_engine, ssb_engine
 
 
-def build_session(cube: str, rows: Optional[int]) -> AssessSession:
+def build_session(
+    cube: str, rows: Optional[int], parallelism: Optional[int] = None
+) -> AssessSession:
     """A session over one of the bundled demo cubes (``sales`` or ``ssb``)."""
     if cube == "sales":
-        return AssessSession(sales_engine(n_rows=rows or 20_000))
+        return AssessSession(
+            sales_engine(n_rows=rows or 20_000), parallelism=parallelism
+        )
     if cube == "ssb":
-        return AssessSession(ssb_engine(lineorder_rows=rows or 60_000))
+        return AssessSession(
+            ssb_engine(lineorder_rows=rows or 60_000), parallelism=parallelism
+        )
     raise ValueError(f"unknown demo cube {cube!r} (choose 'sales' or 'ssb')")
+
+
+def add_parallelism_flag(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--parallelism`` option (0 = serial / REPRO_PARALLELISM)."""
+    parser.add_argument(
+        "--parallelism", type=int, default=None, metavar="N",
+        help="worker threads for morsel-driven scans (default: the "
+        "REPRO_PARALLELISM environment variable, else serial; results "
+        "are bit-identical either way)",
+    )
 
 
 def run_statement(session: AssessSession, text: str, plan: str,
@@ -130,6 +146,7 @@ def cache_main(argv=None) -> int:
                         help="execution plan (default: best)")
     parser.add_argument("--passes", type=int, default=2,
                         help="workload repetitions (default: 2)")
+    add_parallelism_flag(parser)
     args = parser.parse_args(argv)
 
     if args.cube == "ssb":
@@ -144,7 +161,7 @@ def cache_main(argv=None) -> int:
     else:
         engine = sales_engine(n_rows=args.rows or 20_000)
         statements = list(SALES_CACHE_WORKLOAD)
-    session = AssessSession(engine)
+    session = AssessSession(engine, parallelism=args.parallelism)
 
     for number in range(1, max(args.passes, 1) + 1):
         start = time.perf_counter()
@@ -194,6 +211,7 @@ def batch_main(argv=None) -> int:
     parser.add_argument("--compare", action="store_true",
                         help="also run sequentially on a fresh session and "
                         "verify bit-identical results")
+    add_parallelism_flag(parser)
     args = parser.parse_args(argv)
 
     from .analysis import batch_diagnostics, extract_statements
@@ -224,8 +242,14 @@ def batch_main(argv=None) -> int:
         if args.cube == "ssb":
             from .experiments.statements import prepare_engine
 
-            return AssessSession(prepare_engine(args.rows or 60_000))
-        return AssessSession(sales_engine(n_rows=args.rows or 20_000))
+            return AssessSession(
+                prepare_engine(args.rows or 60_000),
+                parallelism=args.parallelism,
+            )
+        return AssessSession(
+            sales_engine(n_rows=args.rows or 20_000),
+            parallelism=args.parallelism,
+        )
 
     session = fresh_session()
     start = time.perf_counter()
@@ -306,6 +330,7 @@ def trace_main(argv=None) -> int:
                         help="also write the trace document (schema v1, "
                         "estimates + actuals + span tree) to PATH "
                         "('-' for stdout)")
+    add_parallelism_flag(parser)
     args = parser.parse_args(argv)
 
     import os
@@ -335,9 +360,14 @@ def trace_main(argv=None) -> int:
     if args.cube == "ssb":
         from .experiments.statements import prepare_engine
 
-        session = AssessSession(prepare_engine(args.rows or 60_000))
+        session = AssessSession(
+            prepare_engine(args.rows or 60_000), parallelism=args.parallelism
+        )
     else:
-        session = AssessSession(sales_engine(n_rows=args.rows or 20_000))
+        session = AssessSession(
+            sales_engine(n_rows=args.rows or 20_000),
+            parallelism=args.parallelism,
+        )
 
     bag = trace_diagnostics(session, statements)
     for diagnostic in bag.sorted():
@@ -457,9 +487,10 @@ def main(argv=None) -> int:
                         help="print the plan tree and pushed SQL")
     parser.add_argument("--limit", type=int, default=20,
                         help="max result rows to print (default: 20)")
+    add_parallelism_flag(parser)
     args = parser.parse_args(argv)
 
-    session = build_session(args.cube, args.rows)
+    session = build_session(args.cube, args.rows, parallelism=args.parallelism)
     if args.statement.strip():
         return run_statement(session, args.statement, args.plan,
                              args.explain, args.limit)

@@ -56,8 +56,18 @@ class Span:
 
     @classmethod
     def from_text(cls, text: str, start: int, end: Optional[int] = None) -> "Span":
+        """A span anchored in ``text``, clamped to its bounds.
+
+        An unexpected-EOF error positions at ``len(text)``; without the
+        clamp the default one-character width would point past the end
+        of the source (a fuzzer-found defect — see
+        ``tests/test_parser_fuzz.py``).
+        """
+        start = max(min(int(start), len(text)), 0)
         line, column = line_and_column(text, start)
-        return cls(start, end if end is not None else start + 1, line, column)
+        if end is None:
+            end = start + 1
+        return cls(start, min(max(int(end), start), len(text)), line, column)
 
     @classmethod
     def from_token(cls, token) -> "Span":

@@ -18,6 +18,19 @@ import numpy as np
 from ..core.errors import EngineError
 from ..obs.metrics import METRICS, MetricsRegistry
 from ..obs.tracer import active as _active_tracer
+from ..parallel.config import ParallelConfig
+from ..parallel.merge import decode_keys as _decode_keys
+from ..parallel.merge import merge_morsels as _merge_morsels
+from ..parallel.morsel import (
+    AggSpec,
+    DimPredicate,
+    FactPredicate,
+    JoinSpec,
+    KeySpec,
+    MorselTask,
+    morsel_ranges,
+    run_morsel,
+)
 from .catalog import Catalog
 from .kernels import combine_codes as _combine_codes
 from .kernels import encode_column as _encode_column
@@ -79,6 +92,13 @@ class EngineExecutor:
         self.metrics = (
             metrics if metrics is not None else MetricsRegistry(parent=METRICS)
         )
+        # Morsel-driven parallel execution, off unless a session enables
+        # it (AssessSession(parallelism=N) / REPRO_PARALLELISM).  When
+        # set, eligible fact passes are partitioned, dispatched to the
+        # config's worker pool, and merged deterministically — results
+        # stay bit-identical to serial or the query falls back to the
+        # serial path (see repro.parallel and docs/performance.md).
+        self.parallel: Optional[ParallelConfig] = None
 
     def _count_scan(self, fact: Table) -> None:
         """One executed fact pass: bump the scan counters together."""
@@ -110,6 +130,10 @@ class EngineExecutor:
         ufunc.at kernels.
         """
         fact = self.catalog.table(query.fact)
+        if self.parallel is not None and self.parallel.eligible(len(fact)):
+            result = self._parallel_aggregate(fact, query)
+            if result is not None:
+                return result
         tracer = _active_tracer()
         if not tracer.enabled:
             positions = self._dimension_positions(fact, query)
@@ -226,6 +250,12 @@ class EngineExecutor:
         flags: ``True`` when the result was derived from the fused pass,
         ``False`` when it fell back to a direct grouping pass.
         """
+        if queries and self.parallel is not None:
+            fact = self.catalog.table(queries[0].fact)
+            if self.parallel.eligible(len(fact)):
+                fused = self._parallel_fused(fact, queries, scan_where, residuals)
+                if fused is not None:
+                    return fused
         tracer = _active_tracer()
         if not tracer.enabled:
             return self._execute_fused(queries, scan_where, residuals)
@@ -332,11 +362,26 @@ class EngineExecutor:
         # Finest partial aggregates, computed once per distinct (column, op).
         partials: Dict[Tuple[str, str], np.ndarray] = {}
         sum_exact: Dict[str, bool] = {}
-        count_partial: Optional[np.ndarray] = None
+        count_state: Dict[str, np.ndarray] = {}
 
         def masked_measure(column: str) -> np.ndarray:
             measure = fact.column(column)
             return measure if base_mask is None else measure[base_mask]
+
+        def partial_of(column: str, op: str) -> np.ndarray:
+            pkey = (column, op)
+            if pkey not in partials:
+                partials[pkey] = _aggregate(
+                    finest_ids, finest_count, masked_measure(column), op
+                )
+            return partials[pkey]
+
+        def count_of() -> np.ndarray:
+            if "count" not in count_state:
+                count_state["count"] = _aggregate(
+                    finest_ids, finest_count, np.empty(0), "count"
+                )
+            return count_state["count"]
 
         results: List[ResultSet] = []
         derived_flags: List[bool] = []
@@ -364,60 +409,75 @@ class EngineExecutor:
                 self.metrics.inc("engine.fused_fallbacks")
                 continue
 
-            # Residual predicates evaluated on finest-group coordinates
-            # (residual columns are part of the finest key, so they are
-            # constant within each finest group).
-            rmask: Optional[np.ndarray] = None
-            for cp in residual:
-                key = (column_key(cp.table), cp.column)
-                part = cp.predicate.mask(group_values[key])
-                rmask = part if rmask is None else (rmask & part)
-
-            if rmask is None:
-                group_rows = finest_count
-                member_codes = [
-                    group_codes[(column_key(gb.table), gb.column)]
-                    for gb in query.group_by
-                ]
-            else:
-                group_rows = int(rmask.sum())
-                member_codes = [
-                    (group_codes[(column_key(gb.table), gb.column)][0][rmask],
-                     group_codes[(column_key(gb.table), gb.column)][1])
-                    for gb in query.group_by
-                ]
-            ids, count, first = _combine_codes(member_codes, group_rows)
-
-            columns: Dict[str, np.ndarray] = {}
-            for gb in query.group_by:
-                values = group_values[(column_key(gb.table), gb.column)]
-                if rmask is not None:
-                    values = values[rmask]
-                columns[gb.alias] = values[first]
-            for agg in query.aggregates:
-                if agg.op == "count":
-                    if count_partial is None:
-                        count_partial = _aggregate(
-                            finest_ids, finest_count, np.empty(0), "count"
-                        )
-                    values = count_partial
-                    reagg = "sum"
-                else:
-                    pkey = (agg.column, agg.op)
-                    if pkey not in partials:
-                        partials[pkey] = _aggregate(
-                            finest_ids, finest_count,
-                            masked_measure(agg.column), agg.op,
-                        )
-                    values = partials[pkey]
-                    reagg = "sum" if agg.op == "sum" else agg.op
-                if rmask is not None:
-                    values = values[rmask]
-                columns[agg.alias] = _aggregate(ids, count, values, reagg)
-            results.append(ResultSet(columns))
+            results.append(
+                self._derive_fused_member(
+                    query, residual, column_key, group_codes, group_values,
+                    finest_count, partial_of, count_of,
+                )
+            )
             derived_flags.append(True)
             self.metrics.inc("engine.fused_derived")
         return results, derived_flags
+
+    def _derive_fused_member(
+        self,
+        query: AggregateQuery,
+        residual: Sequence[ColumnPredicate],
+        column_key,
+        group_codes: "Dict[Tuple[str, str], Tuple[np.ndarray, int]]",
+        group_values: "Dict[Tuple[str, str], np.ndarray]",
+        finest_count: int,
+        partial_of,
+        count_of,
+    ) -> ResultSet:
+        """Derive one member's result from finest-granularity partials.
+
+        Shared by the serial fused path (``partial_of`` computes from the
+        finest grouping of this scan, lazily) and the parallel fused path
+        (``partial_of`` reads morsel-merged partials): the derivation
+        arithmetic is identical by construction, which is what keeps the
+        two bit-identical.  Residual predicates are evaluated on
+        finest-group coordinates (residual columns are part of the finest
+        key, so they are constant within each finest group).
+        """
+        rmask: Optional[np.ndarray] = None
+        for cp in residual:
+            key = (column_key(cp.table), cp.column)
+            part = cp.predicate.mask(group_values[key])
+            rmask = part if rmask is None else (rmask & part)
+
+        if rmask is None:
+            group_rows = finest_count
+            member_codes = [
+                group_codes[(column_key(gb.table), gb.column)]
+                for gb in query.group_by
+            ]
+        else:
+            group_rows = int(rmask.sum())
+            member_codes = [
+                (group_codes[(column_key(gb.table), gb.column)][0][rmask],
+                 group_codes[(column_key(gb.table), gb.column)][1])
+                for gb in query.group_by
+            ]
+        ids, count, first = _combine_codes(member_codes, group_rows)
+
+        columns: Dict[str, np.ndarray] = {}
+        for gb in query.group_by:
+            values = group_values[(column_key(gb.table), gb.column)]
+            if rmask is not None:
+                values = values[rmask]
+            columns[gb.alias] = values[first]
+        for agg in query.aggregates:
+            if agg.op == "count":
+                values = count_of()
+                reagg = "sum"
+            else:
+                values = partial_of(agg.column, agg.op)
+                reagg = "sum" if agg.op == "sum" else agg.op
+            if rmask is not None:
+                values = values[rmask]
+            columns[agg.alias] = _aggregate(ids, count, values, reagg)
+        return ResultSet(columns)
 
     def _fused_member_direct(
         self,
@@ -457,6 +517,394 @@ class EngineExecutor:
         ]
         self.metrics.inc("engine.fused_fallbacks", len(queries))
         return results, [False] * len(queries)
+
+    # ------------------------------------------------------------------
+    # Morsel-driven parallel execution
+    # ------------------------------------------------------------------
+    def _lower_aggregates(self, fact: Table, aggregates):
+        """Lower logical aggregates onto physical partial specs.
+
+        Returns ``(specs, plan)`` where ``specs`` is the deduplicated
+        list of ``(op, column)`` partials every morsel computes (op in
+        sum/count/min/max) and ``plan`` maps each logical aggregate to
+        its merged slots: ``("direct", slot)`` or
+        ``("avg", sum_slot, count_slot)`` — avg is divided after the
+        merge, exactly the totals/counts division of the serial kernel.
+
+        Returns ``None`` when any measure fails the float-exactness gate
+        (fractional sums do not re-associate bit-identically): the caller
+        then stays on the serial path.
+        """
+        specs: List[Tuple[str, Optional[str]]] = []
+
+        def slot(op: str, column: Optional[str]) -> int:
+            key = (op, column)
+            if key not in specs:
+                specs.append(key)
+            return specs.index(key)
+
+        plan: List[Tuple] = []
+        for agg in aggregates:
+            if agg.op not in ("sum", "count", "min", "max", "avg"):
+                return None
+            if agg.op in ("sum", "avg") and not fact.sums_exactly(agg.column):
+                return None
+            if agg.op == "count":
+                plan.append(("direct", slot("count", None)))
+            elif agg.op == "avg":
+                plan.append(("avg", slot("sum", agg.column), slot("count", None)))
+            else:
+                plan.append(("direct", slot(agg.op, agg.column)))
+        return specs, plan
+
+    def _parallel_key_info(
+        self, fact: Table, fact_name: str, keys: "Sequence[Tuple[str, str]]"
+    ):
+        """Global dictionary info for each ``(table, column)`` key column.
+
+        Each entry is ``(kind, alias, codes, cardinality, uniques)``:
+        fact-resident columns carry their full-column dictionary codes
+        (sliced per morsel by the driver), dimension columns carry the
+        whole (small) dimension's codes (gathered through FK positions by
+        the worker).  ``uniques`` decodes merged group keys back into
+        coordinate values.  Also returns the folded key space, so callers
+        can bail to serial before an int64 overflow.
+        """
+        infos = []
+        key_space = 1
+        for table, column in keys:
+            if table in (FACT, fact_name):
+                codes, cardinality = fact.dictionary(column)
+                uniques = fact.dictionary_values(column)
+                infos.append(("fact", None, codes, cardinality, uniques))
+            else:
+                dimension = self.catalog.table(table)
+                codes, cardinality = dimension.dictionary(column)
+                uniques = dimension.dictionary_values(column)
+                infos.append(("dim", table, codes, cardinality, uniques))
+            key_space *= max(cardinality, 1)
+        return infos, key_space
+
+    def _parallel_tasks(
+        self,
+        fact: Table,
+        fact_name: str,
+        predicates: Sequence[ColumnPredicate],
+        joins_needed,
+        key_infos,
+        agg_specs: "Sequence[Tuple[str, Optional[str]]]",
+    ) -> List[MorselTask]:
+        """Slice the fact pass into per-morsel tasks.
+
+        Dimension-side work (key indexes, dimension predicate masks,
+        dimension dictionaries) is computed once here and shared by every
+        task; only per-fact-row arrays are sliced.
+        """
+        fact_preds = []
+        dim_preds = []
+        for cp in predicates:
+            if cp.table in (FACT, fact_name):
+                fact_preds.append((cp.predicate, fact.column(cp.column)))
+            else:
+                dimension = self.catalog.table(cp.table)
+                dim_mask = cp.predicate.mask(dimension.column(cp.column))
+                dim_preds.append(DimPredicate(cp.table, dim_mask))
+        dim_predicates = tuple(dim_preds)
+        join_sources = [
+            (
+                join.table,
+                self.catalog.table(join.table).key_index(join.dim_key),
+                fact.column(join.fact_fk),
+            )
+            for join in joins_needed
+        ]
+        measures: Dict[str, np.ndarray] = {}
+        for _, column in agg_specs:
+            if column is not None and column not in measures:
+                measures[column] = fact.column(column)
+
+        tasks: List[MorselTask] = []
+        assert self.parallel is not None
+        for index, (lo, hi) in enumerate(
+            morsel_ranges(len(fact), self.parallel.morsel_rows)
+        ):
+            joins = tuple(
+                JoinSpec(alias, key_index, fk[lo:hi])
+                for alias, key_index, fk in join_sources
+            )
+            fps = tuple(
+                FactPredicate(predicate, values[lo:hi])
+                for predicate, values in fact_preds
+            )
+            key_specs = tuple(
+                KeySpec(
+                    kind,
+                    alias,
+                    codes[lo:hi] if kind == "fact" else codes,
+                    cardinality,
+                )
+                for kind, alias, codes, cardinality, _ in key_infos
+            )
+            aggs = tuple(
+                AggSpec(op, None if column is None else measures[column][lo:hi])
+                for op, column in agg_specs
+            )
+            tasks.append(
+                MorselTask(index, lo, hi, joins, fps, dim_predicates,
+                           key_specs, aggs)
+            )
+        return tasks
+
+    def _dispatch_morsels(self, tasks: List[MorselTask], tracer):
+        """Run the tasks on the pool; emit per-morsel trace events."""
+        assert self.parallel is not None
+        results = self.parallel.map_ordered(run_morsel, tasks)
+        self.metrics.inc("engine.parallel.morsels", len(tasks))
+        if tracer.enabled:
+            for result in results:
+                event = tracer.event(
+                    "parallel.morsel",
+                    index=result.index,
+                    rows_in=result.rows_in,
+                    rows_matched=result.rows_matched,
+                    groups=len(result.keys),
+                )
+                # Workers cannot emit spans (the tracer is driver-local),
+                # so the driver back-fills the measured worker time.
+                event.duration = result.seconds
+        return results
+
+    def _parallel_aggregate(
+        self, fact: Table, query: AggregateQuery
+    ) -> Optional[ResultSet]:
+        """Morsel-parallel execute_aggregate; None → caller runs serial.
+
+        Ineligible queries (gate-failing measures, key spaces that would
+        overflow the int64 fold) return ``None`` and are counted under
+        ``engine.parallel.fallbacks``.
+        """
+        lowered = self._lower_aggregates(fact, query.aggregates)
+        if lowered is None:
+            self.metrics.inc("engine.parallel.fallbacks")
+            return None
+        agg_specs, agg_plan = lowered
+        key_infos, key_space = self._parallel_key_info(
+            fact, query.fact, [(gb.table, gb.column) for gb in query.group_by]
+        )
+        if key_space >= _MAX_COMBINED_KEY:
+            self.metrics.inc("engine.parallel.fallbacks")
+            return None
+        referenced = {gb.table for gb in query.group_by} | {
+            cp.table for cp in query.where
+        }
+        joins_needed = [j for j in query.joins if j.table in referenced]
+        tasks = self._parallel_tasks(
+            fact, query.fact, query.where, joins_needed, key_infos, agg_specs
+        )
+
+        tracer = _active_tracer()
+        with tracer.span(
+            "engine.scan",
+            fact=query.fact,
+            parallel=True,
+            degree=self.parallel.degree,
+            morsels=len(tasks),
+        ) as span:
+            self._count_scan(fact)
+            self.metrics.inc("engine.parallel.queries")
+            results = self._dispatch_morsels(tasks, tracer)
+            with tracer.span("parallel.merge", morsels=len(results)) as merge_span:
+                result = self._merge_aggregate(
+                    query, key_infos, agg_specs, agg_plan, results
+                )
+                if tracer.enabled:
+                    merge_span.set(rows_out=len(result))
+            if tracer.enabled:
+                span.set(
+                    rows_in=len(fact),
+                    rows_out=len(result),
+                    cells_out=len(result) * max(len(result.column_names), 1),
+                )
+            return result
+
+    def _merge_aggregate(
+        self, query: AggregateQuery, key_infos, agg_specs, agg_plan, results
+    ) -> ResultSet:
+        """Merge morsel partials into the final result set."""
+        merged_keys, merged = _merge_morsels(results, [op for op, _ in agg_specs])
+        codes = _decode_keys(merged_keys, [info[3] for info in key_infos])
+        columns: Dict[str, np.ndarray] = {}
+        for gb, info, code in zip(query.group_by, key_infos, codes):
+            columns[gb.alias] = info[4][code]
+        for agg, step in zip(query.aggregates, agg_plan):
+            if step[0] == "avg":
+                totals = merged[step[1]]
+                counts = merged[step[2]]
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    columns[agg.alias] = totals / counts
+            else:
+                columns[agg.alias] = merged[step[1]]
+        return ResultSet(columns)
+
+    def _parallel_fused(
+        self,
+        fact: Table,
+        queries: Sequence[AggregateQuery],
+        scan_where: Sequence[ColumnPredicate],
+        residuals: Sequence[Sequence[ColumnPredicate]],
+    ) -> "Optional[Tuple[List[ResultSet], List[bool]]]":
+        """Morsel-parallel execute_fused; None → caller runs serial.
+
+        Per-morsel workers compute the *finest shared* partial aggregates;
+        the deterministic merge reproduces exactly the finest grouping the
+        serial fused scan builds, and each member is then derived with the
+        shared :meth:`_derive_fused_member` arithmetic.  Members whose
+        measures fail the (full-column) exactness gate fall back to a
+        direct serial grouping pass over the shared predicates — the same
+        fallback the serial fused path uses, so results stay bit-identical
+        to standalone execution either way.
+        """
+        fact_name = queries[0].fact
+
+        def column_key(table: str) -> str:
+            return FACT if table in (FACT, fact_name) else table
+
+        derivable_flags: List[bool] = []
+        for query in queries:
+            ok = True
+            for agg in query.aggregates:
+                if agg.op == "avg" or agg.op not in ("sum", "count", "min", "max"):
+                    ok = False
+                    break
+                if agg.op == "sum" and not fact.sums_exactly(agg.column):
+                    ok = False
+                    break
+            derivable_flags.append(ok)
+        if not any(derivable_flags):
+            # Nothing would be derived from a parallel finest pass; let the
+            # serial fused path run its per-member fallbacks directly.
+            self.metrics.inc("engine.parallel.fallbacks")
+            return None
+
+        finest: List[Tuple[str, str]] = []
+        seen = set()
+        for query, residual in zip(queries, residuals):
+            for gb in query.group_by:
+                key = (column_key(gb.table), gb.column)
+                if key not in seen:
+                    seen.add(key)
+                    finest.append(key)
+            for cp in residual:
+                key = (column_key(cp.table), cp.column)
+                if key not in seen:
+                    seen.add(key)
+                    finest.append(key)
+
+        key_infos, key_space = self._parallel_key_info(fact, fact_name, finest)
+        if key_space >= _MAX_COMBINED_KEY:
+            self.metrics.inc("engine.parallel.fallbacks")
+            return None
+
+        agg_specs: List[Tuple[str, Optional[str]]] = []
+        for query, ok in zip(queries, derivable_flags):
+            if not ok:
+                continue
+            for agg in query.aggregates:
+                key = ("count", None) if agg.op == "count" else (agg.op, agg.column)
+                if key not in agg_specs:
+                    agg_specs.append(key)
+
+        referenced = set()
+        for query in queries:
+            referenced |= {gb.table for gb in query.group_by}
+            referenced |= {cp.table for cp in query.where}
+        joins_needed = [j for j in queries[0].joins if j.table in referenced]
+        tasks = self._parallel_tasks(
+            fact, fact_name, scan_where, joins_needed, key_infos, agg_specs
+        )
+
+        tracer = _active_tracer()
+        with tracer.span(
+            "engine.fused-scan",
+            members=len(queries),
+            parallel=True,
+            degree=self.parallel.degree,
+            morsels=len(tasks),
+        ) as span:
+            self._count_scan(fact)
+            self.metrics.inc("engine.fused_scans")
+            self.metrics.inc("engine.parallel.queries")
+            raw = self._dispatch_morsels(tasks, tracer)
+            with tracer.span("parallel.merge", morsels=len(raw)) as merge_span:
+                merged_keys, merged = _merge_morsels(
+                    raw, [op for op, _ in agg_specs]
+                )
+                codes = _decode_keys(merged_keys, [info[3] for info in key_infos])
+                if tracer.enabled:
+                    merge_span.set(rows_out=len(merged_keys))
+            finest_count = len(merged_keys)
+            group_codes = {
+                key: (code, info[3])
+                for key, info, code in zip(finest, key_infos, codes)
+            }
+            group_values = {
+                key: info[4][code]
+                for key, info, code in zip(finest, key_infos, codes)
+            }
+            slot_of = {key: i for i, key in enumerate(agg_specs)}
+
+            def partial_of(column: str, op: str) -> np.ndarray:
+                return merged[slot_of[(op, column)]]
+
+            def count_of() -> np.ndarray:
+                return merged[slot_of[("count", None)]]
+
+            # Fallback members need full-table positions and the shared
+            # scan mask; computed serially, once, only if some member
+            # actually falls back.
+            full_state: Dict[str, object] = {}
+
+            def full_positions_mask():
+                if "positions" not in full_state:
+                    positions: Dict[str, np.ndarray] = {}
+                    for join in joins_needed:
+                        dimension = self.catalog.table(join.table)
+                        index = dimension.key_index(join.dim_key)
+                        positions[join.table] = index.positions_of(
+                            fact.column(join.fact_fk)
+                        )
+                    full_state["positions"] = positions
+                    full_state["mask"] = self._predicate_mask(
+                        fact, fact_name, scan_where, positions
+                    )
+                return full_state["positions"], full_state["mask"]
+
+            results: List[ResultSet] = []
+            for query, residual, ok in zip(queries, residuals, derivable_flags):
+                if ok:
+                    results.append(
+                        self._derive_fused_member(
+                            query, residual, column_key, group_codes,
+                            group_values, finest_count, partial_of, count_of,
+                        )
+                    )
+                    self.metrics.inc("engine.fused_derived")
+                else:
+                    positions, base_mask = full_positions_mask()
+                    results.append(
+                        self._fused_member_direct(
+                            fact, query, residual, positions, base_mask
+                        )
+                    )
+                    self.metrics.inc("engine.fused_fallbacks")
+            if tracer.enabled:
+                derived = int(sum(derivable_flags))
+                span.set(
+                    derived=derived,
+                    fallbacks=len(derivable_flags) - derived,
+                    rows_out=int(sum(len(result) for result in results)),
+                )
+            return results, list(derivable_flags)
 
     # ------------------------------------------------------------------
     # Drill-across (JOP)

@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.errors import EngineError
+from .kernels import sums_exactly as _sums_exactly
 
 
 class Table:
@@ -42,6 +43,8 @@ class Table:
         self._n = length or 0
         self._key_indexes: Dict[str, "KeyIndex"] = {}
         self._dictionaries: Dict[str, Tuple[np.ndarray, int]] = {}
+        self._dictionary_values: Dict[str, np.ndarray] = {}
+        self._sum_gates: Dict[str, bool] = {}
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -97,6 +100,37 @@ class Table:
                 max(cardinality, 1),
             )
         return self._dictionaries[column_name]
+
+    def dictionary_values(self, column_name: str) -> np.ndarray:
+        """Distinct values of a column in code order (the dictionary itself).
+
+        ``dictionary_values(c)[dictionary(c)[0]]`` reconstructs the column:
+        codes index this array.  The parallel merge layer uses it to decode
+        group coordinates from combined keys without touching fact rows.
+        """
+        if column_name not in self._dictionary_values:
+            uniques, codes = np.unique(self.column(column_name), return_inverse=True)
+            if column_name not in self._dictionaries:
+                cardinality = int(codes.max()) + 1 if len(codes) else 0
+                self._dictionaries[column_name] = (
+                    codes.astype(np.int64, copy=False),
+                    max(cardinality, 1),
+                )
+            self._dictionary_values[column_name] = uniques
+        return self._dictionary_values[column_name]
+
+    def sums_exactly(self, column_name: str) -> bool:
+        """Cached full-column float-exactness gate for a measure column.
+
+        ``True`` means *any* row subset of the column sums exactly in any
+        association order (a subset only shrinks the 2**53 magnitude
+        bound), so partial sums over morsels may be re-added without
+        changing a bit.  Conservative: a column can fail this gate while
+        some masked subset would pass — callers then stay serial.
+        """
+        if column_name not in self._sum_gates:
+            self._sum_gates[column_name] = _sums_exactly(self.column(column_name))
+        return self._sum_gates[column_name]
 
     # ------------------------------------------------------------------
     def head(self, k: int = 10) -> List[Dict[str, object]]:

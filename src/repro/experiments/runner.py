@@ -49,9 +49,15 @@ class ExperimentRunner:
     intentions under any plan, the way Section 6 does (repeated runs,
     averaged, with per-step breakdowns)."""
 
-    def __init__(self, ladder: Optional[Dict[str, int]] = None, seed: int = 7):
+    def __init__(
+        self,
+        ladder: Optional[Dict[str, int]] = None,
+        seed: int = 7,
+        parallelism: Optional[int] = None,
+    ):
         self.ladder = dict(ladder) if ladder is not None else ladder_from_env()
         self.seed = seed
+        self.parallelism = parallelism
         self._sessions: Dict[str, AssessSession] = {}
 
     # ------------------------------------------------------------------
@@ -72,7 +78,9 @@ class ExperimentRunner:
         if scale not in self._sessions:
             engine = prepare_engine(self.ladder[scale], seed=self.seed)
             engine.result_cache.enabled = False
-            self._sessions[scale] = AssessSession(engine)
+            self._sessions[scale] = AssessSession(
+                engine, parallelism=self.parallelism
+            )
         return self._sessions[scale]
 
     def statement(self, intention: str, scale: str) -> AssessStatement:

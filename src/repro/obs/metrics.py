@@ -21,13 +21,22 @@ tracing is enabled; see :mod:`repro.obs.tracer`.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional
 
 
 class MetricsRegistry:
-    """Named counters and histograms with optional upward propagation."""
+    """Named counters and histograms with optional upward propagation.
 
-    __slots__ = ("parent", "prefix", "_counters", "_histograms")
+    Thread-safe: each registry guards its own maps with a lock (bumps may
+    arrive from several session threads at once; read-modify-write on a
+    dict entry is not atomic).  Parent propagation happens *outside* the
+    child's lock — each registry only ever holds its own — so the tree
+    cannot deadlock, at the cost of parent/child snapshots not being a
+    single atomic cut (fine for monotonic counters).
+    """
+
+    __slots__ = ("parent", "prefix", "_counters", "_histograms", "_lock")
 
     def __init__(
         self, parent: "Optional[MetricsRegistry]" = None, prefix: str = ""
@@ -38,54 +47,60 @@ class MetricsRegistry:
         self.prefix = f"{prefix}." if prefix and not prefix.endswith(".") else prefix
         self._counters: Dict[str, int] = {}
         self._histograms: Dict[str, Dict[str, float]] = {}
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Counters
     # ------------------------------------------------------------------
     def inc(self, name: str, value: int = 1) -> None:
         """Bump a counter (created at zero on first touch)."""
-        self._counters[name] = self._counters.get(name, 0) + value
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
         if self.parent is not None:
             self.parent.inc(self.prefix + name, value)
 
     def get(self, name: str) -> int:
         """Current value of a counter (zero if never bumped)."""
-        return self._counters.get(name, 0)
+        with self._lock:
+            return self._counters.get(name, 0)
 
     # ------------------------------------------------------------------
     # Histograms
     # ------------------------------------------------------------------
     def observe(self, name: str, value: float) -> None:
         """Record one observation (e.g. a span duration in seconds)."""
-        bucket = self._histograms.get(name)
-        if bucket is None:
-            bucket = {"count": 0, "total": 0.0, "min": float("inf"),
-                      "max": float("-inf")}
-            self._histograms[name] = bucket
-        bucket["count"] += 1
-        bucket["total"] += value
-        if value < bucket["min"]:
-            bucket["min"] = value
-        if value > bucket["max"]:
-            bucket["max"] = value
+        with self._lock:
+            bucket = self._histograms.get(name)
+            if bucket is None:
+                bucket = {"count": 0, "total": 0.0, "min": float("inf"),
+                          "max": float("-inf")}
+                self._histograms[name] = bucket
+            bucket["count"] += 1
+            bucket["total"] += value
+            if value < bucket["min"]:
+                bucket["min"] = value
+            if value > bucket["max"]:
+                bucket["max"] = value
         if self.parent is not None:
             self.parent.observe(self.prefix + name, value)
 
     def histogram(self, name: str) -> Dict[str, float]:
         """A copy of one histogram's running stats (empty dict if unseen)."""
-        return dict(self._histograms.get(name, {}))
+        with self._lock:
+            return dict(self._histograms.get(name, {}))
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, object]:
         """All counters and histograms of *this* registry, as plain dicts."""
-        return {
-            "counters": dict(self._counters),
-            "histograms": {
-                name: dict(bucket) for name, bucket in self._histograms.items()
-            },
-        }
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "histograms": {
+                    name: dict(bucket) for name, bucket in self._histograms.items()
+                },
+            }
 
     def reset(self) -> None:
         """Zero this registry's counters and drop its histograms.
@@ -93,8 +108,9 @@ class MetricsRegistry:
         Local only: parents keep their aggregates (a child reset must not
         silently rewrite another component's history).
         """
-        self._counters.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

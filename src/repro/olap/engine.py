@@ -88,6 +88,46 @@ class MultidimensionalEngine:
         self._rollup_maps.clear()
 
     # ------------------------------------------------------------------
+    # Parallel execution
+    # ------------------------------------------------------------------
+    @property
+    def parallel(self):
+        """The executor's parallel config (``None`` when serial)."""
+        return self.executor.parallel
+
+    def set_parallelism(
+        self,
+        degree,
+        morsel_rows=None,
+        backend: str = "thread",
+        min_rows=None,
+    ) -> None:
+        """Enable (or disable) morsel-driven parallel execution.
+
+        ``degree`` ≤ 1 or ``None`` turns parallelism off — the executor
+        keeps its serial paths with zero overhead.  Otherwise eligible
+        fact passes are split into ``morsel_rows``-row morsels, run on a
+        ``backend`` worker pool and merged deterministically; results
+        stay bit-identical to serial (docs/performance.md, "Parallel
+        execution").  Cached results and fingerprints are unaffected —
+        parallelism changes *how* a scan runs, never what it answers.
+        """
+        from ..parallel.config import ParallelConfig
+
+        previous = self.executor.parallel
+        if degree is None or int(degree) <= 1:
+            self.executor.parallel = None
+        else:
+            self.executor.parallel = ParallelConfig(
+                degree=int(degree),
+                morsel_rows=morsel_rows,
+                backend=backend,
+                min_rows=min_rows,
+            )
+        if previous is not None and previous is not self.executor.parallel:
+            previous.close()
+
+    # ------------------------------------------------------------------
     # Registration & lookup
     # ------------------------------------------------------------------
     def register_cube(self, name: str, schema: CubeSchema, star: StarSchema) -> RegisteredCube:

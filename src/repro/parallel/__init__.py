@@ -1,0 +1,47 @@
+"""Morsel-driven parallel execution with a deterministic merge layer.
+
+Public surface:
+
+* :class:`ParallelConfig` — degree / morsel size / backend / eligibility.
+* :func:`morsel_ranges`, :func:`run_morsel` — task partitioning + worker.
+* :func:`merge_morsels`, :func:`decode_keys` — the order-stable merge.
+
+The engine integration lives in :mod:`repro.engine.executor`
+(``EngineExecutor.parallel``); sessions enable it via
+``AssessSession(parallelism=N)`` or the ``REPRO_PARALLELISM`` environment
+variable.  Results are bit-identical to serial execution — measures that
+cannot guarantee that (fractional sums, by the
+:func:`repro.engine.kernels.sums_exactly` gate) transparently fall back
+to the serial path.  See docs/performance.md, "Parallel execution".
+"""
+
+from .config import DEFAULT_MORSEL_ROWS, ParallelConfig, env_parallelism
+from .merge import decode_keys, merge_morsels
+from .morsel import (
+    AggSpec,
+    DimPredicate,
+    FactPredicate,
+    JoinSpec,
+    KeySpec,
+    MorselResult,
+    MorselTask,
+    morsel_ranges,
+    run_morsel,
+)
+
+__all__ = [
+    "AggSpec",
+    "DEFAULT_MORSEL_ROWS",
+    "DimPredicate",
+    "FactPredicate",
+    "JoinSpec",
+    "KeySpec",
+    "MorselResult",
+    "MorselTask",
+    "ParallelConfig",
+    "decode_keys",
+    "env_parallelism",
+    "merge_morsels",
+    "morsel_ranges",
+    "run_morsel",
+]

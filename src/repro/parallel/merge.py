@@ -1,0 +1,88 @@
+"""Deterministic, partition-order-stable merge of morsel partials.
+
+The merge is where the bit-identity guarantee is discharged.  Morsel
+results arrive **in morsel index order** (the pool's ``map`` preserves
+task order regardless of completion order); their key arrays are
+concatenated in that order and factorised once with ``np.unique``, whose
+sorted output reproduces exactly the group order the serial executor's
+``combine_codes`` fold produces over the whole table.  Partials are then
+reduced with the same distributive kernels the serial path uses:
+
+* ``sum`` / ``count`` — ``np.bincount`` with weights.  Exact because the
+  engine only routes a measure here after it passed the float-exactness
+  gate (:func:`repro.engine.kernels.sums_exactly`): integral float64
+  values whose total magnitude stays below 2**53 add exactly in *any*
+  association order, so per-morsel subtotals plus this reduction equal
+  the serial row-order sum to the last bit.  Counts are exact integers.
+* ``min`` / ``max`` — ``np.minimum.at`` / ``np.maximum.at`` seeded with
+  ±inf; associative and commutative, hence order-insensitive.
+
+``avg`` never reaches this module as a partial: the driver lowers it to
+a sum and a count partial and divides the merged totals — the identical
+totals/counts division of the serial kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .morsel import MorselResult
+
+
+def merge_morsels(
+    results: Sequence[MorselResult], ops: Sequence[str]
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """Reduce per-morsel partials to global per-group aggregates.
+
+    ``results`` must be in morsel index order; ``ops`` names the physical
+    op of each partial slot (parallel to ``MorselTask.aggs``).  Returns
+    the sorted distinct combined group keys and one merged array per op,
+    aligned with the keys.
+    """
+    if not results:
+        return np.empty(0, dtype=np.int64), [np.empty(0) for _ in ops]
+    all_keys = np.concatenate([result.keys for result in results])
+    merged_keys, inverse = np.unique(all_keys, return_inverse=True)
+    inverse = inverse.astype(np.int64, copy=False)
+    group_count = len(merged_keys)
+
+    merged: List[np.ndarray] = []
+    for slot, op in enumerate(ops):
+        parts = np.concatenate([result.partials[slot] for result in results])
+        if op in ("sum", "count"):
+            merged.append(
+                np.bincount(inverse, weights=parts, minlength=group_count)
+            )
+        elif op == "min":
+            out = np.full(group_count, np.inf)
+            np.minimum.at(out, inverse, parts)
+            merged.append(out)
+        elif op == "max":
+            out = np.full(group_count, -np.inf)
+            np.maximum.at(out, inverse, parts)
+            merged.append(out)
+        else:  # pragma: no cover - driver never emits other ops
+            raise ValueError(f"unsupported merge op {op!r}")
+    return merged_keys, merged
+
+
+def decode_keys(
+    merged_keys: np.ndarray, cardinalities: Sequence[int]
+) -> List[np.ndarray]:
+    """Unfold combined group keys back into per-column dictionary codes.
+
+    Inverts the fold ``combined = (((c0) * card1 + c1) * card2 + c2)...``
+    by peeling columns off the low end.  The decoded codes index each
+    column's dictionary uniques, reconstructing the group coordinates the
+    serial path reads off representative rows — same values, because the
+    dictionaries are global and a code is constant within a group.
+    """
+    codes: List[np.ndarray] = []
+    remaining = merged_keys.astype(np.int64, copy=True)
+    for cardinality in reversed(list(cardinalities)):
+        codes.append(remaining % cardinality)
+        remaining //= cardinality
+    codes.reverse()
+    return codes

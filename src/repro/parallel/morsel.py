@@ -1,0 +1,208 @@
+"""Morsel tasks and the per-morsel worker.
+
+A *morsel* is a contiguous range of fact rows.  The driver (the engine
+executor) slices every per-row input — foreign-key columns, fact-resident
+predicate columns, dictionary codes, measures — into one
+:class:`MorselTask` per range and dispatches them to the worker pool.
+:func:`run_morsel` then performs the whole scan pipeline locally:
+semi-join position resolution, predicate masking, group-key folding, and
+partial aggregation, returning a :class:`MorselResult` of *global*
+combined group keys with per-key partials.
+
+Everything in a task is either a NumPy slice (zero-copy under the thread
+backend, pickled by value under the process backend) or a small shared
+object (a key index, a pre-computed dimension mask).  This module
+deliberately imports nothing from :mod:`repro.engine` — tasks treat
+predicates and key indexes as opaque, which keeps the dependency graph
+acyclic and the worker importable from a process pool.
+
+Determinism contract (see :mod:`repro.parallel.merge`): the combined
+group keys a worker emits are *globally* comparable because every code
+column is encoded against the full table's dictionary before slicing —
+morsels never build private dictionaries.  Folding uses the same
+``combined * cardinality + codes`` recurrence as the serial executor, so
+a group's key is the same integer no matter which morsel(s) it appears
+in, and the merged sorted-key order reproduces the serial group order
+exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def morsel_ranges(n_rows: int, morsel_rows: int) -> List[Tuple[int, int]]:
+    """Split ``n_rows`` into contiguous ``[lo, hi)`` ranges."""
+    if n_rows <= 0:
+        return []
+    morsel_rows = max(int(morsel_rows), 1)
+    return [
+        (lo, min(lo + morsel_rows, n_rows)) for lo in range(0, n_rows, morsel_rows)
+    ]
+
+
+class JoinSpec(NamedTuple):
+    """One semi-join leg of a morsel: resolve FK values to dim positions."""
+
+    alias: str  # dimension alias, referenced by dim predicates / key specs
+    index: object  # the dimension's KeyIndex (opaque; exposes positions_of)
+    fk_values: np.ndarray  # this morsel's slice of the fact FK column
+
+
+class FactPredicate(NamedTuple):
+    """A predicate over a fact-resident column (pre-sliced)."""
+
+    predicate: object  # opaque; exposes mask(values) -> bool array
+    values: np.ndarray
+
+
+class DimPredicate(NamedTuple):
+    """A predicate over a dimension attribute, pre-evaluated per dim row.
+
+    The (tiny) dimension-side mask is computed once by the driver and
+    shared by every morsel; the worker just propagates it through the
+    morsel's FK positions — the same semi-join the serial path performs.
+    """
+
+    alias: str
+    dim_mask: np.ndarray
+
+
+class KeySpec(NamedTuple):
+    """One column of the group-by key, already dictionary-encoded.
+
+    ``kind == "fact"``: ``codes`` is this morsel's slice of the fact
+    column's global dictionary codes.  ``kind == "dim"``: ``codes`` is
+    the *whole* dimension column's codes, gathered through the morsel's
+    FK positions by the worker.
+    """
+
+    kind: str  # "fact" | "dim"
+    alias: Optional[str]  # dimension alias when kind == "dim"
+    codes: np.ndarray
+    cardinality: int
+
+
+class AggSpec(NamedTuple):
+    """One physical partial aggregate: op in {sum, count, min, max}.
+
+    ``values`` is the morsel's measure slice (``None`` for count).  The
+    driver lowers logical aggregates onto these: ``avg`` becomes a sum
+    partial plus a count partial, divided after the merge — exactly the
+    totals/counts division the serial kernel performs.
+    """
+
+    op: str
+    values: Optional[np.ndarray]
+
+
+class MorselTask(NamedTuple):
+    index: int
+    lo: int
+    hi: int
+    joins: Tuple[JoinSpec, ...]
+    fact_predicates: Tuple[FactPredicate, ...]
+    dim_predicates: Tuple[DimPredicate, ...]
+    keys: Tuple[KeySpec, ...]
+    aggs: Tuple[AggSpec, ...]
+
+
+class MorselResult(NamedTuple):
+    index: int
+    keys: np.ndarray  # sorted distinct combined group keys of this morsel
+    partials: List[np.ndarray]  # one array per AggSpec, aligned with keys
+    rows_in: int
+    rows_matched: int
+    seconds: float
+
+
+def run_morsel(task: MorselTask) -> MorselResult:
+    """Execute one morsel: semi-join, mask, fold, partial-aggregate.
+
+    Runs entirely on worker-local arrays; emits no traces and touches no
+    shared mutable state, so it is safe under both pool backends.
+    """
+    start = time.perf_counter()
+    positions = {}
+    for alias, index, fk_values in task.joins:
+        positions[alias] = index.positions_of(fk_values)
+
+    mask: Optional[np.ndarray] = None
+    for predicate, values in task.fact_predicates:
+        part = predicate.mask(values)
+        mask = part if mask is None else (mask & part)
+    for alias, dim_mask in task.dim_predicates:
+        part = dim_mask[positions[alias]]
+        mask = part if mask is None else (mask & part)
+
+    rows_in = task.hi - task.lo
+    n = rows_in if mask is None else int(mask.sum())
+
+    # Fold the group key with the serial executor's exact recurrence over
+    # the same global dictionary codes — keys are globally comparable.
+    combined = np.zeros(n, dtype=np.int64)
+    for kind, alias, codes, cardinality in task.keys:
+        if kind == "fact":
+            column_codes = codes if mask is None else codes[mask]
+        else:
+            pos = positions[alias]
+            if mask is not None:
+                pos = pos[mask]
+            column_codes = codes[pos]
+        combined = combined * cardinality + column_codes
+
+    keys, local_ids = np.unique(combined, return_inverse=True)
+    count = len(keys)
+
+    partials: List[np.ndarray] = []
+    for op, values in task.aggs:
+        if op == "count":
+            partials.append(
+                np.bincount(local_ids, minlength=count).astype(np.float64)
+            )
+            continue
+        assert values is not None
+        measure = values if mask is None else values[mask]
+        measure = np.asarray(measure, dtype=np.float64)
+        if op == "sum":
+            partials.append(
+                np.bincount(local_ids, weights=measure, minlength=count)
+            )
+        elif op == "min":
+            out = np.full(count, np.inf)
+            np.minimum.at(out, local_ids, measure)
+            partials.append(out)
+        elif op == "max":
+            out = np.full(count, -np.inf)
+            np.maximum.at(out, local_ids, measure)
+            partials.append(out)
+        else:  # pragma: no cover - driver never emits other ops
+            raise ValueError(f"unsupported partial aggregate {op!r}")
+
+    return MorselResult(
+        index=task.index,
+        keys=keys,
+        partials=partials,
+        rows_in=rows_in,
+        rows_matched=n,
+        seconds=time.perf_counter() - start,
+    )
+
+
+def slice_task_arrays(task: MorselTask) -> int:  # pragma: no cover - debug aid
+    """Approximate bytes a task ships to a worker (process backend sizing)."""
+    total = 0
+    for _, _, fk in task.joins:
+        total += fk.nbytes
+    for _, values in task.fact_predicates:
+        total += values.nbytes
+    for spec in task.keys:
+        if spec.kind == "fact":
+            total += spec.codes.nbytes
+    for _, values in task.aggs:
+        if values is not None:
+            total += values.nbytes
+    return total

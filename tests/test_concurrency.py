@@ -1,0 +1,194 @@
+"""Concurrency stress: one session, many threads, consistent answers.
+
+Worker threads hammer a single :class:`AssessSession` with a small
+statement mix (so cache hits, misses, and derivations all occur) while
+the morsel-parallel executor is active and an antagonist thread keeps
+replacing a dimension table in the catalog — firing the catalog-listener
+invalidation path against in-flight fetches.  Afterwards:
+
+* every result produced by every thread is bit-identical to the serial
+  ground truth (a torn cache entry or a racy merge would break this);
+* all threads finished (join with timeout — a deadlock in the cache
+  RLock or the metrics lock would hang them);
+* the cache's occupancy bookkeeping is internally consistent and the
+  hit/miss/derivation counters sum to exactly the number of fetches.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import AssessSession
+from repro.batch import results_identical
+from repro.datagen import sales_engine
+from repro.engine.table import Table
+
+N_ROWS = 4000
+N_WORKERS = 8
+ITERATIONS = 12
+JOIN_TIMEOUT = 120.0
+
+LABELS = "labels {[-inf, 0.9): low, [0.9, 1.1]: mid, (1.1, inf): high}"
+
+# quantity is integral, so these go morsel-parallel; the sibling
+# statement also exercises the pivot path and member roll-ups.
+STATEMENTS = (
+    f"with SALES by month assess quantity against 300 "
+    f"using ratio(quantity, 300) {LABELS}",
+    f"with SALES by year, product assess quantity against 40 "
+    f"using ratio(quantity, 40) {LABELS}",
+    f"with SALES for country = 'Italy' by month, country assess quantity "
+    f"against 100 using ratio(quantity, 100) {LABELS}",
+    f"with SALES by product, country assess quantity against 25 "
+    f"using ratio(quantity, 25) {LABELS}",
+    f"with SALES for country = 'Italy' by product, country "
+    f"assess quantity against country = 'France' "
+    f"using ratio(quantity, benchmark.quantity) {LABELS}",
+)
+
+
+def _session() -> AssessSession:
+    session = AssessSession(sales_engine(n_rows=N_ROWS, seed=11))
+    session.set_parallelism(2, morsel_rows=512, min_rows=512)
+    return session
+
+
+@pytest.fixture(scope="module")
+def ground_truth():
+    serial = AssessSession(sales_engine(n_rows=N_ROWS, seed=11))
+    serial.engine.result_cache.enabled = False
+    return {text: serial.assess(text) for text in STATEMENTS}
+
+
+def test_many_threads_one_session(ground_truth):
+    session = _session()
+    engine = session.engine
+    catalog = engine.catalog
+    errors = []
+    mismatches = []
+    stop = threading.Event()
+
+    def worker(worker_id: int) -> None:
+        try:
+            for iteration in range(ITERATIONS):
+                text = STATEMENTS[(worker_id + iteration) % len(STATEMENTS)]
+                result = session.assess(text)
+                if not results_identical(result, ground_truth[text]):
+                    mismatches.append((worker_id, iteration, text))
+        except Exception as error:  # noqa: BLE001 - collected and asserted
+            errors.append((worker_id, repr(error)))
+
+    def antagonist() -> None:
+        """Replace a dimension table with an identical copy, repeatedly.
+
+        Each replace fires the catalog listeners, invalidating every
+        cached result that read the table — racing in-flight fetches.
+        The copy is value-identical, so correct answers never change.
+        """
+        try:
+            dim_name = engine.cube("SALES").star.dimensions[0].table
+            while not stop.is_set():
+                original = catalog.table(dim_name)
+                catalog.register(
+                    Table(dim_name, dict(original.columns)), replace=True
+                )
+                stop.wait(0.005)
+        except Exception as error:  # noqa: BLE001
+            errors.append(("antagonist", repr(error)))
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), name=f"worker-{i}")
+        for i in range(N_WORKERS)
+    ]
+    chaos = threading.Thread(target=antagonist, name="antagonist")
+    for thread in threads:
+        thread.start()
+    chaos.start()
+    for thread in threads:
+        thread.join(timeout=JOIN_TIMEOUT)
+    stop.set()
+    chaos.join(timeout=JOIN_TIMEOUT)
+
+    hung = [t.name for t in threads + [chaos] if t.is_alive()]
+    assert not hung, f"deadlocked threads: {hung}"
+    assert not errors, errors
+    assert not mismatches, f"non-identical results: {mismatches[:5]}"
+
+    # No torn cache entries: occupancy bookkeeping must match the
+    # entries actually present.
+    cache = engine.result_cache
+    with cache._lock:
+        assert cache._cached_cells == sum(
+            entry.cells for entry in cache._entries.values()
+        )
+        assert len(cache._entries) == cache.stats()["entries"]
+
+    stats = cache.stats()
+    assert stats["invalidations"] > 0, "the antagonist never invalidated"
+    assert stats["hits"] > 0, "the workload never hit the cache"
+    assert engine.metrics.get("engine.parallel.queries") > 0
+
+    # After the dust settles the session must still answer correctly.
+    for text, expected in ground_truth.items():
+        assert results_identical(session.assess(text), expected), text
+
+
+def test_counters_sum_to_fetch_count():
+    """hits + misses + derivations == fetches, even under contention."""
+    session = _session()
+    cache = session.engine.result_cache
+    fetches = []
+    original_fetch = type(cache).fetch
+
+    def counting_fetch(self, query):
+        fetches.append(1)
+        return original_fetch(self, query)
+
+    type(cache).fetch = counting_fetch
+    try:
+        errors = []
+
+        def worker(worker_id: int) -> None:
+            try:
+                for iteration in range(ITERATIONS):
+                    session.assess(
+                        STATEMENTS[(worker_id * 3 + iteration) % len(STATEMENTS)]
+                    )
+            except Exception as error:  # noqa: BLE001
+                errors.append(repr(error))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(N_WORKERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=JOIN_TIMEOUT)
+        assert not any(thread.is_alive() for thread in threads)
+        assert not errors, errors
+    finally:
+        type(cache).fetch = original_fetch
+
+    stats = cache.stats()
+    total = stats["hits"] + stats["misses"] + stats["derivations"]
+    assert total == len(fetches), (total, len(fetches))
+
+
+def test_metrics_registry_increments_atomically():
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    per_thread, n_threads = 5000, 8
+
+    def bump():
+        for _ in range(per_thread):
+            registry.inc("stress.counter")
+
+    threads = [threading.Thread(target=bump) for _ in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=JOIN_TIMEOUT)
+    assert registry.get("stress.counter") == per_thread * n_threads

@@ -1,0 +1,306 @@
+"""Differential oracle suite: four execution strategies, one answer.
+
+Every query here is executed four ways —
+
+1. **python kernels**: a row-at-a-time pure-Python evaluation of the
+   star aggregate (the oracle; no NumPy group-by, no engine code);
+2. **serial engine**: the vectorised executor with parallelism off;
+3. **parallel engine**: the morsel-driven executor at parallelism
+   ∈ {2, 3, 8};
+4. **warm cache**: the semantic result cache serving a repeat of the
+   same query.
+
+— and the results must be **bit-identical** across all four (the oracle
+is compared on gate-passing measures, where any association order sums
+exactly; fractional measures are exactly the ones the engine refuses to
+parallelize or derive, so they exercise the fallback paths and must
+still match bit-for-bit between the engine arms).
+
+The second half runs the four reference intentions — the paper's
+Constant / External / Sibling / Past benchmark types — through full
+assess statements under the same four strategies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import AssessSession
+from repro.batch import results_identical
+from repro.core.groupby import GroupBySet
+from repro.core.query import CubeQuery, Predicate
+from repro.datagen.flat import star_from_flat
+from repro.datagen.random_cube import random_hierarchy
+from repro.engine.catalog import Catalog
+from repro.engine.table import Table
+from repro.experiments.statements import INTENTIONS, prepare_engine, statement_text
+from repro.olap.engine import MultidimensionalEngine
+
+PARALLEL_DEGREES = (2, 3, 8)
+
+# Integral-valued measures sum exactly in any order, so the oracle (and
+# the parallel merge) must reproduce the serial engine to the last bit.
+ORACLE_MEASURES = {"m_sum": "sum", "m_min": "min", "m_avg": "avg"}
+ALL_MEASURES = ("m_sum", "m_min", "m_avg", "m_frac")
+
+
+# ----------------------------------------------------------------------
+# Random star cubes (flat columns retained for the python oracle)
+# ----------------------------------------------------------------------
+def _random_star(seed: int, n_rows: int = 1500):
+    """A random 2-hierarchy star; returns (flat columns, engine, hierarchies)."""
+    rng = np.random.default_rng(seed)
+    h0 = random_hierarchy(rng, "H0", depth=3)
+    h1 = random_hierarchy(rng, "H1", depth=2)
+    hierarchies = [h0, h1]
+    columns = {}
+    for hierarchy in hierarchies:
+        finest = hierarchy.finest_level.name
+        members = sorted(hierarchy.members_of(finest))
+        chosen = [members[i] for i in rng.integers(0, len(members), n_rows)]
+        for level in hierarchy.level_names():
+            column = np.empty(n_rows, dtype=object)
+            column[:] = [
+                hierarchy.rollup_member(member, finest, level) for member in chosen
+            ]
+            columns[level] = column
+    columns["m_sum"] = rng.integers(0, 1000, n_rows).astype(np.float64)
+    columns["m_min"] = rng.integers(-500, 500, n_rows).astype(np.float64)
+    columns["m_avg"] = rng.integers(0, 100, n_rows).astype(np.float64)
+    columns["m_frac"] = np.round(rng.uniform(0.0, 100.0, n_rows), 2)
+    engine = MultidimensionalEngine(Catalog())
+    star_from_flat(
+        engine,
+        "RAND",
+        Table("flat", dict(columns)),
+        {h.name: list(h.level_names()) for h in hierarchies},
+        {"m_sum": "sum", "m_min": "min", "m_avg": "avg", "m_frac": "sum"},
+    )
+    return columns, engine, hierarchies
+
+
+def _random_queries(rng, schema, hierarchies, count: int = 8):
+    queries = []
+    for number in range(count):
+        levels = [
+            h.level_names()[int(rng.integers(0, len(h.levels)))]
+            for h in hierarchies
+            if rng.random() < 0.8
+        ]
+        if not levels:
+            levels = [hierarchies[0].level_names()[0]]
+        predicates = []
+        for hierarchy in hierarchies:
+            if rng.random() < 0.4:
+                level = hierarchy.level_names()[
+                    int(rng.integers(0, len(hierarchy.levels)))
+                ]
+                members = sorted(hierarchy.members_of(level))
+                k = int(rng.integers(1, min(3, len(members)) + 1))
+                picks = rng.choice(len(members), size=k, replace=False)
+                predicates.append(
+                    Predicate.isin(level, [members[i] for i in picks])
+                )
+        keep = [m for m in ORACLE_MEASURES if rng.random() < 0.7]
+        if rng.random() < 0.25:
+            keep.append("m_frac")  # exercises the serial-fallback gate
+        measures = tuple(keep) or ("m_sum",)
+        queries.append(
+            CubeQuery("RAND", GroupBySet(schema, levels), predicates, measures)
+        )
+    return queries
+
+
+def _python_oracle(columns, query):
+    """Row-at-a-time evaluation over the flat table: {coords: {measure: value}}.
+
+    Pure Python accumulation — no NumPy reductions — so agreement with
+    the engine is meaningful.  Only gate-passing (integral) measures are
+    evaluated: their sums are exact in any association order, which is
+    precisely the bit-identity contract under test.
+    """
+    levels = list(query.group_by.levels)
+    measures = [m for m in query.measures if m in ORACLE_MEASURES]
+    n_rows = len(columns[levels[0]])
+    groups = {}
+    for row in range(n_rows):
+        if any(
+            not predicate.matches(columns[predicate.level][row])
+            for predicate in query.predicates
+        ):
+            continue
+        key = tuple(columns[level][row] for level in levels)
+        bucket = groups.setdefault(key, {m: [] for m in measures})
+        for measure in measures:
+            bucket[measure].append(float(columns[measure][row]))
+    out = {}
+    for key, bucket in groups.items():
+        cell = {}
+        for measure, values in bucket.items():
+            op = ORACLE_MEASURES[measure]
+            if op == "sum":
+                total = 0.0
+                for value in values:
+                    total += value
+                cell[measure] = total
+            elif op == "min":
+                cell[measure] = min(values)
+            else:  # avg: exact integral sum, then one float64 division
+                total = 0.0
+                for value in values:
+                    total += value
+                cell[measure] = total / float(len(values))
+        out[key] = cell
+    return out
+
+
+def _assert_matches_oracle(cube, oracle, levels):
+    engine_keys = set()
+    for row in range(len(cube)):
+        key = tuple(cube.coords[level][row] for level in levels)
+        engine_keys.add(key)
+        expected = oracle[key]
+        for measure, value in expected.items():
+            got = float(cube.measures[measure][row])
+            assert got == value, (key, measure, got, value)
+    assert engine_keys == set(oracle)
+
+
+def _assert_same_cube(left, right):
+    assert list(left.coords) == list(right.coords)
+    assert list(left.measures) == list(right.measures)
+    for name in left.coords:
+        assert left.coords[name].tolist() == right.coords[name].tolist(), name
+    for name in left.measures:
+        a, b = left.measures[name], right.measures[name]
+        if a.dtype == np.float64 and b.dtype == np.float64:
+            assert a.tobytes() == b.tobytes(), name  # bit-identical
+        else:
+            assert a.tolist() == b.tolist(), name
+
+
+# ----------------------------------------------------------------------
+# Part 1: random cubes, engine-level queries, four strategies
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(5))
+def test_random_cubes_four_ways(seed):
+    columns, serial_engine, hierarchies = _random_star(seed)
+    serial_engine.result_cache.enabled = False
+    schema = serial_engine.cube("RAND").schema
+
+    parallel_engines = {}
+    for degree in PARALLEL_DEGREES:
+        _, engine, _ = _random_star(seed)
+        engine.result_cache.enabled = False
+        engine.set_parallelism(degree, morsel_rows=128, min_rows=128)
+        parallel_engines[degree] = engine
+
+    _, warm_engine, _ = _random_star(seed)
+    assert warm_engine.result_cache.enabled
+
+    rng = np.random.default_rng(9000 + seed)
+    queries = _random_queries(rng, schema, hierarchies)
+
+    for query in queries:
+        levels = list(query.group_by.levels)
+        reference = serial_engine.get(query)
+
+        # 1. python kernels (the row-at-a-time oracle)
+        _assert_matches_oracle(reference, _python_oracle(columns, query), levels)
+        # 3. parallel at every degree
+        for degree, engine in parallel_engines.items():
+            _assert_same_cube(engine.get(query), reference)
+        # 4. warm cache: first call populates, second must serve identical
+        warm_engine.get(query)
+        _assert_same_cube(warm_engine.get(query), reference)
+
+    # The parallel arms must have actually gone morsel-parallel (the
+    # query mix always contains gate-passing measures).
+    for degree, engine in parallel_engines.items():
+        assert engine.metrics.get("engine.parallel.queries") >= 1, degree
+    assert warm_engine.result_cache.stats()["hits"] >= len(queries)
+
+
+# ----------------------------------------------------------------------
+# Part 2: the four benchmark types (Constant/External/Sibling/Past)
+# ----------------------------------------------------------------------
+SSB_ROWS = 3000
+
+# Reference intentions assess ``revenue`` (fractional: exercises the
+# serial-fallback gate under parallel arms); the quantity variants swap
+# in the integral measure so the morsel-parallel scan genuinely runs.
+QUANTITY_VARIANTS = {
+    "Constant": """
+        with SSB by date, customer
+        assess quantity against 50
+        using ratio(quantity, 50)
+        labels {[0, 0.5): low, [0.5, 1.5]: expected, (1.5, inf): high}
+    """,
+    "External": """
+        with SSB by month, part
+        assess quantity against BUDGET.expected_revenue
+        using normalizedDifference(quantity, benchmark.expected_revenue)
+        labels {[-inf, -0.1): under, [-0.1, 0.1]: onTrack, (0.1, inf): over}
+    """,
+    "Sibling": """
+        with SSB for s_region = 'ASIA' by part, s_region
+        assess quantity against s_region = 'AMERICA'
+        using percOfTotal(difference(quantity, benchmark.quantity))
+        labels {[-inf, -0.0001): bad, [-0.0001, 0.0001]: ok, (0.0001, inf): good}
+    """,
+    "Past": """
+        with SSB for month = '1998-06' by month, customer
+        assess quantity against past 4
+        using ratio(quantity, benchmark.quantity)
+        labels {[0, 0.9): worse, [0.9, 1.1]: fine, (1.1, inf): better}
+    """,
+}
+
+
+def _ssb_session(parallelism=None):
+    session = AssessSession(prepare_engine(SSB_ROWS))
+    if parallelism:
+        session.set_parallelism(parallelism, morsel_rows=256, min_rows=256)
+    return session
+
+
+@pytest.fixture(scope="module")
+def ssb_arms():
+    serial = _ssb_session()
+    serial.engine.result_cache.enabled = False
+    parallel = {}
+    for degree in PARALLEL_DEGREES:
+        arm = _ssb_session(parallelism=degree)
+        arm.engine.result_cache.enabled = False
+        parallel[degree] = arm
+    warm = _ssb_session()
+    return serial, parallel, warm
+
+
+@pytest.mark.parametrize("intention", INTENTIONS)
+@pytest.mark.parametrize("variant", ("reference", "quantity"))
+def test_benchmark_types_four_ways(ssb_arms, intention, variant):
+    serial, parallel, warm = ssb_arms
+    text = (
+        statement_text(intention)
+        if variant == "reference"
+        else QUANTITY_VARIANTS[intention]
+    )
+    reference = serial.assess(text)
+    for degree, arm in parallel.items():
+        assert results_identical(arm.assess(text), reference), (intention, degree)
+    first = warm.assess(text)
+    again = warm.assess(text)  # served by the result cache
+    assert results_identical(first, reference), intention
+    assert results_identical(again, reference), intention
+
+
+def test_parallel_arms_actually_parallelized(ssb_arms):
+    """After the quantity variants ran, every parallel arm must show
+    morsel-parallel executions — fallback-only arms would make the suite
+    vacuous."""
+    _, parallel, warm = ssb_arms
+    for degree, arm in parallel.items():
+        assert arm.engine.metrics.get("engine.parallel.queries") >= 1, degree
+    assert warm.engine.result_cache.stats()["hits"] >= 1
