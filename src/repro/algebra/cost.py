@@ -377,7 +377,9 @@ def choose_plan(
 
 
 def choose_plan_batch(
-    statements: Sequence[AssessStatement], engine: MultidimensionalEngine
+    statements: Sequence[AssessStatement],
+    engine: MultidimensionalEngine,
+    analysis=None,
 ) -> Tuple[List[Plan], List[Dict[str, float]]]:
     """Greedy batch-aware plan selection: maximize cross-statement sharing.
 
@@ -385,9 +387,17 @@ def choose_plan_batch(
     smallest *marginal* cost given what earlier statements already pay
     for (shared fingerprints and scan keys).  Returns the chosen plans
     plus each statement's candidate totals (for explain/debug output).
+
+    ``analysis`` optionally carries a
+    :class:`repro.analysis.flow.WorkloadReport`: scan keys the workload
+    analyzer proved fusable are seeded as already-shared, so the greedy
+    selection prices statically-predicted fused scans as marginal from
+    the first statement on instead of discovering them one by one.
     """
     stats = Statistics(engine)
     shared = BatchSharedState()
+    if analysis is not None:
+        shared.scans.update(analysis.fusable_scan_keys)
     chosen: List[Plan] = []
     totals: List[Dict[str, float]] = []
     for statement in statements:

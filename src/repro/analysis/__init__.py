@@ -19,8 +19,22 @@ Entry points
 * :mod:`.lint` — file-level linting behind ``python -m repro.cli lint``.
 """
 
-from .codes import ALL_CODES, BATCH_CODES, PLAN_CODES, STATEMENT_CODES, severity_of
+from .codes import (
+    ALL_CODES,
+    BATCH_CODES,
+    PLAN_CODES,
+    STATEMENT_CODES,
+    WORKLOAD_CODES,
+    severity_of,
+)
 from .context import AnalysisContext
+from .flow import (
+    WORKLOAD_SCHEMA_VERSION,
+    WorkloadReport,
+    analyze_workload,
+    report_results_json,
+    scan_workload,
+)
 from .lint import (
     LintReport,
     LintResult,
@@ -44,8 +58,12 @@ __all__ = [
     "LintResult",
     "PLAN_CODES",
     "STATEMENT_CODES",
+    "WORKLOAD_CODES",
+    "WORKLOAD_SCHEMA_VERSION",
+    "WorkloadReport",
     "analyze_raw_statement",
     "analyze_text",
+    "analyze_workload",
     "batch_diagnostics",
     "extract_statements",
     "lint_path",
@@ -53,6 +71,8 @@ __all__ = [
     "lint_statements",
     "lint_text",
     "render_report",
+    "report_results_json",
+    "scan_workload",
     "severity_of",
     "statements_from_python",
     "verify_plan",

@@ -9,7 +9,10 @@ grouped by the layer that produces them:
 * ``ASSESS3xx`` — batch passes (checks over a statement *list*, run by
   ``repro batch`` and :func:`repro.analysis.lint.batch_diagnostics`);
 * ``ASSESS4xx`` — observability passes (pre-flight checks of ``repro
-  trace`` and :meth:`AssessSession.explain_analyze`).
+  trace`` and :meth:`AssessSession.explain_analyze`);
+* ``ASSESS5xx`` — workload passes (whole-script abstract interpretation
+  by :mod:`repro.analysis.flow`, run by ``repro lint --workload`` and
+  :meth:`AssessSession.analyze_workload`).
 
 The catalog is the single source of truth: the docs section in
 ``docs/language.md`` and the tests assert against it, so adding a code here
@@ -97,6 +100,24 @@ ALL_CODES: Dict[str, CodeInfo] = {
         # -- observability passes (4xx) ---------------------------------------
         _info("ASSESS401", Severity.ERROR,
               "tracing requested on an unregistered cube"),
+        # -- workload passes (5xx) --------------------------------------------
+        _info("ASSESS500", Severity.ERROR, "malformed workload directive"),
+        _info("ASSESS501", Severity.WARNING,
+              "workload definition is never used (dead definition)"),
+        _info("ASSESS502", Severity.WARNING,
+              "workload definition shadows an unused earlier definition"),
+        _info("ASSESS503", Severity.INFO,
+              "statement repeats an earlier statement of the workload"),
+        _info("ASSESS504", Severity.INFO,
+              "statement is answerable from an earlier statement's cached result"),
+        _info("ASSESS505", Severity.INFO,
+              "statements share one fused fact scan"),
+        _info("ASSESS506", Severity.WARNING,
+              "measure fails the static float-exactness gate "
+              "(parallel/fused paths fall back to serial)"),
+        _info("ASSESS507", Severity.WARNING,
+              "statement's result-cell upper bound exceeds the admission "
+              "threshold"),
     )
 }
 
@@ -104,6 +125,7 @@ STATEMENT_CODES = tuple(c for c in ALL_CODES if c.startswith("ASSESS1"))
 PLAN_CODES = tuple(c for c in ALL_CODES if c.startswith("ASSESS2"))
 BATCH_CODES = tuple(c for c in ALL_CODES if c.startswith("ASSESS3"))
 TRACE_CODES = tuple(c for c in ALL_CODES if c.startswith("ASSESS4"))
+WORKLOAD_CODES = tuple(c for c in ALL_CODES if c.startswith("ASSESS5"))
 
 
 def severity_of(code: str) -> Severity:

@@ -18,7 +18,7 @@ engine).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Any, Callable, Iterable, Mapping, Optional, Union
 
 from ..core.schema import CubeSchema
 from ..functions.registry import FunctionRegistry, default_registry
@@ -29,12 +29,14 @@ class AnalysisContext:
 
     def __init__(
         self,
-        schemas=None,
+        schemas: Union[
+            Mapping[str, CubeSchema], Callable[[str], CubeSchema], None
+        ] = None,
         registry: Optional[FunctionRegistry] = None,
-        engine=None,
+        engine: Optional[Any] = None,
         known_labelings: Iterable[str] = (),
         strict: bool = True,
-    ):
+    ) -> None:
         self.schemas = schemas
         self.registry = registry if registry is not None else default_registry()
         self.engine = engine
@@ -70,7 +72,7 @@ class AnalysisContext:
         return name.lower() in self.known_labelings or self.registry.has(name)
 
     @classmethod
-    def for_session(cls, session, strict: bool = True) -> "AnalysisContext":
+    def for_session(cls, session: Any, strict: bool = True) -> "AnalysisContext":
         """A context bound to an :class:`~repro.api.AssessSession`."""
         return cls(
             schemas=lambda name: session.engine.cube(name).schema,
@@ -81,7 +83,9 @@ class AnalysisContext:
         )
 
     @classmethod
-    def for_engines(cls, engines, strict: bool = True) -> "AnalysisContext":
+    def for_engines(
+        cls, engines: Iterable[Any], strict: bool = True
+    ) -> "AnalysisContext":
         """A context resolving cubes across several engines (the lint CLI
         loads every demo cube so statements over any of them check out)."""
         union = _EngineUnion(engines)
@@ -95,10 +99,10 @@ class AnalysisContext:
 class _EngineUnion:
     """Duck-typed engine over several engines, first match wins."""
 
-    def __init__(self, engines):
+    def __init__(self, engines: Iterable[Any]) -> None:
         self.engines = list(engines)
 
-    def _owner(self, source: str):
+    def _owner(self, source: str) -> Optional[Any]:
         for engine in self.engines:
             try:
                 engine.cube(source)
@@ -107,7 +111,7 @@ class _EngineUnion:
             return engine
         return None
 
-    def cube(self, source: str):
+    def cube(self, source: str) -> Any:
         owner = self._owner(source)
         if owner is None:
             raise KeyError(source)

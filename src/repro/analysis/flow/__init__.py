@@ -1,0 +1,45 @@
+"""Whole-workload static analysis (abstract interpretation over scripts).
+
+The flow package interprets an entire ``.assess`` script the way a
+session executes it — in order, against one engine — and statically
+predicts what the dynamic layers will do: cache derivations
+(:mod:`repro.cache`), fused shared scans (:mod:`repro.batch`), the
+float-exactness gates of the parallel and fused paths
+(:mod:`repro.parallel`, :mod:`repro.engine`), and admission-level
+cardinality bounds.  Entry point: :func:`analyze_workload`.
+"""
+
+from .analyze import WorkloadAnalyzer, analyze_workload
+from .domains import ColumnAbstract, Exactness, Interval, StatsProvider
+from .report import (
+    WORKLOAD_SCHEMA_VERSION,
+    CardinalityBound,
+    DerivationEdge,
+    ExactnessEntry,
+    FusionPrediction,
+    StatementInfo,
+    WorkloadReport,
+    report_results_json,
+)
+from .workload import BindingEnv, WorkloadItem, classify_chunk, scan_workload
+
+__all__ = [
+    "WORKLOAD_SCHEMA_VERSION",
+    "BindingEnv",
+    "CardinalityBound",
+    "ColumnAbstract",
+    "DerivationEdge",
+    "Exactness",
+    "ExactnessEntry",
+    "FusionPrediction",
+    "Interval",
+    "StatementInfo",
+    "StatsProvider",
+    "WorkloadAnalyzer",
+    "WorkloadItem",
+    "WorkloadReport",
+    "analyze_workload",
+    "classify_chunk",
+    "report_results_json",
+    "scan_workload",
+]

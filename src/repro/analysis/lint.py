@@ -20,7 +20,7 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
 
 from ..core.diagnostics import Diagnostic, DiagnosticBag
 from .context import AnalysisContext
@@ -134,7 +134,7 @@ def batch_diagnostics(statements: Sequence[str]) -> DiagnosticBag:
             "batch contains no statements", source="batch",
         )
         return bag
-    seen: dict = {}
+    seen: Dict[str, int] = {}
     for position, statement in enumerate(statements):
         normalized = " ".join(statement.split()).lower()
         first = seen.setdefault(normalized, position)
@@ -169,7 +169,7 @@ def lint_statements(
     return results
 
 
-def lint_path(path, context: AnalysisContext) -> List[LintResult]:
+def lint_path(path: Path, context: AnalysisContext) -> List[LintResult]:
     """Lint one file — Python sources and statement files alike."""
     path = Path(path)
     text = path.read_text()
@@ -179,7 +179,9 @@ def lint_path(path, context: AnalysisContext) -> List[LintResult]:
     return lint_text(text, context, str(path))
 
 
-def lint_paths(paths: Sequence, context: AnalysisContext) -> LintReport:
+def lint_paths(
+    paths: Sequence[Union[str, Path]], context: AnalysisContext
+) -> LintReport:
     """Lint files and directories (recursing into ``.py``/``.assess``/
     ``.txt`` files) into one report."""
     report = LintReport()

@@ -111,7 +111,7 @@ class _Columns:
 
     __slots__ = ("names", "open_prefixes")
 
-    def __init__(self, names: Set[str], open_prefixes: Set[str] = frozenset()):
+    def __init__(self, names: Set[str], open_prefixes: Set[str] = frozenset()) -> None:
         self.names = set(names)
         self.open_prefixes = set(open_prefixes)
 

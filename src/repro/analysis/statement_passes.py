@@ -17,15 +17,16 @@ completeness/non-overlap (Section 3.3.1).
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Set
+from typing import List, Optional, Set, Tuple, Union
 
 from ..core.diagnostics import Diagnostic, DiagnosticBag, Severity, Span
 from ..core.errors import ParseError, ReproError
 from ..core.expression import BinaryOp, Expression, FunctionCall, Literal, MeasureRef
 from ..core.labels import Interval, LabelRule, find_gaps, find_overlaps
 from ..core.schema import CubeSchema
+from ..core.statement import AssessStatement
 from ..parser.parser import bind_statement, parse_raw
-from ..parser.raw import RawBenchmark, RawPredicate, RawStatement
+from ..parser.raw import RawBenchmark, RawLabels, RawPredicate, RawStatement
 from .context import AnalysisContext
 
 SOURCE = "statement"
@@ -35,7 +36,9 @@ SOURCE = "statement"
 _DENOMINATOR_FUNCTIONS = frozenset({"ratio"})
 
 
-def analyze_text(text: str, context: AnalysisContext):
+def analyze_text(
+    text: str, context: AnalysisContext
+) -> Tuple[Optional[AssessStatement], DiagnosticBag]:
     """Analyze statement *text*: ``(statement_or_None, DiagnosticBag)``.
 
     The full pipeline a linter wants: syntax (ASSESS001), every statement
@@ -71,7 +74,9 @@ def analyze_text(text: str, context: AnalysisContext):
         return None, bag
 
 
-def analyze_raw_statement(raw: RawStatement, context) -> DiagnosticBag:
+def analyze_raw_statement(
+    raw: RawStatement, context: Union[AnalysisContext, object]
+) -> DiagnosticBag:
     """Run every statement pass; ``context`` is an :class:`AnalysisContext`
     or a schema resolver (mapping/callable), as ``parse_statement`` takes."""
     if not isinstance(context, AnalysisContext):
@@ -288,7 +293,7 @@ def _external_benchmark_pass(
         )
 
 
-def _single_member(raw: RawStatement, level: str):
+def _single_member(raw: RawStatement, level: str) -> Optional[object]:
     """The single member a for-clause predicate slices ``level`` on, if any."""
     predicate = raw.predicate_on(level)
     if predicate is None:
@@ -686,7 +691,9 @@ def _labels_pass(
         )
 
 
-def _named_labels_pass(labels, context: AnalysisContext, bag: DiagnosticBag) -> None:
+def _named_labels_pass(
+    labels: RawLabels, context: AnalysisContext, bag: DiagnosticBag
+) -> None:
     name = labels.name
     if name.lower() in context.known_labelings:
         return

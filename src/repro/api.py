@@ -213,6 +213,22 @@ class AssessSession:
 
         return run_batch(self, list(statements), plan=plan)
 
+    def analyze_workload(self, text: str, plan: str = "best"):
+        """Statically analyze a whole workload script against this session.
+
+        Runs the flow analyzer (:mod:`repro.analysis.flow`) over the
+        script: per-statement diagnostics plus the predicted sharing plan
+        (fused scans), cache-derivation edges, float-exactness verdicts,
+        and cardinality/cost bounds — everything the ``ASSESS5xx`` group
+        covers, without executing a single statement.  Returns a
+        :class:`repro.analysis.flow.WorkloadReport`.
+        """
+        from .analysis.flow import analyze_workload
+
+        return analyze_workload(
+            text, session=self, origin="<session>", plan_name=plan
+        )
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

@@ -425,6 +425,14 @@ def lint_main(argv=None) -> int:
                         help="also lint the bundled experiment statements")
     parser.add_argument("--verbose", action="store_true",
                         help="list clean statements too")
+    parser.add_argument("--workload", action="store_true",
+                        help="whole-script workload analysis: interpret "
+                        "each file as one session (directives, cache "
+                        "derivability, fused-scan sharing, exactness and "
+                        "cardinality verdicts — ASSESS5xx)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text; json emits the "
+                        "stable machine-readable schema)")
     args = parser.parse_args(argv)
 
     from .analysis import AnalysisContext, lint_paths, lint_statements, render_report
@@ -442,6 +450,9 @@ def lint_main(argv=None) -> int:
             engines, strict=not args.permissive
         )
 
+    if args.workload:
+        return _lint_workloads(args, context)
+
     try:
         report = lint_paths(args.paths, context)
     except OSError as error:
@@ -455,8 +466,65 @@ def lint_main(argv=None) -> int:
                 "experiments.statements",
             )
         )
-    print(render_report(report, verbose=args.verbose))
+    if args.format == "json":
+        import json
+
+        from .analysis import WORKLOAD_SCHEMA_VERSION, report_results_json
+
+        print(json.dumps({
+            "schema_version": WORKLOAD_SCHEMA_VERSION,
+            "mode": "statement",
+            "results": report_results_json(report.results),
+        }, indent=2))
+    else:
+        print(render_report(report, verbose=args.verbose))
     return 1 if report.has_errors else 0
+
+
+def _lint_workloads(args, context) -> int:
+    """``repro lint --workload``: per-file whole-script analysis."""
+    from pathlib import Path
+
+    from .analysis import WORKLOAD_SCHEMA_VERSION, analyze_workload
+
+    files = []
+    for entry in args.paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            files.extend(
+                child for child in sorted(entry.rglob("*"))
+                if child.suffix in (".assess", ".txt") and child.is_file()
+            )
+        else:
+            files.append(entry)
+    if not files:
+        print("error: --workload needs statement files", file=sys.stderr)
+        return 2
+
+    reports = []
+    for path in files:
+        try:
+            text = path.read_text()
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        reports.append(
+            analyze_workload(text, context=context, origin=str(path))
+        )
+
+    if args.format == "json":
+        import json
+
+        print(json.dumps({
+            "schema_version": WORKLOAD_SCHEMA_VERSION,
+            "mode": "workload",
+            "workloads": [report.to_json() for report in reports],
+        }, indent=2))
+    else:
+        for report in reports:
+            print(report.render(verbose=args.verbose))
+            print()
+    return 1 if any(report.has_errors for report in reports) else 0
 
 
 def main(argv=None) -> int:

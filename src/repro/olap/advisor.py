@@ -72,6 +72,7 @@ def advise_views(
     engine: MultidimensionalEngine,
     statements: Sequence[AssessStatement],
     min_compression: float = 2.0,
+    analysis=None,
 ) -> List[ViewRecommendation]:
     """Rank candidate views by estimated workload saving.
 
@@ -79,11 +80,25 @@ def advise_views(
     ``min_compression`` (a view nearly as large as the fact costs storage
     without saving scans).  Savings are the summed per-get difference
     between scanning the fact table and scanning the view.
+
+    ``analysis`` optionally carries a
+    :class:`repro.analysis.flow.WorkloadReport`: gets the workload
+    analyzer proved warm (served from the semantic cache without a fact
+    scan) are excluded — a view cannot save a scan that never happens.
     """
     stats = Statistics(engine)
     candidates: Dict[Tuple[str, Tuple[str, ...]], Dict] = {}
+    warm_fingerprints = (
+        analysis.warm_fingerprints if analysis is not None else frozenset()
+    )
 
     for query in workload_gets(statements, engine):
+        if warm_fingerprints:
+            from ..cache.fingerprint import fingerprint_query
+
+            aggregate = engine.build_aggregate_query(query)
+            if fingerprint_query(aggregate) in warm_fingerprints:
+                continue
         source = query.source
         needed = set(query.group_by.levels) | {
             predicate.level for predicate in query.predicates

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Validate the JSON document emitted by ``repro lint --workload --format=json``.
+
+Reads the document from stdin (or a file argument) and checks the stable
+schema contract that editor/CI integrations rely on: top-level keys, the
+schema version, and the required keys of every statement, derivation,
+fusion, exactness entry, bound, and diagnostic.  Exit 1 on any drift, so
+the CI workload-analysis job fails when the schema changes silently.
+
+Usage::
+
+    python -m repro.cli lint --workload --format=json examples/ \
+        | python tools/check_workload_schema.py
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+STATEMENT_KEYS = {
+    "index", "kind", "statement", "cube", "group_by", "measures",
+    "plan", "composite", "parallel_safe", "diagnostics",
+}
+DERIVATION_KEYS = {"source", "target", "kind", "reason"}
+FUSION_KEYS = {"statements", "scan_predicates", "key_space", "verdict",
+               "member_safety"}
+EXACTNESS_KEYS = {"cube", "measure", "op", "verdict", "detail"}
+BOUND_KEYS = {"index", "cells", "cost", "admission_warning"}
+DIAGNOSTIC_KEYS = {"code", "severity", "message", "span", "hint", "source"}
+SEVERITIES = {"error", "warning", "info"}
+
+errors = []
+
+
+def need(mapping, keys, where):
+    missing = keys - set(mapping)
+    if missing:
+        errors.append(f"{where}: missing keys {sorted(missing)}")
+
+
+def check_workload(workload, where):
+    need(
+        workload,
+        {"workload_schema_version", "origin", "statements", "derivations",
+         "fusions", "exactness", "bounds", "summary"},
+        where,
+    )
+    if workload.get("workload_schema_version") != SCHEMA_VERSION:
+        errors.append(
+            f"{where}: workload_schema_version "
+            f"{workload.get('workload_schema_version')!r} != {SCHEMA_VERSION}"
+        )
+    for i, statement in enumerate(workload.get("statements", [])):
+        need(statement, STATEMENT_KEYS, f"{where}.statements[{i}]")
+        for j, diagnostic in enumerate(statement.get("diagnostics", [])):
+            spot = f"{where}.statements[{i}].diagnostics[{j}]"
+            need(diagnostic, DIAGNOSTIC_KEYS, spot)
+            if diagnostic.get("severity") not in SEVERITIES:
+                errors.append(
+                    f"{spot}: bad severity {diagnostic.get('severity')!r}"
+                )
+            code = diagnostic.get("code", "")
+            if not (code.startswith("ASSESS") and code[6:].isdigit()):
+                errors.append(f"{spot}: bad code {code!r}")
+    for i, edge in enumerate(workload.get("derivations", [])):
+        need(edge, DERIVATION_KEYS, f"{where}.derivations[{i}]")
+    for i, fusion in enumerate(workload.get("fusions", [])):
+        need(fusion, FUSION_KEYS, f"{where}.fusions[{i}]")
+    for i, entry in enumerate(workload.get("exactness", [])):
+        need(entry, EXACTNESS_KEYS, f"{where}.exactness[{i}]")
+    for i, bound in enumerate(workload.get("bounds", [])):
+        need(bound, BOUND_KEYS, f"{where}.bounds[{i}]")
+
+
+def main(argv):
+    raw = open(argv[0]).read() if argv else sys.stdin.read()
+    try:
+        document = json.loads(raw)
+    except ValueError as exc:
+        print(f"check-workload-schema: not JSON: {exc}", file=sys.stderr)
+        return 1
+    need(document, {"schema_version", "mode"}, "$")
+    if document.get("schema_version") != SCHEMA_VERSION:
+        errors.append(
+            f"$: schema_version {document.get('schema_version')!r} "
+            f"!= {SCHEMA_VERSION}"
+        )
+    mode = document.get("mode")
+    if mode == "workload":
+        need(document, {"workloads"}, "$")
+        workloads = document.get("workloads", [])
+        if not workloads:
+            errors.append("$: empty workloads list")
+        for i, workload in enumerate(workloads):
+            check_workload(workload, f"$.workloads[{i}]")
+    elif mode == "statement":
+        need(document, {"results"}, "$")
+    else:
+        errors.append(f"$: bad mode {mode!r}")
+    for message in errors:
+        print(message)
+    print(
+        f"check-workload-schema: {'FAIL' if errors else 'OK'} "
+        f"({len(errors)} error(s))",
+        file=sys.stderr,
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
