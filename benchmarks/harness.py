@@ -211,10 +211,16 @@ def main(argv=None) -> int:
             print(render_span_summary(summary))
         print(f"[{name} regenerated in {elapsed:.1f}s]")
     if args.json:
+        import resource
+
+        # ru_maxrss is kilobytes on Linux; the harness's own peak, so the
+        # figure covers generation + every selected experiment.
+        peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
         payload = {
             "ladder": runner.ladder,
             "repetitions": repetitions,
             "warmup": args.warmup,
+            "peak_rss_kb": peak_rss_kb,
             "experiments": collected,
         }
         with open(args.json, "w") as handle:

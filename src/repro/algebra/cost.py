@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.query import CubeQuery, Predicate, PredicateOp
 from ..core.statement import AssessStatement
+from ..engine.columns import plan_zone_pruning
 from ..olap.engine import MultidimensionalEngine
 from .plan import (
     AddConstantNode,
@@ -103,6 +104,7 @@ class Statistics:
         self.engine = engine
         self._fact_rows: Dict[str, int] = {}
         self._cardinalities: Dict[Tuple[str, str], int] = {}
+        self._zone_survival: Dict[CubeQuery, float] = {}
 
     def parallel_config(self):
         """The engine's parallel config (``None`` when serial)."""
@@ -154,10 +156,41 @@ class Statistics:
             return min(1.0, len(predicate.values) / cardinality)
         return RANGE_SELECTIVITY
 
+    def zone_survival(self, query: CubeQuery) -> float:
+        """Fraction of fact rows a zone-pruned scan of this query touches.
+
+        Plans the *same* pruning the executor would perform (same
+        :func:`plan_zone_pruning` over the pushed query's predicates and
+        joins), so the planner and the engine always agree on what gets
+        skipped.  1.0 when the fact table carries no zone maps, pruning
+        is disabled, or nothing prunes.
+        """
+        if query not in self._zone_survival:
+            fraction = 1.0
+            executor = getattr(self.engine, "executor", None)
+            if executor is None or getattr(executor, "zone_pruning", False):
+                try:
+                    pushed = self.engine.build_aggregate_query(query)
+                    fact = self.engine.catalog.table(pushed.fact)
+                    pruner = plan_zone_pruning(
+                        self.engine.catalog, fact, pushed.fact,
+                        pushed.where, pushed.joins,
+                    )
+                    if pruner is not None:
+                        fraction = pruner.survival_fraction()
+                except Exception:
+                    fraction = 1.0
+            self._zone_survival[query] = fraction
+        return self._zone_survival[query]
+
     def scanned_rows(self, query: CubeQuery) -> float:
-        rows = float(self.fact_rows(query.source))
+        total = float(self.fact_rows(query.source))
+        rows = total
         for predicate in query.predicates:
             rows *= self.selectivity(query.source, predicate)
+        # Zone-map pruning bounds the scan physically: only surviving
+        # zones are decoded, whatever the per-row selectivities say.
+        rows = min(rows, total * self.zone_survival(query))
         return max(rows, 1.0)
 
     def result_cells(self, query: CubeQuery) -> float:

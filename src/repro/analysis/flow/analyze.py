@@ -243,11 +243,21 @@ class WorkloadAnalyzer:
             cardinality = stats.cardinality(table, column)
             if cardinality is not None:
                 level_ub = float(cardinality)
+            else:
+                # No dictionary statistics: a persisted zone map still
+                # bounds the distinct count (sum of per-zone distincts).
+                distinct_bound = stats.distinct_bound(table, column)
+                if distinct_bound is not None:
+                    level_ub = float(distinct_bound)
             predicate = query.predicate_on(level)  # type: ignore[attr-defined]
             if predicate is not None:
                 members = predicate.member_set()
                 if members is not None:
                     level_ub = min(level_ub, float(len(members)))
+                # Zone-map value ranges can prove a predicate matches no
+                # stored row at all — the bound collapses (clamped to 1).
+                if stats.predicate_feasible(table, column, predicate) is False:
+                    level_ub = 0.0
             product *= level_ub
         bound = min(bound, product)
         if bound == float("inf"):

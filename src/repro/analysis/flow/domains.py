@@ -163,6 +163,7 @@ class StatsProvider:
         self._cardinalities: Dict[Tuple[str, str], Optional[int]] = {}
         self._encodable: Dict[Tuple[str, str], bool] = {}
         self._members: Dict[Tuple[str, str], Optional[FrozenSet[object]]] = {}
+        self._zone_maps: Dict[Tuple[str, str], Optional[object]] = {}
 
     # ------------------------------------------------------------------
     def _table(self, table_name: str) -> Optional[object]:
@@ -238,3 +239,80 @@ class StatsProvider:
             return len(table)  # type: ignore[arg-type]
         except Exception:
             return None
+
+    # ------------------------------------------------------------------
+    # Zone-map statistics (the v2 column store's per-zone min/max)
+    # ------------------------------------------------------------------
+    def zone_map(self, table_name: str, column: str) -> Optional[object]:
+        """The column's persisted zone map, or ``None`` when absent.
+
+        Zone maps arrive with v2 column stores (or explicit
+        ``Table.ensure_zone_maps``); they give the analyzer distinct-count
+        and value-range bounds without scanning any stored data.
+        """
+        key = (table_name, column)
+        if key not in self._zone_maps:
+            zone_map: Optional[object] = None
+            table = self._table(table_name)
+            if table is not None:
+                try:
+                    zone_map = table.zone_map(column)  # type: ignore[attr-defined]
+                except Exception:
+                    zone_map = None
+            self._zone_maps[key] = zone_map
+        return self._zone_maps[key]
+
+    def distinct_bound(self, table_name: str, column: str) -> Optional[int]:
+        """A sound upper bound on the column's distinct count from its
+        zone map (sum of per-zone distinct counts), without a scan."""
+        zone_map = self.zone_map(table_name, column)
+        if zone_map is None:
+            return None
+        try:
+            return int(zone_map.distinct_bound_total())  # type: ignore[attr-defined]
+        except Exception:
+            return None
+
+    def value_range(
+        self, table_name: str, column: str
+    ) -> Optional[Tuple[object, object]]:
+        """The column's global ``(min, max)`` from its zone map."""
+        zone_map = self.zone_map(table_name, column)
+        if zone_map is None:
+            return None
+        try:
+            lo, hi = zone_map.value_range()  # type: ignore[attr-defined]
+        except Exception:
+            return None
+        if lo is None or hi is None:
+            return None
+        return lo, hi
+
+    def predicate_feasible(
+        self, table_name: str, column: str, predicate: object
+    ) -> Optional[bool]:
+        """Whether any stored row can satisfy the predicate.
+
+        ``False`` is definite (the zone-map value range excludes every
+        predicate member — the executor would prune the whole scan);
+        ``True``/``None`` make no claim.  Sound for the same reason zone
+        pruning is: a value outside ``[min, max]`` occurs in no zone.
+        """
+        bounds = self.value_range(table_name, column)
+        if bounds is None:
+            return None
+        lo, hi = bounds
+        try:
+            op_name = str(getattr(getattr(predicate, "op", None), "name", ""))
+            values = tuple(getattr(predicate, "values", ()))
+            if op_name in ("EQ", "IN"):
+                feasible = any(
+                    bool(lo <= value) and bool(hi >= value) for value in values
+                )
+            elif op_name == "RANGE":
+                feasible = bool(hi >= values[0]) and bool(lo <= values[1])
+            else:
+                return None
+        except (TypeError, ValueError, IndexError):
+            return None
+        return True if feasible else False

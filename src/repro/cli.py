@@ -13,6 +13,11 @@ Interactive (statements are terminated with a blank line or ';')::
 Useful flags: ``--plan NP|JOP|POP|best`` to pick the execution strategy,
 ``--explain`` to print the plan tree and the pushed SQL instead of (well,
 before) executing, ``--rows N`` to size the demo cube.
+
+Subcommands: ``lint`` (static analysis), ``cache`` (result-cache demo),
+``batch`` (multi-statement batches), ``trace`` (EXPLAIN ANALYZE),
+``cube`` (save/load compressed column stores), ``storage`` (describe a
+saved store).
 """
 
 from __future__ import annotations
@@ -396,6 +401,179 @@ def trace_main(argv=None) -> int:
     return 0
 
 
+def cube_main(argv=None) -> int:
+    """The ``cube`` subcommand: save/load SSB column stores and query them.
+
+    ``--save PATH`` generates the SSB catalog (with the bundled BUDGET
+    cube, so the store answers all four experiment intentions), compresses
+    it into the v2 column-store format with zone maps, and writes it to
+    PATH.  ``--load PATH`` memory-maps a saved store back and runs the
+    given statements (default: the four intentions) against it, printing
+    the zone-pruning counters afterwards.  See ``docs/performance.md``.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli cube",
+        description="Save the SSB demo catalog as a compressed column "
+        "store, or load one and run assess statements against it "
+        "out-of-core (memory-mapped, with zone-map pruning).",
+    )
+    parser.add_argument("statements", nargs="*",
+                        help="assess statements to run after --save/--load "
+                        "(default with --load: the four bundled "
+                        "experiment intentions)")
+    parser.add_argument("--rows", type=int, default=None,
+                        help="fact rows to generate for --save "
+                        "(default: 60000)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="generator seed (default: 7)")
+    parser.add_argument("--save", metavar="PATH", default=None,
+                        help="write the generated catalog to PATH")
+    parser.add_argument("--load", metavar="PATH", default=None,
+                        help="load a saved catalog from PATH instead of "
+                        "generating one")
+    parser.add_argument("--format", choices=("auto", "v1", "v2"),
+                        default="auto", dest="format_",
+                        help="store format for --save (default: auto — "
+                        "v2 column store unless PATH ends in .npz)")
+    parser.add_argument("--cluster-by", metavar="COLUMN", default=None,
+                        help="sort the fact table by this column at save "
+                        "time so zone maps turn selective predicates into "
+                        "skipped morsels (e.g. lo_datekey)")
+    parser.add_argument("--zone-rows", type=int, default=None,
+                        help="rows per zone map entry (default: the "
+                        "morsel size, 65536)")
+    parser.add_argument("--no-mmap", action="store_true",
+                        help="materialise arrays in RAM on --load instead "
+                        "of memory-mapping them")
+    parser.add_argument("--plan", default="best",
+                        choices=("NP", "JOP", "POP", "best", "auto"),
+                        help="execution plan (default: best)")
+    parser.add_argument("--limit", type=int, default=5,
+                        help="max result rows to print per statement "
+                        "(default: 5)")
+    add_parallelism_flag(parser)
+    args = parser.parse_args(argv)
+
+    if not args.save and not args.load:
+        parser.error("one of --save PATH or --load PATH is required")
+    if args.save and args.load:
+        parser.error("--save and --load are mutually exclusive")
+
+    from .datagen.ssb import ssb_engine_from_catalog
+    from .engine.columns import DEFAULT_ZONE_ROWS
+    from .engine.persist import load_catalog, save_catalog
+
+    if args.save:
+        import time
+
+        from .experiments.statements import prepare_engine
+
+        rows = args.rows or 60_000
+        start = time.perf_counter()
+        engine = prepare_engine(rows, seed=args.seed)
+        generated = time.perf_counter() - start
+        cluster = None
+        if args.cluster_by:
+            fact = engine.cube("SSB").star.fact_table
+            cluster = {fact: args.cluster_by}
+        start = time.perf_counter()
+        try:
+            save_catalog(
+                engine.catalog, args.save, format=args.format_,
+                zone_rows=args.zone_rows or DEFAULT_ZONE_ROWS,
+                cluster=cluster,
+            )
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        saved = time.perf_counter() - start
+        print(f"generated {rows:,} fact rows in {generated:.2f}s, "
+              f"saved to {args.save} in {saved:.2f}s"
+              + (f" (clustered by {args.cluster_by})" if args.cluster_by
+                 else ""))
+        if not args.statements:
+            return 0
+        session = AssessSession(engine, parallelism=args.parallelism)
+    else:
+        try:
+            catalog = load_catalog(args.load, mmap=not args.no_mmap)
+            engine = ssb_engine_from_catalog(catalog)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        mode = "materialised" if args.no_mmap else "memory-mapped"
+        print(f"loaded {args.load} ({mode}); "
+              f"cubes: {', '.join(engine.cube_names())}")
+        session = AssessSession(engine, parallelism=args.parallelism)
+
+    statements = list(args.statements)
+    if not statements:
+        from .experiments.statements import INTENTIONS, statement_text
+
+        statements = [statement_text(name) for name in INTENTIONS]
+    status = 0
+    for text in statements:
+        status = max(
+            status,
+            run_statement(session, text, args.plan, False, args.limit),
+        )
+    counters = engine.metrics.snapshot()["counters"]
+    prunes = {key: value for key, value in sorted(counters.items())
+              if key.startswith("engine.storage.")}
+    if prunes:
+        print("-- zone pruning: " + ", ".join(
+            f"{key.split('.')[-1]}={value:,}" for key, value in prunes.items()
+        ))
+    return status
+
+
+def storage_main(argv=None) -> int:
+    """The ``storage`` subcommand: describe a saved v2 column store.
+
+    Reads only the manifest (no data file is opened) and prints, per
+    column: the chosen encoding, logical dtype, plain vs stored bytes,
+    the compression ratio, and the number of zone-map entries.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli storage",
+        description="Report per-column encodings, compression ratios, and "
+        "zone-map coverage of a saved catalog column store.",
+    )
+    parser.add_argument("path", help="a catalog directory written by "
+                        "'repro cube --save' or save_catalog()")
+    args = parser.parse_args(argv)
+
+    from .engine.persist import storage_report
+
+    try:
+        report = storage_report(args.path)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    print(f"column store {report['path']} "
+          f"(format v{report['version']}, zone_rows {report['zone_rows']:,})")
+    grand_plain = grand_stored = 0
+    for table in report["tables"]:
+        clustered = table["clustered_by"]
+        print(f"\ntable {table['table']} ({table['rows']:,} rows"
+              + (f", clustered by {clustered}" if clustered else "") + ")")
+        print(f"  {'column':<18}{'encoding':<10}{'dtype':<10}"
+              f"{'plain':>12}{'stored':>12}{'ratio':>7}{'zones':>7}")
+        for column in table["columns"]:
+            plain, stored = column["plain_bytes"], column["stored_bytes"]
+            grand_plain += plain
+            grand_stored += stored
+            ratio = plain / stored if stored else float("inf")
+            print(f"  {column['column']:<18}{column['encoding']:<10}"
+                  f"{column['dtype']:<10}{plain:>12,}{stored:>12,}"
+                  f"{ratio:>6.1f}x{column['zones']:>7}")
+    overall = grand_plain / grand_stored if grand_stored else float("inf")
+    print(f"\ntotal: {grand_plain:,} plain bytes -> {grand_stored:,} stored "
+          f"({overall:.1f}x compression)")
+    return 0
+
+
 def lint_main(argv=None) -> int:
     """The ``lint`` subcommand: statically analyze statement files.
 
@@ -538,6 +716,10 @@ def main(argv=None) -> int:
         return batch_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "cube":
+        return cube_main(argv[1:])
+    if argv and argv[0] == "storage":
+        return storage_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Run assess statements against a bundled demo cube.",

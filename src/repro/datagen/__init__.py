@@ -15,7 +15,9 @@ from .ssb import (
     build_ssb_catalog,
     dimension_cardinalities,
     ssb_engine,
+    ssb_engine_from_catalog,
     ssb_schema,
+    ssb_star,
 )
 
 __all__ = [
@@ -32,6 +34,8 @@ __all__ = [
     "sales_schema",
     "star_from_flat",
     "ssb_engine",
+    "ssb_engine_from_catalog",
     "ssb_schema",
+    "ssb_star",
     "table_from_csv",
 ]

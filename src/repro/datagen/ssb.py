@@ -224,6 +224,17 @@ def build_ssb_catalog(
         )
     )
 
+    schema, star = ssb_star()
+    return catalog, schema, star
+
+
+def ssb_star() -> Tuple[CubeSchema, StarSchema]:
+    """The SSB cube schema and its star binding over the standard tables.
+
+    The binding refers to tables by name only, so it applies equally to a
+    freshly generated catalog and to one reloaded from a saved column
+    store (:func:`repro.engine.persist.load_catalog`).
+    """
     schema = ssb_schema()
     star = StarSchema(
         name="SSB",
@@ -249,7 +260,7 @@ def build_ssb_catalog(
             "discount": "lo_discount",
         },
     )
-    return catalog, schema, star
+    return schema, star
 
 
 def budget_schema(levels: Tuple[str, ...] = ("month", "category"),
@@ -328,4 +339,37 @@ def ssb_engine(
     engine.register_cube("SSB", schema, star)
     if with_budget:
         build_budget_table(engine)
+    return engine
+
+
+def ssb_engine_from_catalog(catalog: Catalog) -> MultidimensionalEngine:
+    """An engine over an already-populated SSB catalog (e.g. a reloaded
+    column store from :func:`repro.engine.persist.load_catalog`).
+
+    Re-registers the SSB cube from its table names and, when budget fact
+    tables (``ssb_budget_*``) are present, rebuilds their degenerate
+    external cubes so saved catalogs answer the same four intentions.
+    """
+    engine = MultidimensionalEngine(catalog)
+    schema, star = ssb_star()
+    engine.register_cube("SSB", schema, star)
+    prefix = "ssb_budget_"
+    for table_name in catalog.table_names():
+        if not table_name.startswith(prefix):
+            continue
+        table = catalog.table(table_name)
+        levels = tuple(
+            column[len("b_"):] for column in table.column_names
+            if column != "b_expected_revenue"
+        )
+        cube_name = table_name[len(prefix):].upper()
+        budget = budget_schema(levels, cube_name)
+        budget_star = StarSchema(
+            name=cube_name,
+            fact_table=table_name,
+            dimensions=[],
+            measure_columns={"expected_revenue": "b_expected_revenue"},
+            degenerate_levels={level: f"b_{level}" for level in levels},
+        )
+        engine.register_cube(cube_name, budget, budget_star)
     return engine

@@ -11,6 +11,7 @@ performing it cell-at-a-time on cube objects.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -32,6 +33,12 @@ from ..parallel.morsel import (
     run_morsel,
 )
 from .catalog import Catalog
+from .columns import (
+    Ranges,
+    ZonePruner,
+    plan_zone_pruning as _plan_zone_pruning,
+    ranges_length as _ranges_length,
+)
 from .kernels import combine_codes as _combine_codes
 from .kernels import encode_column as _encode_column
 from .kernels import sums_exactly as _sums_exactly
@@ -99,12 +106,81 @@ class EngineExecutor:
         # stay bit-identical to serial or the query falls back to the
         # serial path (see repro.parallel and docs/performance.md).
         self.parallel: Optional[ParallelConfig] = None
+        # Zone-map morsel pruning (skipping fact zones whose min/max
+        # statistics prove no row can pass the predicates).  Only active
+        # on tables that carry zone maps (v2 column stores, or explicit
+        # Table.ensure_zone_maps); REPRO_NO_PRUNE=1 disables it for
+        # ablation benchmarks and differential tests.
+        self.zone_pruning = not os.environ.get("REPRO_NO_PRUNE")
 
-    def _count_scan(self, fact: Table) -> None:
-        """One executed fact pass: bump the scan counters together."""
+    def _count_scan(self, fact: Table, rows: Optional[int] = None) -> None:
+        """One executed fact pass: bump the scan counters together.
+
+        ``rows`` is the post-pruning row count actually scanned (defaults
+        to the whole fact table).
+        """
         self.scan_count += 1
         self.metrics.inc("engine.scans")
-        self.metrics.inc("engine.rows_scanned", len(fact))
+        self.metrics.inc("engine.rows_scanned", len(fact) if rows is None else rows)
+
+    def _zone_pruner(
+        self,
+        fact: Table,
+        fact_name: str,
+        predicates: Sequence[ColumnPredicate],
+        joins,
+    ) -> Optional[ZonePruner]:
+        """Plan zone-map pruning for one scan; ``None`` when inapplicable.
+
+        Emits a ``storage.prune`` span and the ``engine.storage.*``
+        counters.  Soundness: a pruned zone provably holds no row passing
+        ``predicates``, so dropping it removes only mask-rejected rows —
+        the surviving masked row sequence (and every float summation
+        order) is unchanged and results stay bit-identical.
+        """
+        if not self.zone_pruning or not fact.has_zone_maps:
+            return None
+        tracer = _active_tracer()
+        if not tracer.enabled:
+            pruner = _plan_zone_pruning(
+                self.catalog, fact, fact_name, predicates, joins
+            )
+            if pruner is not None:
+                self._count_pruning(pruner)
+            return pruner
+        with tracer.span("storage.prune", fact=fact_name) as span:
+            pruner = _plan_zone_pruning(
+                self.catalog, fact, fact_name, predicates, joins
+            )
+            if pruner is None:
+                span.set(zones=0, zones_pruned=0, rows_pruned=0)
+                return None
+            self._count_pruning(pruner)
+            span.set(
+                zones=pruner.zones_checked,
+                zones_pruned=pruner.zones_pruned,
+                rows_pruned=pruner.rows_pruned,
+            )
+            return pruner
+
+    def _count_pruning(self, pruner: ZonePruner) -> None:
+        self.metrics.inc("engine.storage.prunes")
+        self.metrics.inc("engine.storage.zones_checked", pruner.zones_checked)
+        self.metrics.inc("engine.storage.zones_pruned", pruner.zones_pruned)
+        self.metrics.inc("engine.storage.rows_pruned", pruner.rows_pruned)
+
+    def _pruned_ranges(
+        self,
+        fact: Table,
+        fact_name: str,
+        predicates: Sequence[ColumnPredicate],
+        joins,
+    ) -> Ranges:
+        """Surviving row ranges of a serial scan (``None`` = scan all)."""
+        pruner = self._zone_pruner(fact, fact_name, predicates, joins)
+        if pruner is None:
+            return None
+        return pruner.surviving_row_ranges()
 
     # ------------------------------------------------------------------
     # Aggregate (get)
@@ -134,27 +210,31 @@ class EngineExecutor:
             result = self._parallel_aggregate(fact, query)
             if result is not None:
                 return result
+        ranges = self._pruned_ranges(fact, query.fact, query.where, query.joins)
+        n_scan = _ranges_length(ranges, len(fact))
         tracer = _active_tracer()
         if not tracer.enabled:
-            positions = self._dimension_positions(fact, query)
-            mask = self._selection_mask(fact, query, positions)
-            self._count_scan(fact)
-            return self._grouped_aggregate(fact, query, positions, mask)
+            positions = self._dimension_positions(fact, query, ranges)
+            mask = self._selection_mask(fact, query, positions, ranges)
+            self._count_scan(fact, n_scan)
+            return self._grouped_aggregate(fact, query, positions, mask, ranges)
         with tracer.span("engine.scan", fact=query.fact) as span:
             with tracer.span("engine.semijoin") as semijoin:
-                positions = self._dimension_positions(fact, query)
-                mask = self._selection_mask(fact, query, positions)
+                positions = self._dimension_positions(fact, query, ranges)
+                mask = self._selection_mask(fact, query, positions, ranges)
                 semijoin.set(
-                    rows_in=len(fact),
-                    rows_matched=len(fact) if mask is None else int(mask.sum()),
+                    rows_in=n_scan,
+                    rows_matched=n_scan if mask is None else int(mask.sum()),
                     predicates=len(query.where),
                 )
-            self._count_scan(fact)
+            self._count_scan(fact, n_scan)
             with tracer.span("engine.groupby") as groupby:
-                result = self._grouped_aggregate(fact, query, positions, mask)
+                result = self._grouped_aggregate(
+                    fact, query, positions, mask, ranges
+                )
                 groupby.set(rows_out=len(result), keys=len(query.group_by))
             span.set(
-                rows_in=len(fact),
+                rows_in=n_scan,
                 rows_out=len(result),
                 cells_out=len(result) * max(len(result.column_names), 1),
             )
@@ -166,14 +246,21 @@ class EngineExecutor:
         query: AggregateQuery,
         positions: "Dict[str, np.ndarray]",
         mask: Optional[np.ndarray],
+        ranges: Ranges = None,
     ) -> ResultSet:
         """Group and aggregate the masked fact rows (steps 3–5).
 
         Split out of :meth:`execute_aggregate` so the fused-scan fallback
         can reuse the exact same grouping code with a shared semi-join
         mask — bit-identity between the two paths is then structural.
+
+        ``ranges`` is the zone-pruned row selection the positions and mask
+        were computed over (``None`` = whole table); fact-resident columns
+        are gathered through it, so pruned rows are never decoded.
         """
-        n_rows = len(fact) if mask is None else int(mask.sum())
+        n_rows = (
+            _ranges_length(ranges, len(fact)) if mask is None else int(mask.sum())
+        )
 
         # Integer key codes: dimension-sourced grouping columns use the FK
         # row positions directly (already dense integers), fact-resident
@@ -183,8 +270,8 @@ class EngineExecutor:
         emitters = []
         for gb in query.group_by:
             if gb.table in (FACT, fact.name):
-                codes, cardinality = fact.dictionary(gb.column)
-                values = fact.column(gb.column)
+                codes, cardinality = fact.dictionary_gather(gb.column, ranges)
+                values = fact.gather(gb.column, ranges)
                 if mask is not None:
                     codes = codes[mask]
                     values = values[mask]
@@ -212,7 +299,7 @@ class EngineExecutor:
         for gb, emit in zip(query.group_by, emitters):
             columns[gb.alias] = emit(first_rows)
         for agg in query.aggregates:
-            measure = fact.column(agg.column)
+            measure = fact.gather(agg.column, ranges)
             if mask is not None:
                 measure = measure[mask]
             columns[agg.alias] = _aggregate(group_ids, group_count, measure, agg.op)
@@ -282,6 +369,15 @@ class EngineExecutor:
         fact = self.catalog.table(queries[0].fact)
         fact_name = queries[0].fact
 
+        # Zone pruning uses the shared scan predicates only: every member
+        # mask is ``base ∧ residual``, so a zone no row of which passes the
+        # base predicates contributes to no member (residuals could prune
+        # further, but per-member, which would break the shared gathers).
+        ranges = self._pruned_ranges(
+            fact, fact_name, scan_where, queries[0].joins
+        )
+        n_scan = _ranges_length(ranges, len(fact))
+
         # Union dimension positions: one FK resolution serves every member.
         referenced = set()
         for query in queries:
@@ -293,12 +389,16 @@ class EngineExecutor:
                 continue
             dimension = self.catalog.table(join.table)
             index = dimension.key_index(join.dim_key)
-            positions[join.table] = index.positions_of(fact.column(join.fact_fk))
+            positions[join.table] = index.positions_of(
+                fact.gather(join.fact_fk, ranges)
+            )
 
-        self._count_scan(fact)
+        self._count_scan(fact, n_scan)
         self.metrics.inc("engine.fused_scans")
-        base_mask = self._predicate_mask(fact, fact_name, scan_where, positions)
-        n_rows = len(fact) if base_mask is None else int(base_mask.sum())
+        base_mask = self._predicate_mask(
+            fact, fact_name, scan_where, positions, ranges
+        )
+        n_rows = n_scan if base_mask is None else int(base_mask.sum())
 
         def column_key(table: str) -> str:
             return FACT if table in (FACT, fact_name) else table
@@ -324,8 +424,8 @@ class EngineExecutor:
         key_space = 1
         for table, column in finest:
             if table == FACT:
-                codes, cardinality = fact.dictionary(column)
-                values = fact.column(column)
+                codes, cardinality = fact.dictionary_gather(column, ranges)
+                values = fact.gather(column, ranges)
                 if base_mask is not None:
                     codes = codes[base_mask]
                     values = values[base_mask]
@@ -346,7 +446,7 @@ class EngineExecutor:
             # The folded finest key would overflow int64; run every member
             # as its own direct pass (still sharing mask and positions).
             return self._fused_fallback_all(
-                fact, queries, residuals, positions, base_mask
+                fact, queries, residuals, positions, base_mask, ranges
             )
 
         finest_ids, finest_count, finest_first = _combine_codes(
@@ -365,7 +465,10 @@ class EngineExecutor:
         count_state: Dict[str, np.ndarray] = {}
 
         def masked_measure(column: str) -> np.ndarray:
-            measure = fact.column(column)
+            # Pruned rows are all base-mask rejects, so gathering through
+            # the surviving ranges yields the identical masked sequence the
+            # unpruned scan would — exactness gating included.
+            measure = fact.gather(column, ranges)
             return measure if base_mask is None else measure[base_mask]
 
         def partial_of(column: str, op: str) -> np.ndarray:
@@ -402,7 +505,7 @@ class EngineExecutor:
             if not derivable:
                 results.append(
                     self._fused_member_direct(
-                        fact, query, residual, positions, base_mask
+                        fact, query, residual, positions, base_mask, ranges
                     )
                 )
                 derived_flags.append(False)
@@ -486,6 +589,7 @@ class EngineExecutor:
         residual: Sequence[ColumnPredicate],
         positions: Dict[str, np.ndarray],
         base_mask: Optional[np.ndarray],
+        ranges: Ranges = None,
     ) -> ResultSet:
         """Direct grouping pass for one fused member, reusing the scan mask.
 
@@ -493,15 +597,17 @@ class EngineExecutor:
         standalone execution would AND together, so the result is
         bit-identical to :meth:`execute_aggregate` on the member's query.
         """
-        self._count_scan(fact)
-        residual_mask = self._predicate_mask(fact, query.fact, residual, positions)
+        self._count_scan(fact, _ranges_length(ranges, len(fact)))
+        residual_mask = self._predicate_mask(
+            fact, query.fact, residual, positions, ranges
+        )
         if base_mask is None:
             mask = residual_mask
         elif residual_mask is None:
             mask = base_mask
         else:
             mask = base_mask & residual_mask
-        return self._grouped_aggregate(fact, query, positions, mask)
+        return self._grouped_aggregate(fact, query, positions, mask, ranges)
 
     def _fused_fallback_all(
         self,
@@ -510,9 +616,12 @@ class EngineExecutor:
         residuals: Sequence[Sequence[ColumnPredicate]],
         positions: Dict[str, np.ndarray],
         base_mask: Optional[np.ndarray],
+        ranges: Ranges = None,
     ) -> "Tuple[List[ResultSet], List[bool]]":
         results = [
-            self._fused_member_direct(fact, query, residual, positions, base_mask)
+            self._fused_member_direct(
+                fact, query, residual, positions, base_mask, ranges
+            )
             for query, residual in zip(queries, residuals)
         ]
         self.metrics.inc("engine.fused_fallbacks", len(queries))
@@ -593,18 +702,24 @@ class EngineExecutor:
         joins_needed,
         key_infos,
         agg_specs: "Sequence[Tuple[str, Optional[str]]]",
+        pruner: Optional[ZonePruner] = None,
     ) -> List[MorselTask]:
         """Slice the fact pass into per-morsel tasks.
 
         Dimension-side work (key indexes, dimension predicate masks,
         dimension dictionaries) is computed once here and shared by every
-        task; only per-fact-row arrays are sliced.
+        task; per-fact-row arrays are windowed per morsel (so compressed
+        or memory-mapped columns decode one morsel at a time).  With a
+        ``pruner``, morsels no zone of which can satisfy the predicates
+        are never enqueued at all — their rows would contribute zero
+        groups, so the merged result is unchanged; skipped tasks keep
+        their original index, preserving the deterministic merge order.
         """
-        fact_preds = []
+        fact_pred_columns = []
         dim_preds = []
         for cp in predicates:
             if cp.table in (FACT, fact_name):
-                fact_preds.append((cp.predicate, fact.column(cp.column)))
+                fact_pred_columns.append((cp.predicate, cp.column))
             else:
                 dimension = self.catalog.table(cp.table)
                 dim_mask = cp.predicate.mask(dimension.column(cp.column))
@@ -614,27 +729,30 @@ class EngineExecutor:
             (
                 join.table,
                 self.catalog.table(join.table).key_index(join.dim_key),
-                fact.column(join.fact_fk),
+                join.fact_fk,
             )
             for join in joins_needed
         ]
-        measures: Dict[str, np.ndarray] = {}
-        for _, column in agg_specs:
-            if column is not None and column not in measures:
-                measures[column] = fact.column(column)
+        measure_columns = [
+            column for _, column in agg_specs if column is not None
+        ]
 
         tasks: List[MorselTask] = []
+        pruned_morsels = 0
         assert self.parallel is not None
         for index, (lo, hi) in enumerate(
             morsel_ranges(len(fact), self.parallel.morsel_rows)
         ):
+            if pruner is not None and not pruner.range_may_match(lo, hi):
+                pruned_morsels += 1
+                continue
             joins = tuple(
-                JoinSpec(alias, key_index, fk[lo:hi])
-                for alias, key_index, fk in join_sources
+                JoinSpec(alias, key_index, fact.window(fk_column, lo, hi))
+                for alias, key_index, fk_column in join_sources
             )
             fps = tuple(
-                FactPredicate(predicate, values[lo:hi])
-                for predicate, values in fact_preds
+                FactPredicate(predicate, fact.window(column, lo, hi))
+                for predicate, column in fact_pred_columns
             )
             key_specs = tuple(
                 KeySpec(
@@ -645,14 +763,20 @@ class EngineExecutor:
                 )
                 for kind, alias, codes, cardinality, _ in key_infos
             )
+            windows = {
+                column: fact.window(column, lo, hi)
+                for column in measure_columns
+            }
             aggs = tuple(
-                AggSpec(op, None if column is None else measures[column][lo:hi])
+                AggSpec(op, None if column is None else windows[column])
                 for op, column in agg_specs
             )
             tasks.append(
                 MorselTask(index, lo, hi, joins, fps, dim_predicates,
                            key_specs, aggs)
             )
+        if pruned_morsels:
+            self.metrics.inc("engine.storage.morsels_pruned", pruned_morsels)
         return tasks
 
     def _dispatch_morsels(self, tasks: List[MorselTask], tracer):
@@ -698,8 +822,10 @@ class EngineExecutor:
             cp.table for cp in query.where
         }
         joins_needed = [j for j in query.joins if j.table in referenced]
+        pruner = self._zone_pruner(fact, query.fact, query.where, query.joins)
         tasks = self._parallel_tasks(
-            fact, query.fact, query.where, joins_needed, key_infos, agg_specs
+            fact, query.fact, query.where, joins_needed, key_infos, agg_specs,
+            pruner,
         )
 
         tracer = _active_tracer()
@@ -710,7 +836,7 @@ class EngineExecutor:
             degree=self.parallel.degree,
             morsels=len(tasks),
         ) as span:
-            self._count_scan(fact)
+            self._count_scan(fact, sum(task.hi - task.lo for task in tasks))
             self.metrics.inc("engine.parallel.queries")
             results = self._dispatch_morsels(tasks, tracer)
             with tracer.span("parallel.merge", morsels=len(results)) as merge_span:
@@ -819,8 +945,10 @@ class EngineExecutor:
             referenced |= {gb.table for gb in query.group_by}
             referenced |= {cp.table for cp in query.where}
         joins_needed = [j for j in queries[0].joins if j.table in referenced]
+        pruner = self._zone_pruner(fact, fact_name, scan_where, queries[0].joins)
         tasks = self._parallel_tasks(
-            fact, fact_name, scan_where, joins_needed, key_infos, agg_specs
+            fact, fact_name, scan_where, joins_needed, key_infos, agg_specs,
+            pruner,
         )
 
         tracer = _active_tracer()
@@ -831,7 +959,7 @@ class EngineExecutor:
             degree=self.parallel.degree,
             morsels=len(tasks),
         ) as span:
-            self._count_scan(fact)
+            self._count_scan(fact, sum(task.hi - task.lo for task in tasks))
             self.metrics.inc("engine.fused_scans")
             self.metrics.inc("engine.parallel.queries")
             raw = self._dispatch_morsels(tasks, tracer)
@@ -1133,9 +1261,13 @@ class EngineExecutor:
     # Internals
     # ------------------------------------------------------------------
     def _dimension_positions(
-        self, fact: Table, query: AggregateQuery
+        self, fact: Table, query: AggregateQuery, ranges: Ranges = None
     ) -> Dict[str, np.ndarray]:
-        """Resolve each referenced dimension's FK column to row positions."""
+        """Resolve each referenced dimension's FK column to row positions.
+
+        With a zone-pruned ``ranges`` selection only the surviving fact
+        rows' foreign keys are gathered and resolved.
+        """
         referenced = {gb.table for gb in query.group_by} | {
             cp.table for cp in query.where
         }
@@ -1145,7 +1277,9 @@ class EngineExecutor:
                 continue  # join elimination: untouched dimensions are skipped
             dimension = self.catalog.table(join.table)
             index = dimension.key_index(join.dim_key)
-            positions[join.table] = index.positions_of(fact.column(join.fact_fk))
+            positions[join.table] = index.positions_of(
+                fact.gather(join.fact_fk, ranges)
+            )
         return positions
 
     def _selection_mask(
@@ -1153,8 +1287,9 @@ class EngineExecutor:
         fact: Table,
         query: AggregateQuery,
         positions: Dict[str, np.ndarray],
+        ranges: Ranges = None,
     ) -> Optional[np.ndarray]:
-        return self._predicate_mask(fact, query.fact, query.where, positions)
+        return self._predicate_mask(fact, query.fact, query.where, positions, ranges)
 
     def _predicate_mask(
         self,
@@ -1162,11 +1297,12 @@ class EngineExecutor:
         fact_name: str,
         predicates: Sequence[ColumnPredicate],
         positions: Dict[str, np.ndarray],
+        ranges: Ranges = None,
     ) -> Optional[np.ndarray]:
         mask: Optional[np.ndarray] = None
         for cp in predicates:
             if cp.table in (FACT, fact_name):
-                part = cp.predicate.mask(fact.column(cp.column))
+                part = cp.predicate.mask(fact.gather(cp.column, ranges))
             else:
                 dimension = self.catalog.table(cp.table)
                 dim_mask = cp.predicate.mask(dimension.column(cp.column))

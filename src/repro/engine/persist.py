@@ -1,37 +1,95 @@
-"""Catalog persistence: save/load columnar tables as ``.npz`` archives.
+"""Catalog persistence: the v2 column store plus legacy ``.npz`` archives.
 
 Generated star schemas (especially the larger SSB ladder rungs) are
-expensive to rebuild; :func:`save_catalog` snapshots every table of a
-catalog into one compressed NumPy archive and :func:`load_catalog` restores
-it.  Object (string) columns round-trip through unicode arrays; numeric
-columns keep their dtypes.
+expensive to rebuild, and past a scale factor or two they stop fitting in
+RAM at all.  Two on-disk formats are supported:
 
-The archive layout is flat: ``{table}\x1f{column}`` keys (the unit
-separator cannot appear in identifiers), plus a ``__tables__`` index entry.
+* **v1** — one compressed ``.npz`` archive holding every column as a plain
+  array (the original format; still written for ``*.npz`` paths and always
+  readable).
+* **v2** — a *directory* column store: a ``catalog.json`` manifest plus one
+  ``.npy`` file per stored array.  Columns are dictionary- or run-length-
+  compressed where profitable, every array is opened with
+  ``np.load(..., mmap_mode="r")`` so loading is lazy (the OS pages data in
+  per scan and can drop it under pressure — this is what lets the SSB
+  ladder climb past RAM), and per-column zone maps (min/max, null count,
+  distinct bound per :data:`~repro.engine.columns.DEFAULT_ZONE_ROWS`-row
+  zone) are computed at store time and persisted in the manifest so the
+  executor can prune morsels without touching the data files.
+
+``save_catalog`` picks the format from the path (``*.npz`` → v1, anything
+else → v2 directory) unless forced with ``format=``; ``load_catalog``
+auto-detects.  Object (string) columns round-trip through unicode arrays;
+numeric columns keep their dtypes; decoded results are bit-identical to the
+arrays that were saved.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.errors import EngineError
 from .catalog import Catalog
+from .columns import (
+    DEFAULT_ZONE_ROWS,
+    Column,
+    DictionaryColumn,
+    PlainColumn,
+    RLEColumn,
+    ZoneMap,
+    build_zone_map,
+    encode_array,
+)
 from .table import Table
 
 _SEP = "\x1f"
 _INDEX_KEY = "__tables__"
+_MANIFEST = "catalog.json"
+_DATA_DIR = "data"
+_V2_VERSION = 2
 
 
-def save_catalog(catalog: Catalog, path: str) -> str:
-    """Write every table of a catalog to a compressed ``.npz`` archive.
+# ----------------------------------------------------------------------
+# Saving
+# ----------------------------------------------------------------------
+def save_catalog(
+    catalog: Catalog,
+    path: str,
+    *,
+    format: str = "auto",
+    zone_rows: int = DEFAULT_ZONE_ROWS,
+    cluster: Optional[Dict[str, str]] = None,
+    compress: bool = True,
+) -> str:
+    """Write every table of a catalog to disk; returns the path written.
 
-    Returns the path written.  Object columns are stored as unicode arrays
-    (all members must be strings or ``None``); numeric columns are stored
-    as-is.
+    ``format`` is ``"v1"`` (flat ``.npz``), ``"v2"`` (directory column
+    store), or ``"auto"`` (v1 iff the path ends in ``.npz``).  v2 options:
+
+    * ``zone_rows`` — zone-map granularity (rows per zone).
+    * ``cluster`` — ``{table: column}``: stable-sort those tables by the
+      named column before encoding.  Clustering turns equality/range
+      predicates on the cluster column (and on dimensions joined through
+      it) into contiguous zone ranges, which is what makes zone-map
+      pruning bite; it also hands run-length encoding its best case.
+    * ``compress`` — choose dictionary/RLE encodings per column; plain
+      arrays otherwise (zone maps are built either way).
     """
+    if format not in ("auto", "v1", "v2"):
+        raise EngineError(f"unknown catalog format {format!r}")
+    if format == "v1" or (format == "auto" and path.endswith(".npz")):
+        return _save_v1(catalog, path)
+    return _save_v2(
+        catalog, path, zone_rows=zone_rows, cluster=cluster or {},
+        compress=compress,
+    )
+
+
+def _save_v1(catalog: Catalog, path: str) -> str:
     payload: Dict[str, np.ndarray] = {}
     table_names: List[str] = []
     for table in catalog:
@@ -50,10 +108,173 @@ def save_catalog(catalog: Catalog, path: str) -> str:
     return path if path.endswith(".npz") else f"{path}.npz"
 
 
-def load_catalog(path: str) -> Catalog:
-    """Restore a catalog saved by :func:`save_catalog`."""
+def _save_v2(
+    catalog: Catalog,
+    path: str,
+    *,
+    zone_rows: int,
+    cluster: Dict[str, str],
+    compress: bool,
+) -> str:
+    data_dir = os.path.join(path, _DATA_DIR)
+    os.makedirs(data_dir, exist_ok=True)
+    counter = [0]
+
+    def store(array: np.ndarray) -> str:
+        relpath = os.path.join(_DATA_DIR, f"a{counter[0]}.npy")
+        counter[0] += 1
+        np.save(os.path.join(path, relpath[:-len(".npy")]), array)
+        return relpath
+
+    tables: List[Dict[str, object]] = []
+    for table in catalog:
+        cluster_by = cluster.get(table.name)
+        order: Optional[np.ndarray] = None
+        if cluster_by is not None:
+            order = np.argsort(table.column(cluster_by), kind="stable")
+        columns: List[Dict[str, object]] = []
+        for column_name in table.column_names:
+            values = table.column(column_name)
+            if order is not None:
+                values = values[order]
+            stored = encode_array(values) if compress else PlainColumn(values)
+            zone_map = build_zone_map(values, zone_rows)
+            columns.append(
+                _store_column(
+                    table.name, column_name, values, stored, zone_map, store
+                )
+            )
+        tables.append(
+            {
+                "name": table.name,
+                "rows": len(table),
+                "clustered_by": cluster_by,
+                "columns": columns,
+            }
+        )
+    manifest = {
+        "format": "repro-catalog",
+        "version": _V2_VERSION,
+        "zone_rows": zone_rows,
+        "tables": tables,
+    }
+    with open(os.path.join(path, _MANIFEST), "w") as handle:
+        json.dump(manifest, handle, indent=1)
+    return path
+
+
+def _store_column(
+    table_name: str,
+    column_name: str,
+    values: np.ndarray,
+    stored: Column,
+    zone_map: Optional[ZoneMap],
+    store,
+) -> Dict[str, object]:
+    is_object = values.dtype == object
+
+    def persistable(array: np.ndarray) -> np.ndarray:
+        if array.dtype == object:
+            return _object_to_unicode(table_name, column_name, array)
+        return array
+
+    arrays: Dict[str, str] = {}
+    if isinstance(stored, DictionaryColumn):
+        encoding = "dict"
+        arrays["codes"] = store(np.asarray(stored.codes))
+        arrays["values"] = store(persistable(np.asarray(stored.values)))
+    elif isinstance(stored, RLEColumn):
+        encoding = "rle"
+        arrays["run_values"] = store(persistable(np.asarray(stored.run_values)))
+        arrays["run_ends"] = store(np.asarray(stored.run_ends))
+    else:
+        encoding = "plain"
+        arrays["values"] = store(persistable(stored.decode()))
+    return {
+        "name": column_name,
+        "encoding": encoding,
+        "object": is_object,
+        "dtype": "object" if is_object else str(values.dtype),
+        "rows": len(values),
+        "plain_bytes": _plain_bytes(values),
+        "stored_bytes": stored.stored_bytes,
+        "arrays": arrays,
+        "zones": _zone_map_to_json(zone_map),
+    }
+
+
+def _plain_bytes(values: np.ndarray) -> int:
+    if values.dtype == object:
+        return int(values.nbytes) + sum(
+            len(str(value)) for value in values
+        )
+    return int(values.nbytes)
+
+
+def _zone_map_to_json(zone_map: Optional[ZoneMap]) -> Optional[Dict[str, object]]:
+    if zone_map is None:
+        return None
+    return {
+        "zone_rows": zone_map.zone_rows,
+        "n_rows": zone_map.n_rows,
+        "mins": [_json_scalar(v) for v in zone_map.mins],
+        "maxs": [_json_scalar(v) for v in zone_map.maxs],
+        "null_counts": [int(v) for v in zone_map.null_counts],
+        "distinct_bounds": [int(v) for v in zone_map.distinct_bounds],
+    }
+
+
+def _json_scalar(value: object) -> object:
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating, float)):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    return value
+
+
+def _zone_map_from_json(
+    spec: Optional[Dict[str, object]], numeric: bool
+) -> Optional[ZoneMap]:
+    if spec is None:
+        return None
+    if numeric:
+        mins: np.ndarray = np.asarray(spec["mins"], dtype=np.float64)
+        maxs: np.ndarray = np.asarray(spec["maxs"], dtype=np.float64)
+    else:
+        mins = np.asarray(spec["mins"], dtype=object)
+        maxs = np.asarray(spec["maxs"], dtype=object)
+    return ZoneMap(
+        int(spec["zone_rows"]),  # type: ignore[arg-type]
+        int(spec["n_rows"]),  # type: ignore[arg-type]
+        mins,
+        maxs,
+        np.asarray(spec["null_counts"], dtype=np.int64),
+        np.asarray(spec["distinct_bounds"], dtype=np.int64),
+    )
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+def load_catalog(path: str, *, mmap: bool = True) -> Catalog:
+    """Restore a catalog saved by :func:`save_catalog` (either format).
+
+    v2 stores are opened memory-mapped by default (``mmap=False`` forces
+    everything resident, for differential tests); zone maps come straight
+    from the manifest, so pruning works before any data file is paged in.
+    """
+    if os.path.isdir(path):
+        return _load_v2(path, mmap=mmap)
     if not os.path.exists(path) and os.path.exists(f"{path}.npz"):
         path = f"{path}.npz"
+    if os.path.isdir(path):
+        return _load_v2(path, mmap=mmap)
+    return _load_v1(path)
+
+
+def _load_v1(path: str) -> Catalog:
     with np.load(path, allow_pickle=False) as archive:
         if _INDEX_KEY not in archive:
             raise EngineError(f"{path!r} is not a saved catalog archive")
@@ -70,6 +291,149 @@ def load_catalog(path: str) -> Catalog:
                     columns[column_name] = stored
             catalog.register(Table(table_name, columns))
     return catalog
+
+
+def _load_v2(path: str, *, mmap: bool) -> Catalog:
+    manifest_path = os.path.join(path, _MANIFEST)
+    if not os.path.exists(manifest_path):
+        raise EngineError(f"{path!r} is not a saved catalog archive")
+    with open(manifest_path) as handle:
+        manifest = json.load(handle)
+    if manifest.get("format") != "repro-catalog":
+        raise EngineError(f"{path!r} is not a saved catalog archive")
+    mmap_mode = "r" if mmap else None
+    catalog = Catalog()
+    for table_spec in manifest["tables"]:
+        columns: Dict[str, Column] = {}
+        zone_maps: Dict[str, Optional[ZoneMap]] = {}
+        for column_spec in table_spec["columns"]:
+            name = column_spec["name"]
+            columns[name] = _load_column(path, column_spec, mmap_mode)
+            numeric = not column_spec["object"]
+            zone_maps[name] = _zone_map_from_json(
+                column_spec.get("zones"), numeric
+            )
+        table = Table(table_spec["name"], columns)
+        for name, zone_map in zone_maps.items():
+            table.attach_zone_map(name, zone_map)
+        catalog.register(table)
+    return catalog
+
+
+def _load_column(
+    path: str, spec: Dict[str, object], mmap_mode: Optional[str]
+) -> Column:
+    arrays: Dict[str, str] = spec["arrays"]  # type: ignore[assignment]
+    is_object = bool(spec["object"])
+    dtype = np.dtype(object) if is_object else np.dtype(str(spec["dtype"]))
+
+    def load(role: str) -> np.ndarray:
+        return np.load(os.path.join(path, arrays[role]), mmap_mode=mmap_mode)
+
+    encoding = spec["encoding"]
+    if encoding == "dict":
+        # Dictionaries are tiny by construction — restore values eagerly
+        # (and to object dtype for string columns) while codes stay mapped.
+        values = np.asarray(np.load(os.path.join(path, arrays["values"])))
+        if is_object:
+            values = values.astype(object)
+        return DictionaryColumn(load("codes"), values, dtype=dtype)
+    if encoding == "rle":
+        run_values = np.asarray(np.load(os.path.join(path, arrays["run_values"])))
+        if is_object:
+            run_values = run_values.astype(object)
+        return RLEColumn(run_values, load("run_ends"), dtype=dtype)
+    if encoding == "plain":
+        return PlainColumn(load("values"), as_object=is_object)
+    raise EngineError(f"unknown column encoding {encoding!r}")
+
+
+# ----------------------------------------------------------------------
+# Reports and in-RAM compression helpers
+# ----------------------------------------------------------------------
+def storage_report(path: str) -> Dict[str, object]:
+    """Per-table/per-column storage stats of a v2 store, from the manifest
+    alone (no data file is opened)."""
+    manifest_path = os.path.join(path, _MANIFEST)
+    if not os.path.exists(manifest_path):
+        raise EngineError(f"{path!r} is not a v2 catalog store")
+    with open(manifest_path) as handle:
+        manifest = json.load(handle)
+    tables: List[Dict[str, object]] = []
+    for table_spec in manifest["tables"]:
+        columns = []
+        for spec in table_spec["columns"]:
+            zones = spec.get("zones")
+            columns.append(
+                {
+                    "column": spec["name"],
+                    "encoding": spec["encoding"],
+                    "dtype": spec["dtype"],
+                    "plain_bytes": spec["plain_bytes"],
+                    "stored_bytes": spec["stored_bytes"],
+                    "zones": 0 if zones is None else len(zones["mins"]),
+                }
+            )
+        tables.append(
+            {
+                "table": table_spec["name"],
+                "rows": table_spec["rows"],
+                "clustered_by": table_spec.get("clustered_by"),
+                "columns": columns,
+            }
+        )
+    return {
+        "path": path,
+        "version": manifest["version"],
+        "zone_rows": manifest["zone_rows"],
+        "tables": tables,
+    }
+
+
+def compress_table(
+    table: Table,
+    *,
+    zone_rows: int = DEFAULT_ZONE_ROWS,
+    cluster_by: Optional[str] = None,
+) -> Table:
+    """An in-RAM compressed copy of a table (encodings + zone maps).
+
+    The differential tests' workhorse: same rows (optionally re-clustered),
+    dictionary/RLE storage, zone maps attached — no disk involved.
+    """
+    order: Optional[np.ndarray] = None
+    if cluster_by is not None:
+        order = np.argsort(table.column(cluster_by), kind="stable")
+    columns: Dict[str, Column] = {}
+    zone_maps: Dict[str, Optional[ZoneMap]] = {}
+    for name in table.column_names:
+        values = table.column(name)
+        if order is not None:
+            values = values[order]
+        columns[name] = encode_array(values)
+        zone_maps[name] = build_zone_map(values, zone_rows)
+    compressed = Table(table.name, columns)
+    for name, zone_map in zone_maps.items():
+        compressed.attach_zone_map(name, zone_map)
+    return compressed
+
+
+def compress_catalog(
+    catalog: Catalog,
+    *,
+    zone_rows: int = DEFAULT_ZONE_ROWS,
+    cluster: Optional[Dict[str, str]] = None,
+) -> Catalog:
+    """An in-RAM compressed copy of every table of a catalog."""
+    cluster = cluster or {}
+    compressed = Catalog()
+    for table in catalog:
+        compressed.register(
+            compress_table(
+                table, zone_rows=zone_rows, cluster_by=cluster.get(table.name)
+            )
+        )
+    return compressed
 
 
 def _column_order(catalog: Catalog, table_name: str) -> str:

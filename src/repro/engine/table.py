@@ -2,49 +2,122 @@
 
 The paper's prototype stores the star schema in Oracle 11g; our substitute
 is a column store on NumPy arrays.  A :class:`Table` is an ordered mapping
-from column names to equal-length arrays.  Key columns used as join targets
+from column names to equal-length columns.  Key columns used as join targets
 can expose a *position index* so foreign keys resolve to row positions in
 O(1) (the moral equivalent of the paper's B-tree indexes on primary keys).
+
+Columns may be plain arrays (RAM-resident or memory-mapped) or compressed
+:class:`repro.engine.columns.Column` representations (dictionary / RLE);
+``column(name)`` always yields the decoded logical array, and the
+range-aware accessors (``gather``/``window``) decode only the requested
+rows — what the zone-map-pruned scans of the executor use.  Per-column
+:class:`~repro.engine.columns.ZoneMap` statistics are attached by the v2
+column store at load time or built on demand with ``ensure_zone_maps``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from ..core.errors import EngineError
+from .columns import (
+    DEFAULT_ZONE_ROWS,
+    Column,
+    DictionaryColumn,
+    PlainColumn,
+    RLEColumn,
+    Ranges,
+    ZoneMap,
+    build_zone_map,
+    take_ranges,
+)
 from .kernels import sums_exactly as _sums_exactly
+
+
+class _ColumnsView(Mapping):
+    """Read-only mapping of column name → decoded array.
+
+    Kept for compatibility with ``table.columns[...]`` users; decoding is
+    per access and never cached, so compressed and memory-mapped columns
+    do not silently materialise into resident memory.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self, table: "Table"):
+        self._table = table
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._table.column(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._table._data)
+
+    def __len__(self) -> int:
+        return len(self._table._data)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._table._data
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ColumnsView({list(self._table._data)})"
 
 
 class Table:
     """An immutable-ish columnar table.
 
-    Columns are NumPy arrays: integer/float columns keep their dtype, string
-    columns are object arrays.  All columns share the same length.
+    Columns are NumPy arrays or :class:`Column` encodings: integer/float
+    columns keep their dtype, string columns are object arrays.  All
+    columns share the same length.
     """
 
-    def __init__(self, name: str, columns: Mapping[str, np.ndarray]):
+    def __init__(
+        self,
+        name: str,
+        columns: Mapping[str, Union[np.ndarray, Column]],
+    ):
         if not columns:
             raise EngineError(f"table {name!r} needs at least one column")
         self.name = name
-        self.columns: Dict[str, np.ndarray] = {}
+        # Plain columns are stored as bare arrays (zero indirection on the
+        # hot path); encoded columns as Column objects decoded on demand.
+        self._data: Dict[str, Union[np.ndarray, Column]] = {}
         length: Optional[int] = None
         for column_name, values in columns.items():
-            array = values if isinstance(values, np.ndarray) else _to_array(values)
+            if isinstance(values, Column):
+                stored: Union[np.ndarray, Column] = values
+            elif isinstance(values, np.ndarray):
+                stored = values
+            else:
+                stored = _to_array(values)
             if length is None:
-                length = len(array)
-            elif len(array) != length:
+                length = len(stored)
+            elif len(stored) != length:
                 raise EngineError(
-                    f"table {name!r}: column {column_name!r} has {len(array)} rows, "
+                    f"table {name!r}: column {column_name!r} has {len(stored)} rows, "
                     f"expected {length}"
                 )
-            self.columns[column_name] = array
+            self._data[column_name] = stored
         self._n = length or 0
+        self.columns: Mapping[str, np.ndarray] = _ColumnsView(self)
         self._key_indexes: Dict[str, "KeyIndex"] = {}
         self._dictionaries: Dict[str, Tuple[np.ndarray, int]] = {}
         self._dictionary_values: Dict[str, np.ndarray] = {}
         self._sum_gates: Dict[str, bool] = {}
+        self._zone_maps: Dict[str, Optional[ZoneMap]] = {}
+        self.zone_rows: Optional[int] = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -52,20 +125,57 @@ class Table:
 
     @property
     def column_names(self) -> Tuple[str, ...]:
-        return tuple(self.columns.keys())
+        return tuple(self._data.keys())
 
     def column(self, name: str) -> np.ndarray:
-        """Return a column by name."""
+        """Return a column by name, decoded to its logical array."""
         try:
-            return self.columns[name]
+            stored = self._data[name]
         except KeyError:
             raise EngineError(
                 f"table {self.name!r} has no column {name!r} "
                 f"(columns: {', '.join(self.column_names)})"
             ) from None
+        if isinstance(stored, np.ndarray):
+            return stored
+        return stored.decode()
 
     def has_column(self, name: str) -> bool:
-        return name in self.columns
+        return name in self._data
+
+    # ------------------------------------------------------------------
+    # Storage-aware accessors
+    # ------------------------------------------------------------------
+    def storage(self, name: str) -> Column:
+        """The physical representation of a column (plain columns wrapped)."""
+        stored = self._data[name] if name in self._data else self._missing(name)
+        if isinstance(stored, np.ndarray):
+            return PlainColumn(stored)
+        return stored
+
+    def _missing(self, name: str) -> Column:
+        raise EngineError(
+            f"table {self.name!r} has no column {name!r} "
+            f"(columns: {', '.join(self.column_names)})"
+        )
+
+    def encoding_of(self, name: str) -> str:
+        """``plain`` / ``dict`` / ``rle`` — the stored encoding of a column."""
+        return self.storage(name).encoding
+
+    def gather(self, name: str, ranges: Ranges) -> np.ndarray:
+        """Decoded values of the selected row ranges (``None`` = all rows)."""
+        stored = self._data[name] if name in self._data else self._missing(name)
+        if isinstance(stored, np.ndarray):
+            return take_ranges(stored, ranges)
+        return stored.gather(ranges)
+
+    def window(self, name: str, lo: int, hi: int) -> np.ndarray:
+        """Decoded values of rows ``[lo, hi)``."""
+        stored = self._data[name] if name in self._data else self._missing(name)
+        if isinstance(stored, np.ndarray):
+            return stored[lo:hi]
+        return stored.window(lo, hi)
 
     # ------------------------------------------------------------------
     # Key indexes (the engine's "B-trees")
@@ -90,16 +200,44 @@ class Table:
         Codes follow the sorted order of the distinct values.  This is the
         column-store dictionary encoding real engines keep per column; the
         executor uses it so repeated group-bys on the same stored column
-        never re-factorize member strings.
+        never re-factorize member strings.  Columns already stored
+        dictionary-encoded serve their codes without any scan (the stored
+        dictionary is sorted and fully referenced, so the codes coincide
+        with ``np.unique``'s inverse bit for bit).
         """
         if column_name not in self._dictionaries:
-            _, codes = np.unique(self.column(column_name), return_inverse=True)
-            cardinality = int(codes.max()) + 1 if len(codes) else 0
-            self._dictionaries[column_name] = (
-                codes.astype(np.int64, copy=False),
-                max(cardinality, 1),
-            )
+            stored = self._data.get(column_name)
+            if isinstance(stored, DictionaryColumn):
+                codes = np.asarray(stored.codes).astype(np.int64, copy=False)
+                self._dictionaries[column_name] = (
+                    codes, max(stored.cardinality, 1)
+                )
+            else:
+                _, codes = np.unique(self.column(column_name), return_inverse=True)
+                cardinality = int(codes.max()) + 1 if len(codes) else 0
+                self._dictionaries[column_name] = (
+                    codes.astype(np.int64, copy=False),
+                    max(cardinality, 1),
+                )
         return self._dictionaries[column_name]
+
+    def dictionary_gather(
+        self, column_name: str, ranges: Ranges
+    ) -> Tuple[np.ndarray, int]:
+        """Dictionary codes of the selected rows plus the full cardinality.
+
+        Equivalent to gathering ``dictionary()[0]`` through the ranges; for
+        stored dictionary encodings the gather happens on the narrow code
+        array, so unselected rows are never decoded (or paged in).
+        """
+        if column_name in self._dictionaries:
+            codes, cardinality = self._dictionaries[column_name]
+            return take_ranges(codes, ranges), cardinality
+        stored = self._data.get(column_name)
+        if isinstance(stored, DictionaryColumn) and ranges is not None:
+            return stored.gather_codes(ranges), max(stored.cardinality, 1)
+        codes, cardinality = self.dictionary(column_name)
+        return take_ranges(codes, ranges), cardinality
 
     def dictionary_values(self, column_name: str) -> np.ndarray:
         """Distinct values of a column in code order (the dictionary itself).
@@ -109,6 +247,13 @@ class Table:
         group coordinates from combined keys without touching fact rows.
         """
         if column_name not in self._dictionary_values:
+            stored = self._data.get(column_name)
+            if isinstance(stored, DictionaryColumn):
+                values = stored.values
+                if values.dtype != stored.dtype:
+                    values = values.astype(stored.dtype)
+                self._dictionary_values[column_name] = values
+                return values
             uniques, codes = np.unique(self.column(column_name), return_inverse=True)
             if column_name not in self._dictionaries:
                 cardinality = int(codes.max()) + 1 if len(codes) else 0
@@ -127,22 +272,113 @@ class Table:
         bound), so partial sums over morsels may be re-added without
         changing a bit.  Conservative: a column can fail this gate while
         some masked subset would pass — callers then stay serial.
+
+        For dictionary/RLE encodings the gate is decided from the (tiny)
+        distinct-value set and the row count — no decode: the bound
+        ``max|values| * rows`` only needs the dictionary's extremes.
         """
         if column_name not in self._sum_gates:
-            self._sum_gates[column_name] = _sums_exactly(self.column(column_name))
+            stored = self._data.get(column_name)
+            if isinstance(stored, DictionaryColumn):
+                gate = _distinct_sums_exactly(stored.values, len(stored))
+            elif isinstance(stored, RLEColumn):
+                gate = _distinct_sums_exactly(stored.run_values, len(stored))
+            else:
+                gate = _sums_exactly(self.column(column_name))
+            self._sum_gates[column_name] = gate
         return self._sum_gates[column_name]
+
+    # ------------------------------------------------------------------
+    # Zone maps
+    # ------------------------------------------------------------------
+    @property
+    def has_zone_maps(self) -> bool:
+        """Whether any column carries zone statistics."""
+        return any(zm is not None for zm in self._zone_maps.values())
+
+    def zone_map(self, column_name: str) -> Optional[ZoneMap]:
+        """The zone map of a column, or ``None`` when not available."""
+        return self._zone_maps.get(column_name)
+
+    def attach_zone_map(self, column_name: str, zone_map: Optional[ZoneMap]) -> None:
+        """Attach a precomputed zone map (the v2 column store's loader)."""
+        if zone_map is not None:
+            if self.zone_rows is None:
+                self.zone_rows = zone_map.zone_rows
+            elif zone_map.zone_rows != self.zone_rows:
+                raise EngineError(
+                    f"table {self.name!r}: zone map of {column_name!r} uses "
+                    f"{zone_map.zone_rows} rows per zone, table uses "
+                    f"{self.zone_rows}"
+                )
+        self._zone_maps[column_name] = zone_map
+
+    def ensure_zone_maps(self, zone_rows: int = DEFAULT_ZONE_ROWS) -> int:
+        """Build zone maps for every column that lacks one.
+
+        Returns how many columns now carry a map.  Explicit by design: the
+        executor never builds maps mid-query, so cold scans of plain
+        in-RAM catalogs pay zero overhead unless a caller opts in.
+        """
+        if self.zone_rows is not None:
+            zone_rows = self.zone_rows
+        else:
+            self.zone_rows = zone_rows
+        for name in self.column_names:
+            if name not in self._zone_maps:
+                self._zone_maps[name] = build_zone_map(
+                    self.column(name), zone_rows
+                )
+        return sum(1 for zm in self._zone_maps.values() if zm is not None)
+
+    # ------------------------------------------------------------------
+    def storage_info(self) -> List[Dict[str, object]]:
+        """Per-column storage report (encoding, sizes, zone coverage)."""
+        report: List[Dict[str, object]] = []
+        for name in self.column_names:
+            stored = self.storage(name)
+            zone_map = self.zone_map(name)
+            plain = self.column(name)
+            report.append(
+                {
+                    "column": name,
+                    "encoding": stored.encoding,
+                    "dtype": str(stored.dtype),
+                    "rows": self._n,
+                    "plain_bytes": int(plain.nbytes),
+                    "stored_bytes": stored.stored_bytes,
+                    "zones": 0 if zone_map is None else zone_map.n_zones,
+                }
+            )
+        return report
 
     # ------------------------------------------------------------------
     def head(self, k: int = 10) -> List[Dict[str, object]]:
         """First ``k`` rows as dicts (debugging helper)."""
         k = min(k, self._n)
+        decoded = {name: self.window(name, 0, k) for name in self.column_names}
         return [
-            {name: self.columns[name][row] for name in self.columns}
+            {name: decoded[name][row] for name in decoded}
             for row in range(k)
         ]
 
     def __repr__(self) -> str:
-        return f"Table({self.name!r}, rows={self._n}, columns={list(self.columns)})"
+        return f"Table({self.name!r}, rows={self._n}, columns={list(self._data)})"
+
+
+def _distinct_sums_exactly(values: np.ndarray, rows: int) -> bool:
+    """The ``sums_exactly`` gate decided from a distinct-value dictionary."""
+    if rows == 0 or len(values) == 0:
+        return True
+    try:
+        floats = np.asarray(values, dtype=np.float64)
+    except (TypeError, ValueError):
+        return False
+    if not np.all(np.isfinite(floats)):
+        return False
+    if np.any(floats != np.trunc(floats)):
+        return False
+    return float(np.abs(floats).max()) * rows < 2.0**53
 
 
 class KeyIndex:

@@ -6,7 +6,7 @@ import pytest
 from repro.core import CubeQuery, EngineError, GroupBySet
 from repro.datagen import build_sales_catalog
 from repro.engine import Catalog, Table
-from repro.engine.persist import load_catalog, save_catalog
+from repro.engine.persist import load_catalog, save_catalog, storage_report
 from repro.olap import MultidimensionalEngine
 
 
@@ -53,7 +53,7 @@ class TestRoundTrip:
         catalog = Catalog()
         catalog.register(Table("t", {"a": np.array([1, 2, 3])}))
         path = str(tmp_path / "plain")
-        save_catalog(catalog, path)
+        save_catalog(catalog, path, format="v1")
         restored = load_catalog(path)  # finds plain.npz
         assert restored.table("t").column("a").tolist() == [1, 2, 3]
 
@@ -70,3 +70,128 @@ class TestRoundTrip:
         np.savez(path, x=np.arange(3))
         with pytest.raises(EngineError):
             load_catalog(path)
+
+
+class TestV2Store:
+    """The v2 column-store format: directory, encodings, zone maps, mmap."""
+
+    def test_round_trip_preserves_values_and_dtypes(self, tmp_path):
+        catalog, _, _ = build_sales_catalog(n_rows=500, seed=3)
+        path = str(tmp_path / "store")
+        save_catalog(catalog, path)  # auto → v2 (no .npz suffix)
+        for mmap in (True, False):
+            restored = load_catalog(path, mmap=mmap)
+            assert restored.table_names() == catalog.table_names()
+            for table in catalog:
+                loaded = restored.table(table.name)
+                assert loaded.column_names == table.column_names
+                for name in table.column_names:
+                    original = table.column(name)
+                    roundtripped = loaded.column(name)
+                    assert original.dtype == roundtripped.dtype
+                    if original.dtype == object:
+                        assert list(original) == list(roundtripped)
+                    else:
+                        assert original.tobytes() == roundtripped.tobytes()
+
+    def test_v1_archives_still_load(self, tmp_path):
+        catalog, _, _ = build_sales_catalog(n_rows=300, seed=5)
+        path = str(tmp_path / "legacy.npz")
+        save_catalog(catalog, path)  # .npz suffix → v1 format
+        restored = load_catalog(path)
+        for table in catalog:
+            loaded = restored.table(table.name)
+            for name in table.column_names:
+                assert list(table.column(name)) == list(loaded.column(name))
+
+    def test_queries_agree_after_mmap_reload(self, tmp_path):
+        catalog, schema, star = build_sales_catalog(n_rows=2_000, seed=4)
+        path = str(tmp_path / "store")
+        save_catalog(catalog, path)
+
+        original_engine = MultidimensionalEngine(catalog)
+        original_engine.register_cube("SALES", schema, star)
+        restored_engine = MultidimensionalEngine(load_catalog(path, mmap=True))
+        _, schema2, star2 = build_sales_catalog(n_rows=1, seed=4)
+        restored_engine.register_cube("SALES", schema2, star2)
+
+        query_levels = ["month", "country"]
+        a = original_engine.get(
+            CubeQuery("SALES", GroupBySet(schema, query_levels), (), ("quantity",))
+        )
+        b = restored_engine.get(
+            CubeQuery("SALES", GroupBySet(schema2, query_levels), (), ("quantity",))
+        )
+        assert dict(a.cells()) == dict(b.cells())
+
+    def test_clustering_sorts_and_attaches_zone_maps(self, tmp_path):
+        rng = np.random.default_rng(11)
+        catalog = Catalog()
+        catalog.register(Table("f", {
+            "key": rng.integers(0, 50, 10_000).astype(np.int64),
+            "val": rng.integers(0, 9, 10_000).astype(np.float64),
+        }))
+        path = str(tmp_path / "store")
+        save_catalog(catalog, path, cluster={"f": "key"}, zone_rows=1024)
+        restored = load_catalog(path)
+        loaded = restored.table("f")
+        assert loaded.has_zone_maps
+        assert loaded.zone_rows == 1024
+        keys = loaded.column("key")
+        assert np.all(np.diff(keys) >= 0)  # clustered
+        zone_map = loaded.zone_map("key")
+        assert zone_map.n_zones == 10  # ceil(10000 / 1024)
+        # zone bounds really bracket the stored rows
+        for zone in range(zone_map.n_zones):
+            lo, hi = zone * 1024, min((zone + 1) * 1024, 10_000)
+            assert zone_map.mins[zone] == keys[lo:hi].min()
+            assert zone_map.maxs[zone] == keys[lo:hi].max()
+        # clustering must not reorder rows relative to each other:
+        # the multiset of (key, val) pairs is unchanged
+        original = sorted(zip(catalog.table("f").column("key").tolist(),
+                              catalog.table("f").column("val").tolist()))
+        stored = sorted(zip(keys.tolist(), loaded.column("val").tolist()))
+        assert original == stored
+
+    def test_storage_report_from_manifest(self, tmp_path):
+        catalog, _, _ = build_sales_catalog(n_rows=1_000, seed=6)
+        path = str(tmp_path / "store")
+        save_catalog(catalog, path)
+        report = storage_report(path)
+        assert report["version"] == 2
+        assert {t["table"] for t in report["tables"]} == set(catalog.table_names())
+        for table in report["tables"]:
+            for column in table["columns"]:
+                assert column["encoding"] in ("plain", "dict", "rle")
+                assert column["stored_bytes"] > 0
+                assert column["zones"] >= 1
+
+    def test_uncompressed_save_stays_plain(self, tmp_path):
+        catalog, _, _ = build_sales_catalog(n_rows=500, seed=8)
+        path = str(tmp_path / "store")
+        save_catalog(catalog, path, compress=False)
+        report = storage_report(path)
+        for table in report["tables"]:
+            for column in table["columns"]:
+                assert column["encoding"] == "plain"
+
+    def test_v2_rejects_non_string_objects(self, tmp_path):
+        catalog = Catalog()
+        column = np.empty(1, dtype=object)
+        column[0] = (1, 2)
+        catalog.register(Table("t", {"a": column}))
+        with pytest.raises(EngineError):
+            save_catalog(catalog, str(tmp_path / "store"))
+
+    def test_directory_without_manifest_rejected(self, tmp_path):
+        path = tmp_path / "not_a_store"
+        path.mkdir()
+        with pytest.raises(EngineError):
+            load_catalog(str(path))
+        with pytest.raises(EngineError):
+            storage_report(str(path))
+
+    def test_unknown_format_rejected(self, tmp_path):
+        catalog, _, _ = build_sales_catalog(n_rows=100, seed=9)
+        with pytest.raises(EngineError):
+            save_catalog(catalog, str(tmp_path / "x"), format="v3")
