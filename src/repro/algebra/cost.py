@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..core.query import CubeQuery, Predicate, PredicateOp
 from ..core.statement import AssessStatement
 from ..engine.columns import plan_zone_pruning
+from ..engine.spill import grouping_state_bytes
 from ..olap.engine import MultidimensionalEngine
 from .plan import (
     AddConstantNode,
@@ -59,6 +60,11 @@ WARM_CELL_WEIGHT = 0.2     # cache: serve a memoized result (copy-out only)
 DERIVE_CELL_WEIGHT = 6.0   # cache: re-aggregate a cached finer result
 MORSEL_OVERHEAD = 50.0     # parallel: dispatch + collect one morsel task
 MERGE_ROW_WEIGHT = 2.0     # parallel: merge one per-morsel partial row
+SPILL_ROW_WEIGHT = 3.0     # spill: partition + write + re-read + re-merge
+                           # one buffered partial row (I/O-bound, so
+                           # heavier than the in-RAM merge weight)
+SPILL_MORSEL_ROWS = 65_536  # the spill tier's scan granularity when the
+                            # engine is otherwise serial
 
 
 class CostEstimate:
@@ -208,6 +214,38 @@ class Statistics:
             return slots
         return slots * (1.0 - math.exp(-scanned / slots))
 
+    def memory_budget(self) -> Optional[int]:
+        """The engine's aggregation memory budget (bytes), if any."""
+        executor = getattr(self.engine, "executor", None)
+        return getattr(executor, "memory_budget", None)
+
+    def spill_admitted(self, query: CubeQuery) -> bool:
+        """Whether the executor would route this get through the spill tier.
+
+        Mirrors ``EngineExecutor._spill_admits`` (pessimistic grouping-state
+        estimate vs the budget) plus the float-exactness gate: measures
+        whose sums are not exactly re-aggregable make the executor fall
+        back to the serial in-RAM path, so the model must price them
+        serial too.
+        """
+        budget = self.memory_budget()
+        if budget is None:
+            return False
+        try:
+            aggregate = self.engine.build_aggregate_query(query)
+            fact = self.engine.catalog.table(aggregate.fact)
+            slots = len(aggregate.aggregates)
+            if grouping_state_bytes(len(fact), 0, slots) <= budget:
+                return False
+            for spec in aggregate.aggregates:
+                if spec.op in ("sum", "avg") and not fact.sums_exactly(
+                    spec.column
+                ):
+                    return False
+        except Exception:
+            return False
+        return True
+
     def cache_probe(self, query: CubeQuery) -> Optional[str]:
         """Whether the engine's result cache would answer a get warm.
 
@@ -314,6 +352,24 @@ def estimate_plan_cost(
             return cells
         scanned = stats.scanned_rows(node.query)
         serial_cost = SCAN_WEIGHT * scanned + GROUP_WEIGHT * cells
+        if stats.spill_admitted(node.query):
+            # Budgeted execution is not a *choice* — admission forces the
+            # get through the bounded-memory tier, so the model prices it
+            # (morselised scan, partitioned buffering, run I/O, bucket
+            # merges) rather than comparing it against alternatives.
+            morsels = max(
+                stats.morsels(node.query.source),
+                -(-int(scanned) // SPILL_MORSEL_ROWS),
+            )
+            merge_rows = min(cells * morsels, scanned)
+            spill_cost = (
+                serial_cost
+                + MORSEL_OVERHEAD * morsels
+                + SPILL_ROW_WEIGHT * merge_rows
+            )
+            estimate.charge(node, spill_cost)
+            estimate.record_mode(node, "spill")
+            return cells
         degree = stats.parallel_degree(node.query.source)
         if degree > 1:
             # Morsel-parallel alternative: the scan+group work divides

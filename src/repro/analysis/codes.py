@@ -118,6 +118,9 @@ ALL_CODES: Dict[str, CodeInfo] = {
         _info("ASSESS507", Severity.WARNING,
               "statement's result-cell upper bound exceeds the admission "
               "threshold"),
+        _info("ASSESS508", Severity.INFO,
+              "statement runs in the bounded-memory spill tier "
+              "(partitioned external aggregation, bit-identical)"),
     )
 }
 

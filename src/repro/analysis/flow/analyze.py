@@ -43,6 +43,7 @@ from ...cache.fingerprint import Fingerprint, fingerprint_query
 from ...core.diagnostics import DiagnosticBag, Span
 from ...core.statement import AssessStatement
 from ...engine.query import FACT, AggregateQuery
+from ...engine.spill import grouping_state_bytes
 from ...olap.materialized import REAGGREGATION_OPS
 from ...parser.parser import parse_raw
 from ..codes import severity_of
@@ -897,6 +898,61 @@ class WorkloadAnalyzer:
                     "predicates before running this interactively",
                     source="workload",
                 )
+
+            # Bounded-memory admission: predict the spill-tier routing.
+            self._spill_verdict(record, stats, bags)
+
+    def _spill_verdict(
+        self,
+        record: _StatementRecord,
+        stats: StatsProvider,
+        bags: Dict[int, DiagnosticBag],
+    ) -> None:
+        """Emit ``ASSESS508`` when the executor would provably route the
+        statement's target get through the bounded-memory spill tier.
+
+        Mirrors ``EngineExecutor._spill_admits`` — the pessimistic
+        grouping-state estimate against the executor's memory budget —
+        plus the float-exactness gate the spill lowering re-checks at
+        runtime.  Soundness convention: any missing statistic (unknown
+        budget, unabstractable measure column) keeps the analyzer
+        silent, never optimistic.
+        """
+        engine = record.engine
+        executor = getattr(engine, "executor", None)
+        budget = getattr(executor, "memory_budget", None)
+        if budget is None or not record.gets:
+            return
+        target = next(
+            (info for info in record.gets if info.role == "target"),
+            record.gets[0],
+        )
+        aggregate = target.aggregate
+        fact_rows = stats.fact_rows(aggregate.fact)
+        if fact_rows is None:
+            return
+        estimate = grouping_state_bytes(
+            fact_rows, 0, len(aggregate.aggregates)
+        )
+        if estimate <= budget:
+            return
+        for agg in aggregate.aggregates:
+            if agg.op not in ("sum", "avg"):
+                continue
+            abstract = stats.column_abstract(aggregate.fact, agg.column)
+            if abstract is None or not abstract.sum_exact():
+                # Unknown or inexact measures make the lowering fall
+                # back to serial in-RAM; no spill claim.
+                return
+        bags[record.item.index].report(
+            "ASSESS508", severity_of("ASSESS508"),
+            f"grouping-state estimate {estimate:,} B exceeds the "
+            f"{budget:,} B memory budget; the fact pass runs in the "
+            "bounded-memory spill tier (partitioned external "
+            "aggregation, bit-identical to in-RAM)",
+            span=Span.from_text(record.item.text, 0),
+            source="workload",
+        )
 
 
 def analyze_workload(

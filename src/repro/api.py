@@ -48,6 +48,7 @@ class AssessSession:
         parallelism: Optional[int] = None,
         morsel_rows: Optional[int] = None,
         parallel_backend: str = "thread",
+        memory_budget: Optional[int] = None,
     ):
         self.engine = engine
         # Copy the default registry so user registrations stay session-local.
@@ -70,6 +71,24 @@ class AssessSession:
             engine.set_parallelism(
                 parallelism, morsel_rows=morsel_rows, backend=parallel_backend
             )
+        # Bounded-memory execution: an explicit ``memory_budget`` (bytes)
+        # routes oversized fact passes through the spill-to-disk tier.
+        # ``None`` leaves the engine's budget alone (the executor already
+        # picked up REPRO_MEMORY_BYTES / REPRO_SPILL_BYTES from the
+        # environment, and another session may have configured one).
+        # Spilled results are bit-identical to in-RAM, so this too is
+        # safe to set globally.
+        if memory_budget is not None:
+            engine.set_memory_budget(memory_budget)
+
+    def set_memory_budget(self, budget_bytes: Optional[int]) -> None:
+        """Bound fact-pass grouping state (bytes); ``None`` removes it."""
+        self.engine.set_memory_budget(budget_bytes)
+
+    @property
+    def memory_budget(self) -> Optional[int]:
+        """The engine's memory budget in bytes (``None`` = unbounded)."""
+        return self.engine.memory_budget
 
     def set_parallelism(
         self,

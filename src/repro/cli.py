@@ -32,16 +32,19 @@ from .datagen import sales_engine, ssb_engine
 
 
 def build_session(
-    cube: str, rows: Optional[int], parallelism: Optional[int] = None
+    cube: str, rows: Optional[int], parallelism: Optional[int] = None,
+    memory_budget: Optional[int] = None,
 ) -> AssessSession:
     """A session over one of the bundled demo cubes (``sales`` or ``ssb``)."""
     if cube == "sales":
         return AssessSession(
-            sales_engine(n_rows=rows or 20_000), parallelism=parallelism
+            sales_engine(n_rows=rows or 20_000), parallelism=parallelism,
+            memory_budget=memory_budget,
         )
     if cube == "ssb":
         return AssessSession(
-            ssb_engine(lineorder_rows=rows or 60_000), parallelism=parallelism
+            ssb_engine(lineorder_rows=rows or 60_000), parallelism=parallelism,
+            memory_budget=memory_budget,
         )
     raise ValueError(f"unknown demo cube {cube!r} (choose 'sales' or 'ssb')")
 
@@ -53,6 +56,18 @@ def add_parallelism_flag(parser: argparse.ArgumentParser) -> None:
         help="worker threads for morsel-driven scans (default: the "
         "REPRO_PARALLELISM environment variable, else serial; results "
         "are bit-identical either way)",
+    )
+
+
+def add_memory_flag(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--memory-bytes`` option (None = REPRO_MEMORY_BYTES)."""
+    parser.add_argument(
+        "--memory-bytes", type=int, default=None,
+        help="memory budget for aggregation state (bytes); "
+        "scans whose grouping state would exceed it run "
+        "through the spill-to-disk tier (results are "
+        "bit-identical).  Default: the REPRO_MEMORY_BYTES "
+        "environment variable, else unbounded",
     )
 
 
@@ -424,6 +439,17 @@ def cube_main(argv=None) -> int:
     parser.add_argument("--rows", type=int, default=None,
                         help="fact rows to generate for --save "
                         "(default: 60000)")
+    parser.add_argument("--scale", type=float, default=None, metavar="SF",
+                        help="SSB scale factor for --save (fact rows = "
+                        "SF x 6,000,000; e.g. 1, 10, 100).  Builds the "
+                        "store out of core, partition by partition, so "
+                        "SF100 never materialises the fact in RAM; "
+                        "overrides --rows")
+    parser.add_argument("--partition-rows", type=int, default=None,
+                        help="fact rows per store partition for --scale "
+                        "(default: 8388608; rounded to a multiple of "
+                        "--zone-rows)")
+    add_memory_flag(parser)
     parser.add_argument("--seed", type=int, default=7,
                         help="generator seed (default: 7)")
     parser.add_argument("--save", metavar="PATH", default=None,
@@ -463,7 +489,38 @@ def cube_main(argv=None) -> int:
     from .engine.columns import DEFAULT_ZONE_ROWS
     from .engine.persist import load_catalog, save_catalog
 
-    if args.save:
+    if args.save and args.scale is not None:
+        import time
+
+        from .datagen.ssb import build_ssb_store
+
+        rows = int(round(args.scale * 6_000_000))
+        start = time.perf_counter()
+        try:
+            build_ssb_store(
+                args.save, rows, seed=args.seed,
+                zone_rows=args.zone_rows or DEFAULT_ZONE_ROWS,
+                partition_rows=args.partition_rows,
+                progress=lambda message: print(f"  {message}",
+                                               file=sys.stderr),
+            )
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        built = time.perf_counter() - start
+        print(f"built SF{args.scale:g} store ({rows:,} fact rows, "
+              f"clustered by lo_datekey) at {args.save} in {built:.1f}s")
+        if not args.statements:
+            return 0
+        # Query the store we just wrote, out of core — not the generator's
+        # in-RAM tables (they never existed as a whole).
+        catalog = load_catalog(args.save)
+        engine = ssb_engine_from_catalog(catalog)
+        session = AssessSession(
+            engine, parallelism=args.parallelism,
+            memory_budget=args.memory_bytes,
+        )
+    elif args.save:
         import time
 
         from .experiments.statements import prepare_engine
@@ -493,7 +550,10 @@ def cube_main(argv=None) -> int:
                  else ""))
         if not args.statements:
             return 0
-        session = AssessSession(engine, parallelism=args.parallelism)
+        session = AssessSession(
+            engine, parallelism=args.parallelism,
+            memory_budget=args.memory_bytes,
+        )
     else:
         try:
             catalog = load_catalog(args.load, mmap=not args.no_mmap)
@@ -504,7 +564,10 @@ def cube_main(argv=None) -> int:
         mode = "materialised" if args.no_mmap else "memory-mapped"
         print(f"loaded {args.load} ({mode}); "
               f"cubes: {', '.join(engine.cube_names())}")
-        session = AssessSession(engine, parallelism=args.parallelism)
+        session = AssessSession(
+            engine, parallelism=args.parallelism,
+            memory_budget=args.memory_bytes,
+        )
 
     statements = list(args.statements)
     if not statements:
@@ -523,6 +586,12 @@ def cube_main(argv=None) -> int:
     if prunes:
         print("-- zone pruning: " + ", ".join(
             f"{key.split('.')[-1]}={value:,}" for key, value in prunes.items()
+        ))
+    spills = {key: value for key, value in sorted(counters.items())
+              if key.startswith("engine.spill.")}
+    if spills:
+        print("-- spill tier: " + ", ".join(
+            f"{key.split('.')[-1]}={value:,}" for key, value in spills.items()
         ))
     return status
 
@@ -738,9 +807,11 @@ def main(argv=None) -> int:
     parser.add_argument("--limit", type=int, default=20,
                         help="max result rows to print (default: 20)")
     add_parallelism_flag(parser)
+    add_memory_flag(parser)
     args = parser.parse_args(argv)
 
-    session = build_session(args.cube, args.rows, parallelism=args.parallelism)
+    session = build_session(args.cube, args.rows, parallelism=args.parallelism,
+                            memory_budget=args.memory_bytes)
     if args.statement.strip():
         return run_statement(session, args.statement, args.plan,
                              args.explain, args.limit)

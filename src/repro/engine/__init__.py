@@ -18,7 +18,7 @@ from .query import (
     PivotQuery,
 )
 from .sqlgen import render_aggregate, render_drill_across, render_pivot, render_sql
-from .persist import load_catalog, save_catalog
+from .persist import PartitionedStoreWriter, load_catalog, save_catalog
 from .star import DimensionBinding, StarSchema
 from .table import KeyIndex, Table, table_from_rows
 
@@ -35,6 +35,7 @@ __all__ = [
     "GroupByColumn",
     "KeyIndex",
     "load_catalog",
+    "PartitionedStoreWriter",
     "PivotQuery",
     "ResultSet",
     "StarSchema",

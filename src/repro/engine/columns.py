@@ -266,6 +266,201 @@ class RLEColumn(Column):
         return int(_values_nbytes(self.run_values)) + int(self.run_ends.nbytes)
 
 
+class ForColumn(Column):
+    """Delta/frame-of-reference encoding for sorted integer columns.
+
+    Rows are grouped into fixed ``block_rows`` blocks (zone-aligned by
+    construction — the default block is the zone size, so decode windows
+    touch only the blocks overlapping them); each block stores its first
+    value as an int64 reference, and every row stores its non-negative
+    delta from the block reference in the narrowest unsigned dtype wide
+    enough for the largest block span.  Clustered fact FK columns and
+    surrogate-key dimension columns (``arange``-like) shrink 4–8x.
+    """
+
+    __slots__ = ("references", "offsets", "block_rows", "_dtype")
+
+    def __init__(
+        self,
+        references: np.ndarray,
+        offsets: np.ndarray,
+        block_rows: int,
+        dtype: Optional[np.dtype] = None,
+    ):
+        self.references = np.asarray(references, dtype=np.int64)
+        self.offsets = offsets
+        self.block_rows = int(block_rows)
+        self._dtype = (
+            np.dtype(dtype) if dtype is not None else np.dtype(np.int64)
+        )
+
+    def __len__(self) -> int:
+        return len(self.offsets)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    @property
+    def encoding(self) -> str:
+        return "for"
+
+    def decode(self) -> np.ndarray:
+        return self.window(0, len(self))
+
+    def window(self, lo: int, hi: int) -> np.ndarray:
+        hi = min(hi, len(self))
+        if hi <= lo:
+            return np.empty(0, dtype=self._dtype)
+        offsets = np.asarray(self.offsets[lo:hi]).astype(np.int64)
+        blocks = np.arange(lo, hi, dtype=np.int64) // self.block_rows
+        out = self.references[blocks] + offsets
+        return out.astype(self._dtype, copy=False)
+
+    def gather(self, ranges: Ranges) -> np.ndarray:
+        if ranges is None:
+            return self.decode()
+        if not ranges:
+            return np.empty(0, dtype=self._dtype)
+        return np.concatenate([self.window(lo, hi) for lo, hi in ranges])
+
+    @property
+    def stored_bytes(self) -> int:
+        return int(self.references.nbytes) + int(np.asarray(self.offsets).nbytes)
+
+
+def encode_for(
+    values: np.ndarray, block_rows: int = DEFAULT_ZONE_ROWS
+) -> Optional[ForColumn]:
+    """FOR-encode a sorted integer column; ``None`` when it would not win.
+
+    Eligible columns are integer-dtyped and non-decreasing (sorted keys,
+    clustered FKs).  The encoding only applies when the offset dtype is
+    strictly narrower than the value dtype — otherwise plain storage is
+    at least as small.
+    """
+    if values.dtype.kind not in "iu" or len(values) == 0:
+        return None
+    if not bool(np.all(values[1:] >= values[:-1])):
+        return None
+    n = len(values)
+    n_blocks = -(-n // block_rows)
+    block_starts = np.arange(n_blocks, dtype=np.int64) * block_rows
+    references = values[block_starts].astype(np.int64)
+    repeats = np.full(n_blocks, block_rows, dtype=np.int64)
+    repeats[-1] = n - int(block_starts[-1])
+    offsets64 = values.astype(np.int64) - np.repeat(references, repeats)
+    span = int(offsets64.max())
+    if span >= 1 << 32:
+        return None
+    offset_dtype = narrowest_code_dtype(span + 1)
+    if offset_dtype.itemsize >= values.dtype.itemsize:
+        return None
+    return ForColumn(
+        references, offsets64.astype(offset_dtype), block_rows,
+        dtype=values.dtype,
+    )
+
+
+class PartitionedColumn(Column):
+    """A column stored as per-partition pieces, each opened lazily.
+
+    Built by the partitioned v2 store loader: each piece is materialised by
+    a zero-argument opener the first time any of its rows is touched, so a
+    fact table far larger than RAM costs nothing to *load* — scans page in
+    only the partitions (and, through their memory maps, only the pages)
+    they actually read.  Pieces concatenate in order: partition ``p`` holds
+    global rows ``[offsets[p], offsets[p+1])``.
+    """
+
+    __slots__ = ("_openers", "_offsets", "_parts", "_dtype", "_stored_bytes")
+
+    def __init__(
+        self,
+        openers: Sequence[Callable[[], Column]],
+        part_rows: Sequence[int],
+        dtype: np.dtype,
+        stored_bytes: int,
+    ):
+        self._openers = list(openers)
+        rows = np.asarray(list(part_rows), dtype=np.int64)
+        self._offsets = np.concatenate([[0], np.cumsum(rows)]).astype(np.int64)
+        self._parts: List[Optional[Column]] = [None] * len(self._openers)
+        self._dtype = np.dtype(dtype)
+        self._stored_bytes = int(stored_bytes)
+
+    def __len__(self) -> int:
+        return int(self._offsets[-1])
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    @property
+    def encoding(self) -> str:
+        return "partitioned"
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self._openers)
+
+    def _part(self, index: int) -> Column:
+        part = self._parts[index]
+        if part is None:
+            part = self._openers[index]()
+            self._parts[index] = part
+        return part
+
+    def decode(self) -> np.ndarray:
+        return self.window(0, len(self))
+
+    def window(self, lo: int, hi: int) -> np.ndarray:
+        hi = min(hi, len(self))
+        if hi <= lo:
+            return np.empty(0, dtype=self._dtype)
+        first = int(np.searchsorted(self._offsets, lo, side="right")) - 1
+        last = int(np.searchsorted(self._offsets, hi - 1, side="right")) - 1
+        pieces = []
+        for index in range(first, last + 1):
+            base = int(self._offsets[index])
+            pieces.append(self._part(index).window(max(lo - base, 0), hi - base))
+        out = pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
+        if out.dtype != self._dtype:
+            return out.astype(self._dtype)
+        return out
+
+    def gather(self, ranges: Ranges) -> np.ndarray:
+        if ranges is None:
+            return self.decode()
+        if not ranges:
+            return np.empty(0, dtype=self._dtype)
+        return np.concatenate([self.window(lo, hi) for lo, hi in ranges])
+
+    def sum_gate_values(self) -> Optional[np.ndarray]:
+        """Concatenated distinct values when every piece is dict/RLE-encoded.
+
+        Lets ``Table.sums_exactly`` decide the float-exactness gate from the
+        (tiny) per-partition dictionaries instead of decoding the column;
+        ``None`` when any piece is stored plain.
+        """
+        values: List[np.ndarray] = []
+        for index in range(len(self._openers)):
+            part = self._part(index)
+            if isinstance(part, DictionaryColumn):
+                values.append(np.asarray(part.values))
+            elif isinstance(part, RLEColumn):
+                values.append(np.asarray(part.run_values))
+            else:
+                return None
+        if not values:
+            return np.empty(0, dtype=self._dtype)
+        return np.concatenate(values)
+
+    @property
+    def stored_bytes(self) -> int:
+        return self._stored_bytes
+
+
 def _values_nbytes(values: np.ndarray) -> int:
     if values.dtype == object:
         # Rough but stable: python string payloads plus pointer array.
@@ -307,6 +502,14 @@ def encode_array(values: np.ndarray) -> Column:
         run_values = values[starts]
         run_ends = np.concatenate([starts[1:], [n]]).astype(np.int64)
         return RLEColumn(run_values, run_ends, dtype=values.dtype)
+
+    # Frame-of-reference next: sorted integer columns whose runs are too
+    # short for RLE (clustered high-cardinality keys, surrogate keys)
+    # shrink to narrow per-block deltas.
+    if values.dtype.kind in "iu":
+        for_column = encode_for(values)
+        if for_column is not None:
+            return for_column
 
     if values.dtype.kind == "f" and bool(np.isnan(values).any()):
         return PlainColumn(values)  # NaN breaks dictionary equality
@@ -377,6 +580,36 @@ class ZoneMap:
     def distinct_bound_total(self) -> int:
         """A sound upper bound on the column's distinct count."""
         return int(self.distinct_bounds.sum())
+
+    def rechunk(self, new_zone_rows: int) -> "Optional[ZoneMap]":
+        """Coarsen this map to a larger, divisible zone size.
+
+        Sound only when ``new_zone_rows`` is a positive multiple of
+        ``zone_rows``: each new zone is then the union of whole old
+        zones, so min-of-mins / max-of-maxs bounds, summed null counts,
+        and summed distinct bounds remain conservative.  Returns ``None``
+        otherwise — callers must then drop the map (counted fallback)
+        rather than mis-prune with misaligned geometry.
+        """
+        if new_zone_rows == self.zone_rows:
+            return self
+        if new_zone_rows <= 0 or new_zone_rows % self.zone_rows:
+            return None
+        step = new_zone_rows // self.zone_rows
+        n_new = max(1, -(-self.n_zones // step))
+        mins = np.empty(n_new, dtype=self.mins.dtype)
+        maxs = np.empty(n_new, dtype=self.maxs.dtype)
+        nulls = np.zeros(n_new, dtype=np.int64)
+        distinct = np.zeros(n_new, dtype=np.int64)
+        for zone in range(n_new):
+            lo, hi = zone * step, min((zone + 1) * step, self.n_zones)
+            zone_mins = [m for m in self.mins[lo:hi] if not _is_nan(m)]
+            zone_maxs = [m for m in self.maxs[lo:hi] if not _is_nan(m)]
+            mins[zone] = min(zone_mins) if zone_mins else np.nan
+            maxs[zone] = max(zone_maxs) if zone_maxs else np.nan
+            nulls[zone] = int(self.null_counts[lo:hi].sum())
+            distinct[zone] = int(self.distinct_bounds[lo:hi].sum())
+        return ZoneMap(new_zone_rows, self.n_rows, mins, maxs, nulls, distinct)
 
 
 def _is_nan(value: object) -> bool:
@@ -531,12 +764,19 @@ class ZonePruner:
     (parallel scans, where pruned morsels are never enqueued).
     """
 
-    __slots__ = ("zone_rows", "n_rows", "_tests", "_alive")
+    __slots__ = ("zone_rows", "n_rows", "misaligned", "_tests", "_alive")
 
     def __init__(self, zone_rows: int, n_rows: int,
-                 tests: Sequence[Tuple[ZoneMap, object]]):
+                 tests: Sequence[Tuple[ZoneMap, object]],
+                 misaligned: int = 0):
         self.zone_rows = zone_rows
         self.n_rows = n_rows
+        # Zone maps the planner had to drop because their geometry could
+        # not be aligned with the chosen zone size (or their row count
+        # disagreed with the fact table).  Dropping a test only loses
+        # pruning, never soundness; the executor surfaces the count as
+        # ``engine.storage.zone_misaligned``.
+        self.misaligned = misaligned
         self._tests = list(tests)
         self._alive: Optional[np.ndarray] = None
 
@@ -547,6 +787,12 @@ class ZonePruner:
             n_zones = max(1, -(-self.n_rows // self.zone_rows))
             alive = np.ones(n_zones, dtype=bool)
             for zone_map, test in self._tests:
+                if zone_map.n_zones != n_zones:
+                    # Defensive: a map whose zone count disagrees with the
+                    # scan geometry would index out of bounds (or worse,
+                    # silently mis-prune).  Drop it, counted.
+                    self.misaligned += 1
+                    continue
                 test.apply(alive, zone_map.mins, zone_map.maxs)  # type: ignore[attr-defined]
             self._alive = alive
         return self._alive
@@ -631,8 +877,8 @@ def plan_zone_pruning(
     joins_by_table: Dict[str, object] = {
         join.table: join for join in joins  # type: ignore[attr-defined]
     }
-    tests: List[Tuple[ZoneMap, object]] = []
-    zone_rows: Optional[int] = None
+    candidates: List[Tuple[ZoneMap, object]] = []
+    misaligned = 0
     n_rows = len(fact)  # type: ignore[arg-type]
     for cp in predicates:
         table = cp.table  # type: ignore[attr-defined]
@@ -662,11 +908,32 @@ def plan_zone_pruning(
             else:
                 keys = dimension.column(join.dim_key)[dim_mask]  # type: ignore[attr-defined]
                 test = RangeZoneTest(keys.min(), keys.max())
-        if zone_rows is None:
-            zone_rows = zone_map.zone_rows
-        elif zone_map.zone_rows != zone_rows:
-            continue  # mismatched zone geometry: skip this test, stay sound
-        tests.append((zone_map, test))
-    if not tests or zone_rows is None:
+        if zone_map.n_rows != n_rows:
+            # A map built for a different row count (stale, truncated, or
+            # saved under different geometry) cannot be trusted for this
+            # scan: its zone indexes would not line up with fact rows.
+            # Drop the test — pruning degrades, soundness does not.
+            misaligned += 1
+            continue
+        candidates.append((zone_map, test))
+    if not candidates:
+        if misaligned:
+            return ZonePruner(
+                DEFAULT_ZONE_ROWS, n_rows, [], misaligned=misaligned
+            )
         return None
-    return ZonePruner(zone_rows, n_rows, tests)
+    # All tests must share one zone geometry (the survival vector has one
+    # zone size).  Pick the coarsest among the candidates and re-chunk
+    # the finer maps up to it; maps whose size does not divide it are
+    # dropped, counted — never silently mis-pruned.
+    zone_rows = max(zone_map.zone_rows for zone_map, _ in candidates)
+    tests: List[Tuple[ZoneMap, object]] = []
+    for zone_map, test in candidates:
+        rechunked = zone_map.rechunk(zone_rows)
+        if rechunked is None:
+            misaligned += 1
+            continue
+        tests.append((rechunked, test))
+    if not tests and not misaligned:
+        return None
+    return ZonePruner(zone_rows, n_rows, tests, misaligned=misaligned)

@@ -42,6 +42,12 @@ from .columns import (
 from .kernels import combine_codes as _combine_codes
 from .kernels import encode_column as _encode_column
 from .kernels import sums_exactly as _sums_exactly
+from .spill import (
+    SpillAggregator,
+    choose_partitions as _choose_partitions,
+    env_memory_budget as _env_memory_budget,
+    grouping_state_bytes as _grouping_state_bytes,
+)
 from .query import (
     AggregateQuery,
     ColumnPredicate,
@@ -112,6 +118,14 @@ class EngineExecutor:
         # Table.ensure_zone_maps); REPRO_NO_PRUNE=1 disables it for
         # ablation benchmarks and differential tests.
         self.zone_pruning = not os.environ.get("REPRO_NO_PRUNE")
+        # Bounded-memory execution: when a byte budget is set
+        # (REPRO_MEMORY_BYTES / REPRO_SPILL_BYTES env, or
+        # AssessSession(memory_budget=)), fact passes whose worst-case
+        # grouping state exceeds it run through the spill-to-disk
+        # partitioned aggregation tier (engine/spill.py) instead of the
+        # in-RAM kernels — bit-identical under the same exactness gate
+        # that guards the parallel merge.
+        self.memory_budget: Optional[int] = _env_memory_budget()
 
     def _count_scan(self, fact: Table, rows: Optional[int] = None) -> None:
         """One executed fact pass: bump the scan counters together.
@@ -168,6 +182,10 @@ class EngineExecutor:
         self.metrics.inc("engine.storage.zones_checked", pruner.zones_checked)
         self.metrics.inc("engine.storage.zones_pruned", pruner.zones_pruned)
         self.metrics.inc("engine.storage.rows_pruned", pruner.rows_pruned)
+        # zones_checked forces the survival vector, so planning-time and
+        # apply-time misalignment drops are both counted by now.
+        if pruner.misaligned:
+            self.metrics.inc("engine.storage.zone_misaligned", pruner.misaligned)
 
     def _pruned_ranges(
         self,
@@ -206,6 +224,10 @@ class EngineExecutor:
         ufunc.at kernels.
         """
         fact = self.catalog.table(query.fact)
+        if self._spill_admits(fact, len(query.aggregates)):
+            result = self._spill_aggregate(fact, query)
+            if result is not None:
+                return result
         if self.parallel is not None and self.parallel.eligible(len(fact)):
             result = self._parallel_aggregate(fact, query)
             if result is not None:
@@ -337,9 +359,14 @@ class EngineExecutor:
         flags: ``True`` when the result was derived from the fused pass,
         ``False`` when it fell back to a direct grouping pass.
         """
-        if queries and self.parallel is not None:
+        if queries:
             fact = self.catalog.table(queries[0].fact)
-            if self.parallel.eligible(len(fact)):
+            slots = sum(len(query.aggregates) for query in queries)
+            if self._spill_admits(fact, slots):
+                fused = self._spill_fused(fact, queries, scan_where, residuals)
+                if fused is not None:
+                    return fused
+            if self.parallel is not None and self.parallel.eligible(len(fact)):
                 fused = self._parallel_fused(fact, queries, scan_where, residuals)
                 if fused is not None:
                     return fused
@@ -694,7 +721,7 @@ class EngineExecutor:
             key_space *= max(cardinality, 1)
         return infos, key_space
 
-    def _parallel_tasks(
+    def _morsel_task_source(
         self,
         fact: Table,
         fact_name: str,
@@ -702,9 +729,10 @@ class EngineExecutor:
         joins_needed,
         key_infos,
         agg_specs: "Sequence[Tuple[str, Optional[str]]]",
+        morsel_rows: int,
         pruner: Optional[ZonePruner] = None,
-    ) -> List[MorselTask]:
-        """Slice the fact pass into per-morsel tasks.
+    ):
+        """Shared per-morsel task construction (parallel and spill paths).
 
         Dimension-side work (key indexes, dimension predicate masks,
         dimension dictionaries) is computed once here and shared by every
@@ -714,6 +742,11 @@ class EngineExecutor:
         are never enqueued at all — their rows would contribute zero
         groups, so the merged result is unchanged; skipped tasks keep
         their original index, preserving the deterministic merge order.
+
+        Returns ``(surviving, build)``: the surviving ``(index, lo, hi)``
+        morsel ranges and a builder producing the :class:`MorselTask` for
+        one of them on demand — the spill path builds (and drops) tasks
+        one at a time, so only one morsel's decoded windows are ever live.
         """
         fact_pred_columns = []
         dim_preds = []
@@ -737,15 +770,19 @@ class EngineExecutor:
             column for _, column in agg_specs if column is not None
         ]
 
-        tasks: List[MorselTask] = []
+        surviving: List[Tuple[int, int, int]] = []
         pruned_morsels = 0
-        assert self.parallel is not None
         for index, (lo, hi) in enumerate(
-            morsel_ranges(len(fact), self.parallel.morsel_rows)
+            morsel_ranges(len(fact), morsel_rows)
         ):
             if pruner is not None and not pruner.range_may_match(lo, hi):
                 pruned_morsels += 1
                 continue
+            surviving.append((index, lo, hi))
+        if pruned_morsels:
+            self.metrics.inc("engine.storage.morsels_pruned", pruned_morsels)
+
+        def build(index: int, lo: int, hi: int) -> MorselTask:
             joins = tuple(
                 JoinSpec(alias, key_index, fact.window(fk_column, lo, hi))
                 for alias, key_index, fk_column in join_sources
@@ -771,13 +808,28 @@ class EngineExecutor:
                 AggSpec(op, None if column is None else windows[column])
                 for op, column in agg_specs
             )
-            tasks.append(
-                MorselTask(index, lo, hi, joins, fps, dim_predicates,
-                           key_specs, aggs)
-            )
-        if pruned_morsels:
-            self.metrics.inc("engine.storage.morsels_pruned", pruned_morsels)
-        return tasks
+            return MorselTask(index, lo, hi, joins, fps, dim_predicates,
+                              key_specs, aggs)
+
+        return surviving, build
+
+    def _parallel_tasks(
+        self,
+        fact: Table,
+        fact_name: str,
+        predicates: Sequence[ColumnPredicate],
+        joins_needed,
+        key_infos,
+        agg_specs: "Sequence[Tuple[str, Optional[str]]]",
+        pruner: Optional[ZonePruner] = None,
+    ) -> List[MorselTask]:
+        """Slice the fact pass into per-morsel tasks (all built eagerly)."""
+        assert self.parallel is not None
+        surviving, build = self._morsel_task_source(
+            fact, fact_name, predicates, joins_needed, key_infos, agg_specs,
+            self.parallel.morsel_rows, pruner,
+        )
+        return [build(index, lo, hi) for index, lo, hi in surviving]
 
     def _dispatch_morsels(self, tasks: List[MorselTask], tracer):
         """Run the tasks on the pool; emit per-morsel trace events."""
@@ -858,6 +910,18 @@ class EngineExecutor:
     ) -> ResultSet:
         """Merge morsel partials into the final result set."""
         merged_keys, merged = _merge_morsels(results, [op for op, _ in agg_specs])
+        return self._finalize_merged(query, key_infos, agg_plan, merged_keys, merged)
+
+    def _finalize_merged(
+        self, query: AggregateQuery, key_infos, agg_plan, merged_keys, merged
+    ) -> ResultSet:
+        """Decode merged keys and apply the post-merge aggregate plan.
+
+        Shared by the parallel merge and the spill merge — both produce
+        merged keys in globally sorted folded-key order, which is exactly
+        the group order of the serial fold, so decoding through the global
+        dictionaries reproduces the serial result bit for bit.
+        """
         codes = _decode_keys(merged_keys, [info[3] for info in key_infos])
         columns: Dict[str, np.ndarray] = {}
         for gb, info, code in zip(query.group_by, key_infos, codes):
@@ -871,6 +935,195 @@ class EngineExecutor:
             else:
                 columns[agg.alias] = merged[step[1]]
         return ResultSet(columns)
+
+    # ------------------------------------------------------------------
+    # Bounded-memory (spill-to-disk) execution
+    # ------------------------------------------------------------------
+    def _spill_admits(self, fact: Table, n_slots: int) -> bool:
+        """Should this fact pass run through the spill tier?
+
+        True when a memory budget is configured and the worst-case
+        grouping state of the pass (every scanned row opening a group)
+        exceeds it.  Deliberately pessimistic: a budget below the working
+        set reliably routes through the bounded-memory path.
+        """
+        if self.memory_budget is None:
+            return False
+        return _grouping_state_bytes(len(fact), 0, n_slots) > self.memory_budget
+
+    def _spill_morsel_rows(self) -> int:
+        """Chunk size of a spill-tier scan (the parallel morsel size)."""
+        if self.parallel is not None:
+            return self.parallel.morsel_rows
+        from ..parallel.config import DEFAULT_MORSEL_ROWS, env_morsel_rows
+
+        return env_morsel_rows() or DEFAULT_MORSEL_ROWS
+
+    def _stream_morsels(self, surviving, build, tracer):
+        """Yield per-morsel results one at a time (bounded retained state).
+
+        With a parallel config the morsels are dispatched in bounded waves
+        through the worker pool (spill composes with the morsel path);
+        serially, each task is built, run, and dropped before the next, so
+        only one morsel's decoded windows are ever live.
+        """
+        if self.parallel is not None and self.parallel.enabled:
+            wave = max(1, self.parallel.degree) * 4
+            for start in range(0, len(surviving), wave):
+                batch = [
+                    build(index, lo, hi)
+                    for index, lo, hi in surviving[start:start + wave]
+                ]
+                for result in self._dispatch_morsels(batch, tracer):
+                    yield result
+        else:
+            for index, lo, hi in surviving:
+                yield run_morsel(build(index, lo, hi))
+
+    def _spill_aggregate(
+        self, fact: Table, query: AggregateQuery
+    ) -> Optional[ResultSet]:
+        """Bounded-memory execute_aggregate; None → caller runs in RAM.
+
+        Streams per-morsel partial results (the same ``run_morsel``
+        workers the parallel path uses) into a :class:`SpillAggregator`,
+        which range-partitions them over the folded key space, spills
+        buffered runs to temp files when the budget is exceeded, and
+        merges partitions with the distributive re-aggregation kernels —
+        bit-identical to the in-RAM path under the same float-exactness
+        gate that guards the parallel merge.  Gate-failing measures
+        return ``None`` (counted under ``engine.spill.fallbacks``); the
+        caller then runs the unbudgeted in-RAM path.
+        """
+        lowered = self._lower_aggregates(fact, query.aggregates)
+        if lowered is None:
+            self.metrics.inc("engine.spill.fallbacks")
+            return None
+        agg_specs, agg_plan = lowered
+        key_infos, key_space = self._parallel_key_info(
+            fact, query.fact, [(gb.table, gb.column) for gb in query.group_by]
+        )
+        if key_space >= _MAX_COMBINED_KEY:
+            self.metrics.inc("engine.spill.fallbacks")
+            return None
+        referenced = {gb.table for gb in query.group_by} | {
+            cp.table for cp in query.where
+        }
+        joins_needed = [j for j in query.joins if j.table in referenced]
+        pruner = self._zone_pruner(fact, query.fact, query.where, query.joins)
+        surviving, build = self._morsel_task_source(
+            fact, query.fact, query.where, joins_needed, key_infos, agg_specs,
+            self._spill_morsel_rows(), pruner,
+        )
+        budget = self.memory_budget
+        assert budget is not None
+        estimate = _grouping_state_bytes(len(fact), len(key_infos), len(agg_specs))
+
+        tracer = _active_tracer()
+        with tracer.span(
+            "engine.scan",
+            fact=query.fact,
+            spill=True,
+            morsels=len(surviving),
+        ) as span:
+            self._count_scan(fact, sum(hi - lo for _, lo, hi in surviving))
+            self.metrics.inc("engine.spill.queries")
+            with SpillAggregator(
+                key_space,
+                [op for op, _ in agg_specs],
+                budget,
+                metrics=self.metrics,
+                n_partitions=_choose_partitions(estimate, budget),
+            ) as spiller:
+                for morsel in self._stream_morsels(surviving, build, tracer):
+                    spiller.add(morsel.keys, morsel.partials)
+                merged_keys, merged = spiller.merge_all()
+                spills = spiller.spills
+            result = self._finalize_merged(
+                query, key_infos, agg_plan, merged_keys, merged
+            )
+            if tracer.enabled:
+                span.set(
+                    rows_in=len(fact),
+                    rows_out=len(result),
+                    spills=spills,
+                )
+            return result
+
+    def _spill_fused(
+        self,
+        fact: Table,
+        queries: Sequence[AggregateQuery],
+        scan_where: Sequence[ColumnPredicate],
+        residuals: Sequence[Sequence[ColumnPredicate]],
+    ) -> "Optional[Tuple[List[ResultSet], List[bool]]]":
+        """Bounded-memory execute_fused; None → caller runs in RAM.
+
+        The finest shared partial aggregation streams through the
+        :class:`SpillAggregator` exactly like :meth:`_spill_aggregate`;
+        members are then derived from the merged finest groups with the
+        shared :meth:`_derive_fused_member` arithmetic (the merged state
+        is result-sized, not scan-sized).  ``None`` when no member would
+        be derivable — the serial fused path then runs its per-member
+        fallbacks directly.
+        """
+        fact_name = queries[0].fact
+        lowering = self._fused_lowering(fact, fact_name, queries, residuals)
+        if lowering is None:
+            self.metrics.inc("engine.spill.fallbacks")
+            return None
+        (column_key, derivable_flags, finest, key_infos, key_space,
+         agg_specs) = lowering
+
+        referenced = set()
+        for query in queries:
+            referenced |= {gb.table for gb in query.group_by}
+            referenced |= {cp.table for cp in query.where}
+        joins_needed = [j for j in queries[0].joins if j.table in referenced]
+        pruner = self._zone_pruner(fact, fact_name, scan_where, queries[0].joins)
+        surviving, build = self._morsel_task_source(
+            fact, fact_name, scan_where, joins_needed, key_infos, agg_specs,
+            self._spill_morsel_rows(), pruner,
+        )
+        budget = self.memory_budget
+        assert budget is not None
+        estimate = _grouping_state_bytes(len(fact), len(finest), len(agg_specs))
+
+        tracer = _active_tracer()
+        with tracer.span(
+            "engine.fused-scan",
+            members=len(queries),
+            spill=True,
+            morsels=len(surviving),
+        ) as span:
+            self._count_scan(fact, sum(hi - lo for _, lo, hi in surviving))
+            self.metrics.inc("engine.fused_scans")
+            self.metrics.inc("engine.spill.queries")
+            with SpillAggregator(
+                key_space,
+                [op for op, _ in agg_specs],
+                budget,
+                metrics=self.metrics,
+                n_partitions=_choose_partitions(estimate, budget),
+            ) as spiller:
+                for morsel in self._stream_morsels(surviving, build, tracer):
+                    spiller.add(morsel.keys, morsel.partials)
+                merged_keys, merged = spiller.merge_all()
+                spills = spiller.spills
+            results, flags = self._fused_from_merged(
+                fact, fact_name, queries, residuals, scan_where, joins_needed,
+                column_key, derivable_flags, finest, key_infos, agg_specs,
+                merged_keys, merged,
+            )
+            if tracer.enabled:
+                derived = int(sum(flags))
+                span.set(
+                    derived=derived,
+                    fallbacks=len(flags) - derived,
+                    rows_out=int(sum(len(result) for result in results)),
+                    spills=spills,
+                )
+            return results, flags
 
     def _parallel_fused(
         self,
@@ -891,54 +1144,15 @@ class EngineExecutor:
         to standalone execution either way.
         """
         fact_name = queries[0].fact
-
-        def column_key(table: str) -> str:
-            return FACT if table in (FACT, fact_name) else table
-
-        derivable_flags: List[bool] = []
-        for query in queries:
-            ok = True
-            for agg in query.aggregates:
-                if agg.op == "avg" or agg.op not in ("sum", "count", "min", "max"):
-                    ok = False
-                    break
-                if agg.op == "sum" and not fact.sums_exactly(agg.column):
-                    ok = False
-                    break
-            derivable_flags.append(ok)
-        if not any(derivable_flags):
-            # Nothing would be derived from a parallel finest pass; let the
-            # serial fused path run its per-member fallbacks directly.
+        lowering = self._fused_lowering(fact, fact_name, queries, residuals)
+        if lowering is None:
+            # Nothing would be derived from a parallel finest pass (or the
+            # folded key would overflow); let the serial fused path run
+            # its per-member fallbacks directly.
             self.metrics.inc("engine.parallel.fallbacks")
             return None
-
-        finest: List[Tuple[str, str]] = []
-        seen = set()
-        for query, residual in zip(queries, residuals):
-            for gb in query.group_by:
-                key = (column_key(gb.table), gb.column)
-                if key not in seen:
-                    seen.add(key)
-                    finest.append(key)
-            for cp in residual:
-                key = (column_key(cp.table), cp.column)
-                if key not in seen:
-                    seen.add(key)
-                    finest.append(key)
-
-        key_infos, key_space = self._parallel_key_info(fact, fact_name, finest)
-        if key_space >= _MAX_COMBINED_KEY:
-            self.metrics.inc("engine.parallel.fallbacks")
-            return None
-
-        agg_specs: List[Tuple[str, Optional[str]]] = []
-        for query, ok in zip(queries, derivable_flags):
-            if not ok:
-                continue
-            for agg in query.aggregates:
-                key = ("count", None) if agg.op == "count" else (agg.op, agg.column)
-                if key not in agg_specs:
-                    agg_specs.append(key)
+        (column_key, derivable_flags, finest, key_infos, key_space,
+         agg_specs) = lowering
 
         referenced = set()
         for query in queries:
@@ -967,72 +1181,167 @@ class EngineExecutor:
                 merged_keys, merged = _merge_morsels(
                     raw, [op for op, _ in agg_specs]
                 )
-                codes = _decode_keys(merged_keys, [info[3] for info in key_infos])
                 if tracer.enabled:
                     merge_span.set(rows_out=len(merged_keys))
-            finest_count = len(merged_keys)
-            group_codes = {
-                key: (code, info[3])
-                for key, info, code in zip(finest, key_infos, codes)
-            }
-            group_values = {
-                key: info[4][code]
-                for key, info, code in zip(finest, key_infos, codes)
-            }
-            slot_of = {key: i for i, key in enumerate(agg_specs)}
-
-            def partial_of(column: str, op: str) -> np.ndarray:
-                return merged[slot_of[(op, column)]]
-
-            def count_of() -> np.ndarray:
-                return merged[slot_of[("count", None)]]
-
-            # Fallback members need full-table positions and the shared
-            # scan mask; computed serially, once, only if some member
-            # actually falls back.
-            full_state: Dict[str, object] = {}
-
-            def full_positions_mask():
-                if "positions" not in full_state:
-                    positions: Dict[str, np.ndarray] = {}
-                    for join in joins_needed:
-                        dimension = self.catalog.table(join.table)
-                        index = dimension.key_index(join.dim_key)
-                        positions[join.table] = index.positions_of(
-                            fact.column(join.fact_fk)
-                        )
-                    full_state["positions"] = positions
-                    full_state["mask"] = self._predicate_mask(
-                        fact, fact_name, scan_where, positions
-                    )
-                return full_state["positions"], full_state["mask"]
-
-            results: List[ResultSet] = []
-            for query, residual, ok in zip(queries, residuals, derivable_flags):
-                if ok:
-                    results.append(
-                        self._derive_fused_member(
-                            query, residual, column_key, group_codes,
-                            group_values, finest_count, partial_of, count_of,
-                        )
-                    )
-                    self.metrics.inc("engine.fused_derived")
-                else:
-                    positions, base_mask = full_positions_mask()
-                    results.append(
-                        self._fused_member_direct(
-                            fact, query, residual, positions, base_mask
-                        )
-                    )
-                    self.metrics.inc("engine.fused_fallbacks")
+            results, flags = self._fused_from_merged(
+                fact, fact_name, queries, residuals, scan_where, joins_needed,
+                column_key, derivable_flags, finest, key_infos, agg_specs,
+                merged_keys, merged,
+            )
             if tracer.enabled:
-                derived = int(sum(derivable_flags))
+                derived = int(sum(flags))
                 span.set(
                     derived=derived,
-                    fallbacks=len(derivable_flags) - derived,
+                    fallbacks=len(flags) - derived,
                     rows_out=int(sum(len(result) for result in results)),
                 )
-            return results, list(derivable_flags)
+            return results, flags
+
+    def _fused_lowering(
+        self,
+        fact: Table,
+        fact_name: str,
+        queries: Sequence[AggregateQuery],
+        residuals: Sequence[Sequence[ColumnPredicate]],
+    ):
+        """Shared lowering for the parallel and spill fused paths.
+
+        Computes per-member derivability flags (same gates as the serial
+        fused path: no avg, sums must pass the exactness gate), the finest
+        shared key list, its global dictionary infos, and the deduplicated
+        partial agg specs.  ``None`` when nothing would be derivable or
+        the folded key space would overflow int64 — the caller then runs
+        the serial fused path.
+        """
+
+        def column_key(table: str) -> str:
+            return FACT if table in (FACT, fact_name) else table
+
+        derivable_flags: List[bool] = []
+        for query in queries:
+            ok = True
+            for agg in query.aggregates:
+                if agg.op == "avg" or agg.op not in ("sum", "count", "min", "max"):
+                    ok = False
+                    break
+                if agg.op == "sum" and not fact.sums_exactly(agg.column):
+                    ok = False
+                    break
+            derivable_flags.append(ok)
+        if not any(derivable_flags):
+            return None
+
+        finest: List[Tuple[str, str]] = []
+        seen = set()
+        for query, residual in zip(queries, residuals):
+            for gb in query.group_by:
+                key = (column_key(gb.table), gb.column)
+                if key not in seen:
+                    seen.add(key)
+                    finest.append(key)
+            for cp in residual:
+                key = (column_key(cp.table), cp.column)
+                if key not in seen:
+                    seen.add(key)
+                    finest.append(key)
+
+        key_infos, key_space = self._parallel_key_info(fact, fact_name, finest)
+        if key_space >= _MAX_COMBINED_KEY:
+            return None
+
+        agg_specs: List[Tuple[str, Optional[str]]] = []
+        for query, ok in zip(queries, derivable_flags):
+            if not ok:
+                continue
+            for agg in query.aggregates:
+                key = ("count", None) if agg.op == "count" else (agg.op, agg.column)
+                if key not in agg_specs:
+                    agg_specs.append(key)
+
+        return (column_key, derivable_flags, finest, key_infos, key_space,
+                agg_specs)
+
+    def _fused_from_merged(
+        self,
+        fact: Table,
+        fact_name: str,
+        queries: Sequence[AggregateQuery],
+        residuals: Sequence[Sequence[ColumnPredicate]],
+        scan_where: Sequence[ColumnPredicate],
+        joins_needed,
+        column_key,
+        derivable_flags: Sequence[bool],
+        finest: "Sequence[Tuple[str, str]]",
+        key_infos,
+        agg_specs: "Sequence[Tuple[str, Optional[str]]]",
+        merged_keys: np.ndarray,
+        merged: Sequence[np.ndarray],
+    ) -> "Tuple[List[ResultSet], List[bool]]":
+        """Derive every fused member from merged finest partials.
+
+        Shared by the parallel merge and the spill merge; both produce the
+        finest grouping in serial group order, so the member derivation is
+        the bit-identical :meth:`_derive_fused_member` arithmetic either
+        way.  Gate-failing members run the serial direct fallback over
+        lazily computed full-table positions and the shared scan mask.
+        """
+        codes = _decode_keys(merged_keys, [info[3] for info in key_infos])
+        finest_count = len(merged_keys)
+        group_codes = {
+            key: (code, info[3])
+            for key, info, code in zip(finest, key_infos, codes)
+        }
+        group_values = {
+            key: info[4][code]
+            for key, info, code in zip(finest, key_infos, codes)
+        }
+        slot_of = {key: i for i, key in enumerate(agg_specs)}
+
+        def partial_of(column: str, op: str) -> np.ndarray:
+            return merged[slot_of[(op, column)]]
+
+        def count_of() -> np.ndarray:
+            return merged[slot_of[("count", None)]]
+
+        # Fallback members need full-table positions and the shared
+        # scan mask; computed serially, once, only if some member
+        # actually falls back.
+        full_state: Dict[str, object] = {}
+
+        def full_positions_mask():
+            if "positions" not in full_state:
+                positions: Dict[str, np.ndarray] = {}
+                for join in joins_needed:
+                    dimension = self.catalog.table(join.table)
+                    index = dimension.key_index(join.dim_key)
+                    positions[join.table] = index.positions_of(
+                        fact.column(join.fact_fk)
+                    )
+                full_state["positions"] = positions
+                full_state["mask"] = self._predicate_mask(
+                    fact, fact_name, scan_where, positions
+                )
+            return full_state["positions"], full_state["mask"]
+
+        results: List[ResultSet] = []
+        for query, residual, ok in zip(queries, residuals, derivable_flags):
+            if ok:
+                results.append(
+                    self._derive_fused_member(
+                        query, residual, column_key, group_codes,
+                        group_values, finest_count, partial_of, count_of,
+                    )
+                )
+                self.metrics.inc("engine.fused_derived")
+            else:
+                positions, base_mask = full_positions_mask()
+                results.append(
+                    self._fused_member_direct(
+                        fact, query, residual, positions, base_mask
+                    )
+                )
+                self.metrics.inc("engine.fused_fallbacks")
+        return results, list(derivable_flags)
 
     # ------------------------------------------------------------------
     # Drill-across (JOP)

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -38,6 +38,8 @@ from .columns import (
     DEFAULT_ZONE_ROWS,
     Column,
     DictionaryColumn,
+    ForColumn,
+    PartitionedColumn,
     PlainColumn,
     RLEColumn,
     ZoneMap,
@@ -50,6 +52,7 @@ _SEP = "\x1f"
 _INDEX_KEY = "__tables__"
 _MANIFEST = "catalog.json"
 _DATA_DIR = "data"
+_PARTS_DIR = "parts"
 _V2_VERSION = 2
 
 
@@ -116,35 +119,106 @@ def _save_v2(
     cluster: Dict[str, str],
     compress: bool,
 ) -> str:
-    data_dir = os.path.join(path, _DATA_DIR)
-    os.makedirs(data_dir, exist_ok=True)
-    counter = [0]
-
-    def store(array: np.ndarray) -> str:
-        relpath = os.path.join(_DATA_DIR, f"a{counter[0]}.npy")
-        counter[0] += 1
-        np.save(os.path.join(path, relpath[:-len(".npy")]), array)
-        return relpath
-
-    tables: List[Dict[str, object]] = []
+    writer = PartitionedStoreWriter(
+        path, zone_rows=zone_rows, compress=compress
+    )
     for table in catalog:
-        cluster_by = cluster.get(table.name)
-        order: Optional[np.ndarray] = None
-        if cluster_by is not None:
-            order = np.argsort(table.column(cluster_by), kind="stable")
+        writer.add_table(table, cluster_by=cluster.get(table.name))
+    return writer.finish()
+
+
+class PartitionedStoreWriter:
+    """Incremental v2 store writer for catalogs larger than RAM.
+
+    Whole (dimension) tables go in with :meth:`add_table`.  One table per
+    store may instead be appended partition by partition: after
+    :meth:`begin_partitioned`, each :meth:`append_partition` chunk is
+    encoded, zone-mapped, and flushed to its own ``parts/pNNNNN``
+    directory before the next chunk exists — peak RAM is one partition,
+    never the table.  All partitions except the last must hold a multiple
+    of ``zone_rows`` rows so the loader can stitch the per-partition zone
+    maps into one global map (zone boundaries line up exactly) and serve
+    the columns through lazily-opened
+    :class:`~repro.engine.columns.PartitionedColumn` pieces.
+
+    Dictionary value arrays are shared store-wide: two columns whose
+    dictionaries are byte-identical (the SSB city/nation/region strings of
+    ``customer`` and ``supplier``, say) reference a single ``.npy`` file.
+    The manifest stays a plain v2 manifest — sharing is invisible to the
+    loader, which already resolves arrays by relpath.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        zone_rows: int = DEFAULT_ZONE_ROWS,
+        compress: bool = True,
+    ):
+        self.path = path
+        self.zone_rows = int(zone_rows)
+        self.compress = compress
+        os.makedirs(os.path.join(path, _DATA_DIR), exist_ok=True)
+        self._counter = 0
+        self._shared: Dict[Tuple[str, bytes], str] = {}
+        self._tables: List[Dict[str, object]] = []
+        self._partition_spec: Optional[Dict[str, object]] = None
+
+    # -- array sinks --------------------------------------------------------
+
+    def _store_in(self, directory: str) -> Callable[[np.ndarray], str]:
+        def store(array: np.ndarray) -> str:
+            relpath = os.path.join(directory, f"a{self._counter}.npy")
+            self._counter += 1
+            np.save(os.path.join(self.path, relpath[:-len(".npy")]), array)
+            return relpath
+
+        return store
+
+    def _share_in(
+        self, store: Callable[[np.ndarray], str]
+    ) -> Callable[[np.ndarray], str]:
+        def share(array: np.ndarray) -> str:
+            key = (array.dtype.str, array.tobytes())
+            relpath = self._shared.get(key)
+            if relpath is None:
+                relpath = store(array)
+                self._shared[key] = relpath
+            return relpath
+
+        return share
+
+    def _encode_columns(
+        self, table: Table, order: Optional[np.ndarray], directory: str
+    ) -> List[Dict[str, object]]:
+        store = self._store_in(directory)
+        share = self._share_in(store)
         columns: List[Dict[str, object]] = []
         for column_name in table.column_names:
             values = table.column(column_name)
             if order is not None:
                 values = values[order]
-            stored = encode_array(values) if compress else PlainColumn(values)
-            zone_map = build_zone_map(values, zone_rows)
+            stored = (
+                encode_array(values) if self.compress else PlainColumn(values)
+            )
+            zone_map = build_zone_map(values, self.zone_rows)
             columns.append(
                 _store_column(
-                    table.name, column_name, values, stored, zone_map, store
+                    table.name, column_name, values, stored, zone_map,
+                    store, share,
                 )
             )
-        tables.append(
+        return columns
+
+    # -- tables -------------------------------------------------------------
+
+    def add_table(self, table: Table, *, cluster_by: Optional[str] = None) -> None:
+        """Encode and write one whole table (dimensions, small facts)."""
+        order: Optional[np.ndarray] = None
+        if cluster_by is not None:
+            order = np.argsort(table.column(cluster_by), kind="stable")
+        columns = self._encode_columns(table, order, _DATA_DIR)
+        self._tables.append(
             {
                 "name": table.name,
                 "rows": len(table),
@@ -152,15 +226,71 @@ def _save_v2(
                 "columns": columns,
             }
         )
-    manifest = {
-        "format": "repro-catalog",
-        "version": _V2_VERSION,
-        "zone_rows": zone_rows,
-        "tables": tables,
-    }
-    with open(os.path.join(path, _MANIFEST), "w") as handle:
-        json.dump(manifest, handle, indent=1)
-    return path
+
+    def begin_partitioned(
+        self, table_name: str, *, clustered_by: Optional[str] = None
+    ) -> None:
+        """Open a table that will arrive partition by partition.
+
+        ``clustered_by`` is declarative: callers are expected to hand in
+        chunks already ordered by that column (partitioned generation
+        produces them that way); the writer never re-sorts across chunks.
+        """
+        if self._partition_spec is not None:
+            raise EngineError("a partitioned table is already open")
+        spec: Dict[str, object] = {
+            "name": table_name,
+            "rows": 0,
+            "clustered_by": clustered_by,
+            "columns": [],
+            "partitions": [],
+        }
+        self._tables.append(spec)
+        self._partition_spec = spec
+
+    def append_partition(self, chunk: Table) -> None:
+        """Encode and flush one partition of the open partitioned table."""
+        spec = self._partition_spec
+        if spec is None:
+            raise EngineError("begin_partitioned() before append_partition()")
+        parts: List[Dict[str, object]] = spec["partitions"]  # type: ignore[assignment]
+        if parts:
+            previous = parts[-1]
+            if int(previous["rows"]) % self.zone_rows:  # type: ignore[call-overload]
+                raise EngineError(
+                    "only the final partition may hold a ragged last zone "
+                    f"(partition {len(parts) - 1} has {previous['rows']} rows, "
+                    f"zone_rows={self.zone_rows})"
+                )
+            first_columns = [
+                str(column["name"])
+                for column in parts[0]["columns"]  # type: ignore[index]
+            ]
+            if list(chunk.column_names) != first_columns:
+                raise EngineError(
+                    f"partition columns {list(chunk.column_names)} do not "
+                    f"match the first partition's {first_columns}"
+                )
+        directory = os.path.join(_PARTS_DIR, f"p{len(parts):05d}")
+        os.makedirs(os.path.join(self.path, directory), exist_ok=True)
+        columns = self._encode_columns(chunk, None, directory)
+        parts.append(
+            {"dir": directory, "rows": len(chunk), "columns": columns}
+        )
+        spec["rows"] = int(spec["rows"]) + len(chunk)  # type: ignore[call-overload]
+
+    def finish(self) -> str:
+        """Write the manifest; returns the store path."""
+        self._partition_spec = None
+        manifest = {
+            "format": "repro-catalog",
+            "version": _V2_VERSION,
+            "zone_rows": self.zone_rows,
+            "tables": self._tables,
+        }
+        with open(os.path.join(self.path, _MANIFEST), "w") as handle:
+            json.dump(manifest, handle, indent=1)
+        return self.path
 
 
 def _store_column(
@@ -170,27 +300,38 @@ def _store_column(
     stored: Column,
     zone_map: Optional[ZoneMap],
     store,
+    store_shared=None,
 ) -> Dict[str, object]:
     is_object = values.dtype == object
+    # Dictionary value arrays go through the content-addressed sink (when
+    # the caller provides one) so byte-identical dictionaries are written
+    # once per store; everything else is written unconditionally.
+    share = store_shared if store_shared is not None else store
 
     def persistable(array: np.ndarray) -> np.ndarray:
         if array.dtype == object:
             return _object_to_unicode(table_name, column_name, array)
         return array
 
+    extra: Dict[str, object] = {}
     arrays: Dict[str, str] = {}
     if isinstance(stored, DictionaryColumn):
         encoding = "dict"
         arrays["codes"] = store(np.asarray(stored.codes))
-        arrays["values"] = store(persistable(np.asarray(stored.values)))
+        arrays["values"] = share(persistable(np.asarray(stored.values)))
     elif isinstance(stored, RLEColumn):
         encoding = "rle"
         arrays["run_values"] = store(persistable(np.asarray(stored.run_values)))
         arrays["run_ends"] = store(np.asarray(stored.run_ends))
+    elif isinstance(stored, ForColumn):
+        encoding = "for"
+        arrays["references"] = store(np.asarray(stored.references))
+        arrays["offsets"] = store(np.asarray(stored.offsets))
+        extra["block_rows"] = stored.block_rows
     else:
         encoding = "plain"
         arrays["values"] = store(persistable(stored.decode()))
-    return {
+    spec: Dict[str, object] = {
         "name": column_name,
         "encoding": encoding,
         "object": is_object,
@@ -201,6 +342,8 @@ def _store_column(
         "arrays": arrays,
         "zones": _zone_map_to_json(zone_map),
     }
+    spec.update(extra)
+    return spec
 
 
 def _plain_bytes(values: np.ndarray) -> int:
@@ -303,12 +446,23 @@ def _load_v2(path: str, *, mmap: bool) -> Catalog:
         raise EngineError(f"{path!r} is not a saved catalog archive")
     mmap_mode = "r" if mmap else None
     catalog = Catalog()
+    # Shared-dictionary cache: value arrays referenced by several columns
+    # (content-addressed at save time) are loaded once per store.
+    cache: Dict[Tuple[str, bool], np.ndarray] = {}
+    zone_rows = int(manifest.get("zone_rows", DEFAULT_ZONE_ROWS))
     for table_spec in manifest["tables"]:
+        if table_spec.get("partitions"):
+            catalog.register(
+                _load_partitioned_table(
+                    path, table_spec, mmap_mode, cache, zone_rows
+                )
+            )
+            continue
         columns: Dict[str, Column] = {}
         zone_maps: Dict[str, Optional[ZoneMap]] = {}
         for column_spec in table_spec["columns"]:
             name = column_spec["name"]
-            columns[name] = _load_column(path, column_spec, mmap_mode)
+            columns[name] = _load_column(path, column_spec, mmap_mode, cache)
             numeric = not column_spec["object"]
             zone_maps[name] = _zone_map_from_json(
                 column_spec.get("zones"), numeric
@@ -320,8 +474,91 @@ def _load_v2(path: str, *, mmap: bool) -> Catalog:
     return catalog
 
 
+def _load_partitioned_table(
+    path: str,
+    table_spec: Dict[str, object],
+    mmap_mode: Optional[str],
+    cache: Dict[Tuple[str, bool], np.ndarray],
+    zone_rows: int,
+) -> Table:
+    partitions: List[Dict[str, object]] = table_spec["partitions"]  # type: ignore[assignment]
+    if not partitions:
+        raise EngineError(
+            f"partitioned table {table_spec['name']!r} has no partitions"
+        )
+    part_rows = [int(part["rows"]) for part in partitions]  # type: ignore[call-overload]
+    # Global zone maps are only stitched when every non-final partition is
+    # zone-aligned — otherwise per-partition zone boundaries would not map
+    # onto global zone indexes and pruning could not be trusted.
+    aligned = all(rows % zone_rows == 0 for rows in part_rows[:-1])
+    names = [
+        str(spec["name"]) for spec in partitions[0]["columns"]  # type: ignore[index]
+    ]
+    columns: Dict[str, Column] = {}
+    zone_maps: Dict[str, Optional[ZoneMap]] = {}
+    for position, name in enumerate(names):
+        specs = [
+            part["columns"][position] for part in partitions  # type: ignore[index]
+        ]
+        openers = [
+            _partition_opener(path, spec, mmap_mode, cache) for spec in specs
+        ]
+        is_object = bool(specs[0]["object"])
+        dtype = (
+            np.dtype(object) if is_object
+            else np.dtype(str(specs[0]["dtype"]))
+        )
+        stored_bytes = sum(int(spec["stored_bytes"]) for spec in specs)
+        columns[name] = PartitionedColumn(
+            openers, part_rows, dtype, stored_bytes
+        )
+        zone_maps[name] = (
+            _concat_zone_maps(specs, not is_object, zone_rows)
+            if aligned else None
+        )
+    table = Table(str(table_spec["name"]), columns)
+    for name, zone_map in zone_maps.items():
+        table.attach_zone_map(name, zone_map)
+    return table
+
+
+def _partition_opener(
+    path: str,
+    spec: Dict[str, object],
+    mmap_mode: Optional[str],
+    cache: Dict[Tuple[str, bool], np.ndarray],
+):
+    def opener() -> Column:
+        return _load_column(path, spec, mmap_mode, cache)
+
+    return opener
+
+
+def _concat_zone_maps(
+    specs: List[Dict[str, object]], numeric: bool, zone_rows: int
+) -> Optional[ZoneMap]:
+    """Stitch per-partition zone stats into one global column zone map."""
+    maps: List[ZoneMap] = []
+    for spec in specs:
+        zone_map = _zone_map_from_json(spec.get("zones"), numeric)
+        if zone_map is None or zone_map.zone_rows != zone_rows:
+            return None
+        maps.append(zone_map)
+    return ZoneMap(
+        zone_rows,
+        sum(zone_map.n_rows for zone_map in maps),
+        np.concatenate([zone_map.mins for zone_map in maps]),
+        np.concatenate([zone_map.maxs for zone_map in maps]),
+        np.concatenate([zone_map.null_counts for zone_map in maps]),
+        np.concatenate([zone_map.distinct_bounds for zone_map in maps]),
+    )
+
+
 def _load_column(
-    path: str, spec: Dict[str, object], mmap_mode: Optional[str]
+    path: str,
+    spec: Dict[str, object],
+    mmap_mode: Optional[str],
+    cache: Optional[Dict[Tuple[str, bool], np.ndarray]] = None,
 ) -> Column:
     arrays: Dict[str, str] = spec["arrays"]  # type: ignore[assignment]
     is_object = bool(spec["object"])
@@ -334,10 +571,27 @@ def _load_column(
     if encoding == "dict":
         # Dictionaries are tiny by construction — restore values eagerly
         # (and to object dtype for string columns) while codes stay mapped.
-        values = np.asarray(np.load(os.path.join(path, arrays["values"])))
-        if is_object:
-            values = values.astype(object)
+        # Shared dictionaries (several columns referencing one value file)
+        # come out of the per-store cache as one array.
+        cache_key = (arrays["values"], is_object)
+        values = None if cache is None else cache.get(cache_key)
+        if values is None:
+            values = np.asarray(np.load(os.path.join(path, arrays["values"])))
+            if is_object:
+                values = values.astype(object)
+            if cache is not None:
+                cache[cache_key] = values
         return DictionaryColumn(load("codes"), values, dtype=dtype)
+    if encoding == "for":
+        # References are one int64 per block — restore them eagerly while
+        # the (much larger) per-row offsets stay mapped.
+        references = np.asarray(
+            np.load(os.path.join(path, arrays["references"]))
+        )
+        return ForColumn(
+            references, load("offsets"), int(spec["block_rows"]),  # type: ignore[call-overload]
+            dtype=dtype,
+        )
     if encoding == "rle":
         run_values = np.asarray(np.load(os.path.join(path, arrays["run_values"])))
         if is_object:
@@ -362,6 +616,26 @@ def storage_report(path: str) -> Dict[str, object]:
     tables: List[Dict[str, object]] = []
     for table_spec in manifest["tables"]:
         columns = []
+        partitions = table_spec.get("partitions") or []
+        if partitions:
+            # Partitioned tables report each column summed over its pieces.
+            names = [spec["name"] for spec in partitions[0]["columns"]]
+            for position, name in enumerate(names):
+                specs = [part["columns"][position] for part in partitions]
+                columns.append(
+                    {
+                        "column": name,
+                        "encoding": "partitioned",
+                        "dtype": specs[0]["dtype"],
+                        "plain_bytes": sum(s["plain_bytes"] for s in specs),
+                        "stored_bytes": sum(s["stored_bytes"] for s in specs),
+                        "zones": sum(
+                            0 if s.get("zones") is None
+                            else len(s["zones"]["mins"])
+                            for s in specs
+                        ),
+                    }
+                )
         for spec in table_spec["columns"]:
             zones = spec.get("zones")
             columns.append(
@@ -374,14 +648,15 @@ def storage_report(path: str) -> Dict[str, object]:
                     "zones": 0 if zones is None else len(zones["mins"]),
                 }
             )
-        tables.append(
-            {
-                "table": table_spec["name"],
-                "rows": table_spec["rows"],
-                "clustered_by": table_spec.get("clustered_by"),
-                "columns": columns,
-            }
-        )
+        table_report: Dict[str, object] = {
+            "table": table_spec["name"],
+            "rows": table_spec["rows"],
+            "clustered_by": table_spec.get("clustered_by"),
+            "columns": columns,
+        }
+        if partitions:
+            table_report["partitions"] = len(partitions)
+        tables.append(table_report)
     return {
         "path": path,
         "version": manifest["version"],

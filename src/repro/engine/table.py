@@ -36,6 +36,7 @@ from .columns import (
     DEFAULT_ZONE_ROWS,
     Column,
     DictionaryColumn,
+    PartitionedColumn,
     PlainColumn,
     RLEColumn,
     Ranges,
@@ -44,6 +45,9 @@ from .columns import (
     take_ranges,
 )
 from .kernels import sums_exactly as _sums_exactly
+
+_GATE_CHUNK_ROWS = 1 << 22
+"""Stored columns longer than this decide ``sums_exactly`` in windows."""
 
 
 class _ColumnsView(Mapping):
@@ -283,6 +287,16 @@ class Table:
                 gate = _distinct_sums_exactly(stored.values, len(stored))
             elif isinstance(stored, RLEColumn):
                 gate = _distinct_sums_exactly(stored.run_values, len(stored))
+            elif isinstance(stored, PartitionedColumn):
+                distinct = stored.sum_gate_values()
+                if distinct is not None:
+                    gate = _distinct_sums_exactly(distinct, len(stored))
+                else:
+                    gate = _windowed_sums_exactly(stored)
+            elif isinstance(stored, Column) and len(stored) > _GATE_CHUNK_ROWS:
+                # Out-of-core stores: decide the gate window by window
+                # instead of materialising the whole column.
+                gate = _windowed_sums_exactly(stored)
             else:
                 gate = _sums_exactly(self.column(column_name))
             self._sum_gates[column_name] = gate
@@ -364,6 +378,29 @@ class Table:
 
     def __repr__(self) -> str:
         return f"Table({self.name!r}, rows={self._n}, columns={list(self._data)})"
+
+
+def _windowed_sums_exactly(stored: Column) -> bool:
+    """The ``sums_exactly`` gate decided in bounded decode windows.
+
+    Same verdict as :func:`repro.engine.kernels.sums_exactly` on the full
+    decode: finiteness and integrality are per-element, and the ``2**53``
+    magnitude bound uses the global max ``|value|`` times the global row
+    count — only the decode is chunked.
+    """
+    n = len(stored)
+    max_abs = 0.0
+    for lo in range(0, n, _GATE_CHUNK_ROWS):
+        part = np.asarray(
+            stored.window(lo, min(lo + _GATE_CHUNK_ROWS, n)), dtype=np.float64
+        )
+        if not np.all(np.isfinite(part)):
+            return False
+        if np.any(part != np.trunc(part)):
+            return False
+        if len(part):
+            max_abs = max(max_abs, float(np.abs(part).max()))
+    return max_abs * n < 2.0**53
 
 
 def _distinct_sums_exactly(values: np.ndarray, rows: int) -> bool:

@@ -128,6 +128,33 @@ class MultidimensionalEngine:
             previous.close()
 
     # ------------------------------------------------------------------
+    # Bounded-memory execution
+    # ------------------------------------------------------------------
+    @property
+    def memory_budget(self):
+        """The executor's memory budget in bytes (``None`` = unbounded)."""
+        return self.executor.memory_budget
+
+    def set_memory_budget(self, budget_bytes) -> None:
+        """Bound the grouping state of fact passes to ``budget_bytes``.
+
+        Passes whose worst-case grouping state exceeds the budget run
+        through the spill-to-disk partitioned aggregation tier
+        (``engine/spill.py``) — bit-identical to the in-RAM path under
+        the float-exactness gate, with buffered partial results spilled
+        to temp files once they outgrow the budget.  ``None`` or a
+        non-positive value removes the bound (the environment knobs
+        ``REPRO_MEMORY_BYTES`` / ``REPRO_SPILL_BYTES`` still apply to
+        newly created executors).  Like parallelism, the budget changes
+        *how* a scan runs, never what it answers — cached results and
+        fingerprints are unaffected.
+        """
+        if budget_bytes is None or int(budget_bytes) <= 0:
+            self.executor.memory_budget = None
+        else:
+            self.executor.memory_budget = int(budget_bytes)
+
+    # ------------------------------------------------------------------
     # Registration & lookup
     # ------------------------------------------------------------------
     def register_cube(self, name: str, schema: CubeSchema, star: StarSchema) -> RegisteredCube:

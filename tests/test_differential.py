@@ -216,9 +216,15 @@ def test_random_cubes_four_ways(seed):
         _assert_same_cube(warm_engine.get(query), reference)
 
     # The parallel arms must have actually gone morsel-parallel (the
-    # query mix always contains gate-passing measures).
+    # query mix always contains gate-passing measures).  Under a global
+    # memory budget (the CI spill-smoke hook) the bounded-memory tier
+    # supersedes the parallel path by design — then the spill counter is
+    # the one that must show activity.
     for degree, engine in parallel_engines.items():
-        assert engine.metrics.get("engine.parallel.queries") >= 1, degree
+        if engine.memory_budget is None:
+            assert engine.metrics.get("engine.parallel.queries") >= 1, degree
+        else:
+            assert engine.metrics.get("engine.spill.queries") >= 1, degree
     assert warm_engine.result_cache.stats()["hits"] >= len(queries)
 
 
@@ -299,8 +305,13 @@ def test_benchmark_types_four_ways(ssb_arms, intention, variant):
 def test_parallel_arms_actually_parallelized(ssb_arms):
     """After the quantity variants ran, every parallel arm must show
     morsel-parallel executions — fallback-only arms would make the suite
-    vacuous."""
+    vacuous.  Under a global memory budget (the CI spill-smoke hook) the
+    bounded-memory tier supersedes the parallel path by design — then the
+    spill counter is the one that must show activity."""
     _, parallel, warm = ssb_arms
     for degree, arm in parallel.items():
-        assert arm.engine.metrics.get("engine.parallel.queries") >= 1, degree
+        if arm.engine.memory_budget is None:
+            assert arm.engine.metrics.get("engine.parallel.queries") >= 1, degree
+        else:
+            assert arm.engine.metrics.get("engine.spill.queries") >= 1, degree
     assert warm.engine.result_cache.stats()["hits"] >= 1

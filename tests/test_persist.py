@@ -162,7 +162,7 @@ class TestV2Store:
         assert {t["table"] for t in report["tables"]} == set(catalog.table_names())
         for table in report["tables"]:
             for column in table["columns"]:
-                assert column["encoding"] in ("plain", "dict", "rle")
+                assert column["encoding"] in ("plain", "dict", "rle", "for")
                 assert column["stored_bytes"] > 0
                 assert column["zones"] >= 1
 

@@ -55,6 +55,7 @@ def test_workload_codes_in_catalog():
     assert set(WORKLOAD_CODES) == {
         "ASSESS500", "ASSESS501", "ASSESS502", "ASSESS503",
         "ASSESS504", "ASSESS505", "ASSESS506", "ASSESS507",
+        "ASSESS508",
     }
     for code in WORKLOAD_CODES:
         assert code in ALL_CODES
