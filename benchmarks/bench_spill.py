@@ -13,8 +13,8 @@ aggregation tier over the out-of-core SSB ladder:
   chunk with :func:`repro.datagen.ssb.build_ssb_store` (peak RAM is one
   partition, never the table) and queried end to end out of core.
 
-Every arm runs in its own subprocess so ``ru_maxrss`` (kilobytes on
-Linux) is the arm's own peak, and every arm digests its result cells so
+Every arm runs in its own subprocess so the peak RSS (normalized to
+kilobytes by ``repro.obs.rss``) is the arm's own peak, and every arm digests its result cells so
 the driver can assert bit-identity.  The workload measure is
 ``quantity`` (integral), so the spill merge passes the float-exactness
 gate and the distributive re-aggregation is provably exact.
@@ -81,9 +81,8 @@ def _spill_counters(engine) -> dict:
 
 
 def worker(args) -> int:
-    import resource
-
     from repro.api import AssessSession
+    from repro.obs.rss import peak_rss_kb
     from repro.datagen.ssb import build_ssb_store, ssb_engine_from_catalog
     from repro.engine.persist import load_catalog
 
@@ -97,7 +96,7 @@ def worker(args) -> int:
             "mode": "save",
             "rows": args.rows,
             "save_s": time.perf_counter() - start,
-            "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+            "peak_rss_kb": peak_rss_kb(),
         }
         print(json.dumps(payload))
         return 0
@@ -127,7 +126,7 @@ def worker(args) -> int:
         "samples_s": samples,
         "min_s": min(samples),
         "median_s": statistics.median(samples),
-        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "peak_rss_kb": peak_rss_kb(),
         "result_cells": len(result.cube),
         "digest": _digest(result),
         "counters": _spill_counters(engine),

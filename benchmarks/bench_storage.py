@@ -9,8 +9,8 @@ Measures the two acceptance numbers of the storage layer:
   engine vs a memory-mapped v2 store, one ladder rung above the largest
   the in-RAM seed path was benchmarked at.  Target: >= 2x lower.
 
-Every arm runs in its own subprocess so ``ru_maxrss`` (kilobytes on
-Linux) is the arm's own peak, and every arm digests its result cells so
+Every arm runs in its own subprocess so the peak RSS (normalized to
+kilobytes by ``repro.obs.rss``) is the arm's own peak, and every arm digests its result cells so
 the driver can assert bit-identity.  The workload measure is
 ``quantity`` (integral), so re-clustering the store cannot reassociate
 its sums — cells stay bit-identical across all arms by construction.
@@ -79,9 +79,8 @@ def _storage_counters(engine) -> dict:
 
 
 def worker(args) -> int:
-    import resource
-
     from repro.api import AssessSession
+    from repro.obs.rss import peak_rss_kb
     from repro.datagen.ssb import ssb_engine, ssb_engine_from_catalog
     from repro.engine.persist import load_catalog, save_catalog
 
@@ -97,7 +96,7 @@ def worker(args) -> int:
             "mode": "save",
             "rows": args.rows,
             "save_s": time.perf_counter() - start,
-            "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+            "peak_rss_kb": peak_rss_kb(),
         }
         print(json.dumps(payload))
         return 0
@@ -124,7 +123,7 @@ def worker(args) -> int:
         "samples_s": samples,
         "min_s": min(samples),
         "median_s": statistics.median(samples),
-        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "peak_rss_kb": peak_rss_kb(),
         "digest": _digest(result),
         "counters": _storage_counters(engine),
     }

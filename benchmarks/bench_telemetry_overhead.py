@@ -1,0 +1,210 @@
+"""Telemetry overhead — a session without telemetry must be (nearly) free.
+
+The persistent query log (PR 9) is opt-in: a session constructed
+without ``telemetry=`` (and without ``REPRO_TELEMETRY_DIR``) pays one
+``is None`` check per statement.  This benchmark pins that promise on
+the 10-statement overlapping workload
+``examples/ssb_batch_workload.assess``, sequential and batched:
+
+* **stripped** — ``AssessSession.assess`` monkeypatched back to the
+  pre-telemetry body (plan + execute, no hook), the code with the
+  record hook gone;
+* **off** — the shipped session with telemetry disabled (the arm the
+  2% gate holds against stripped);
+* **enabled** — telemetry writing the query log + time-series hub
+  (reported honestly, not gated: serializing a record has a real cost
+  and is only paid when requested);
+* **profiled** — telemetry plus the 5 ms sampling profiler (the most
+  expensive opt-in configuration).
+
+Arms are interleaved and min-of-N wall times are compared, so the
+margin absorbs scheduler noise.  Results go to ``BENCH_PR9.json``.
+
+Usage::
+
+    python benchmarks/bench_telemetry_overhead.py                  # 60k rung
+    python benchmarks/bench_telemetry_overhead.py --rows 600000 --json BENCH_PR9.json
+    python benchmarks/bench_telemetry_overhead.py --smoke          # CI mode
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.analysis import extract_statements
+from repro.api import AssessSession
+from repro.experiments.statements import prepare_engine
+from repro.obs.telemetry import Telemetry
+
+WORKLOAD_FILE = (
+    Path(__file__).resolve().parent.parent
+    / "examples" / "ssb_batch_workload.assess"
+)
+OVERHEAD_CEILING = 0.02      # acceptance: telemetry-off overhead < 2%
+SMOKE_CEILING = 0.10         # CI mode: small rung, noisy boxes
+PROFILE_INTERVAL = 0.005
+
+
+def load_workload() -> list:
+    return extract_statements(WORKLOAD_FILE.read_text())
+
+
+@contextmanager
+def stripped_hook():
+    """Monkeypatch ``assess`` back to the pre-telemetry body."""
+    original = AssessSession.assess
+
+    def assess(self, statement, plan="best"):
+        resolved = self._resolve(statement)
+        return self._executor.execute(self.plan(resolved, plan), resolved)
+
+    AssessSession.assess = assess
+    try:
+        yield
+    finally:
+        AssessSession.assess = original
+
+
+def run_arm(session: AssessSession, statements, plan: str) -> float:
+    """One pass of the workload (sequential then batched), cold caches."""
+    session.clear_cache()
+    start = time.perf_counter()
+    for text in statements:
+        session.assess(text, plan=plan)
+    session.clear_cache()
+    session.execute_many(statements, plan=plan)
+    return time.perf_counter() - start
+
+
+def run_rung(rows: int, plan: str, repetitions: int, directory: Path,
+             seed: int = 7) -> dict:
+    statements = load_workload()
+    engine = prepare_engine(rows, seed=seed)
+    session = AssessSession(engine)
+    recorded = AssessSession(engine, telemetry=Telemetry(directory / "log"))
+    profiled = AssessSession(
+        engine,
+        telemetry=Telemetry(
+            directory / "profiled", profile_interval=PROFILE_INTERVAL
+        ),
+    )
+
+    # Warm dictionary encodings and key indexes once; all arms then see
+    # identical engine state.
+    run_arm(session, statements, plan)
+
+    times = {"stripped": [], "off": [], "enabled": [], "profiled": []}
+    for _ in range(repetitions):
+        # Interleaved so drift (thermal, page cache) hits all arms alike.
+        with stripped_hook():
+            times["stripped"].append(run_arm(session, statements, plan))
+        times["off"].append(run_arm(session, statements, plan))
+        times["enabled"].append(run_arm(recorded, statements, plan))
+        times["profiled"].append(run_arm(profiled, statements, plan))
+    recorded.telemetry.close()
+    profiled.telemetry.close()
+
+    stripped_s = min(times["stripped"])
+    record = {
+        "rows": rows,
+        "plan": plan,
+        "statements": len(statements),
+        "repetitions": repetitions,
+        "stripped_s": stripped_s,
+    }
+    for arm in ("off", "enabled", "profiled"):
+        record[f"{arm}_s"] = min(times[arm])
+        record[f"{arm}_overhead"] = min(times[arm]) / stripped_s - 1.0
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Query-log/telemetry overhead on the 10-statement SSB "
+        "workload (sequential + batched, cold caches)."
+    )
+    parser.add_argument("--rows", type=str, default="60000",
+                        help="comma-separated lineorder rungs "
+                        "(default: 60000)")
+    parser.add_argument("--plan", default="best",
+                        choices=("NP", "JOP", "POP", "best", "auto"))
+    parser.add_argument("--repetitions", type=int, default=5,
+                        help="interleaved repetitions per arm; min is "
+                        "reported (default: 5)")
+    parser.add_argument("--json", metavar="OUT", default="",
+                        help="write machine-readable results to OUT")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: one small rung, relaxed ceiling "
+                        f"({100 * SMOKE_CEILING:.0f}%%) for noisy runners")
+    args = parser.parse_args(argv)
+
+    rungs = [int(part) for part in args.rows.split(",") if part.strip()]
+    if args.smoke:
+        # One small rung; passes are a few ms there, so extra
+        # repetitions (min-of-N) are what keeps the gate un-flaky.
+        rungs = [60_000]
+        args.repetitions = max(args.repetitions, 8)
+    ceiling = SMOKE_CEILING if args.smoke else OVERHEAD_CEILING
+
+    print("telemetry overhead — 10-statement workload, "
+          "off vs stripped (gated), enabled/profiled for context")
+    results, failures = [], []
+    scratch = Path(tempfile.mkdtemp(prefix="bench-telemetry-"))
+    try:
+        for rows in rungs:
+            record = run_rung(
+                rows, args.plan, args.repetitions, scratch / str(rows)
+            )
+            overhead = record["off_overhead"]
+            record["ceiling"] = ceiling
+            record["within_ceiling"] = overhead < ceiling
+            results.append(record)
+            print(
+                f"  {rows:>9,} rows: stripped "
+                f"{1000 * record['stripped_s']:.1f} ms, "
+                f"off {1000 * record['off_s']:.1f} ms "
+                f"({100 * overhead:+.2f}%), "
+                f"enabled {1000 * record['enabled_s']:.1f} ms "
+                f"({100 * record['enabled_overhead']:+.1f}%), "
+                f"profiled {1000 * record['profiled_s']:.1f} ms "
+                f"({100 * record['profiled_overhead']:+.1f}%), "
+                f"ceiling {100 * ceiling:.0f}%"
+            )
+            if not record["within_ceiling"]:
+                failures.append(
+                    f"{rows} rows: telemetry-off overhead "
+                    f"{100 * overhead:.2f}% exceeds the "
+                    f"{100 * ceiling:.0f}% ceiling"
+                )
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    if args.json:
+        payload = {
+            "benchmark": "bench_telemetry_overhead",
+            "workload": str(WORKLOAD_FILE.name),
+            "plan": args.plan,
+            "ceiling": ceiling,
+            "rungs": results,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("ok: telemetry-off overhead within the ceiling")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

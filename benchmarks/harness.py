@@ -211,11 +211,11 @@ def main(argv=None) -> int:
             print(render_span_summary(summary))
         print(f"[{name} regenerated in {elapsed:.1f}s]")
     if args.json:
-        import resource
+        from repro.obs.rss import peak_rss_kb as _peak_rss_kb
 
-        # ru_maxrss is kilobytes on Linux; the harness's own peak, so the
-        # figure covers generation + every selected experiment.
-        peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # The harness's own peak, so the figure covers generation +
+        # every selected experiment (units normalized per platform).
+        peak_rss_kb = _peak_rss_kb()
         payload = {
             "ladder": runner.ladder,
             "repetitions": repetitions,

@@ -9,7 +9,10 @@ grouped by the layer that produces them:
 * ``ASSESS3xx`` — batch passes (checks over a statement *list*, run by
   ``repro batch`` and :func:`repro.analysis.lint.batch_diagnostics`);
 * ``ASSESS4xx`` — observability passes (pre-flight checks of ``repro
-  trace`` and :meth:`AssessSession.explain_analyze`);
+  trace`` and :meth:`AssessSession.explain_analyze`); the ``ASSESS41x``
+  subrange is the *runtime* telemetry watchdog (``repro history``,
+  :mod:`repro.obs.watchdog`), emitted over the persistent query log
+  rather than over source text;
 * ``ASSESS5xx`` — workload passes (whole-script abstract interpretation
   by :mod:`repro.analysis.flow`, run by ``repro lint --workload`` and
   :meth:`AssessSession.analyze_workload`).
@@ -100,6 +103,16 @@ ALL_CODES: Dict[str, CodeInfo] = {
         # -- observability passes (4xx) ---------------------------------------
         _info("ASSESS401", Severity.ERROR,
               "tracing requested on an unregistered cube"),
+        # -- telemetry watchdog advisories (41x) ------------------------------
+        _info("ASSESS410", Severity.WARNING,
+              "query latency regressed against the stored baseline"),
+        _info("ASSESS411", Severity.WARNING,
+              "cache-miss storm (hit rate collapsed against the baseline)"),
+        _info("ASSESS412", Severity.WARNING,
+              "spill pressure (most runs use the bounded-memory spill tier)"),
+        _info("ASSESS413", Severity.WARNING,
+              "parallel-fallback storm (exactness gate declines the "
+              "parallel merge)"),
         # -- workload passes (5xx) --------------------------------------------
         _info("ASSESS500", Severity.ERROR, "malformed workload directive"),
         _info("ASSESS501", Severity.WARNING,

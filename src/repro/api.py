@@ -49,6 +49,7 @@ class AssessSession:
         morsel_rows: Optional[int] = None,
         parallel_backend: str = "thread",
         memory_budget: Optional[int] = None,
+        telemetry=None,
     ):
         self.engine = engine
         # Copy the default registry so user registrations stay session-local.
@@ -80,6 +81,15 @@ class AssessSession:
         # safe to set globally.
         if memory_budget is not None:
             engine.set_memory_budget(memory_budget)
+        # Persistent telemetry: ``telemetry=`` takes a directory path or
+        # a shared :class:`repro.obs.telemetry.Telemetry`; ``None`` falls
+        # back to the REPRO_TELEMETRY_DIR environment variable (unset =
+        # disabled).  When enabled, every executed statement appends one
+        # record to the query log — see docs/observability.md
+        # "Persistent telemetry".  Recording never changes results.
+        from .obs.telemetry import Telemetry
+
+        self.telemetry = Telemetry.resolve(telemetry)
 
     def set_memory_budget(self, budget_bytes: Optional[int]) -> None:
         """Bound fact-pass grouping state (bytes); ``None`` removes it."""
@@ -205,9 +215,57 @@ class AssessSession:
         return build_all_plans(self._resolve(statement), self.engine)
 
     def assess(self, statement: StatementLike, plan: str = "best") -> AssessResult:
-        """Parse (if needed), plan, and execute an assess statement."""
+        """Parse (if needed), plan, and execute an assess statement.
+
+        With telemetry enabled the execution (plan choice included) is
+        additionally recorded as one query-log record — fingerprint,
+        per-phase timings, counter deltas, rows in/out; errors after a
+        successful parse are recorded too (``status: "error"``) and
+        re-raised unchanged.
+        """
         resolved = self._resolve(statement)
-        return self._executor.execute(self.plan(resolved, plan), resolved)
+        if self.telemetry is None:
+            return self._executor.execute(self.plan(resolved, plan), resolved)
+        return self._assess_recorded(resolved, plan)
+
+    def _assess_recorded(
+        self, resolved: AssessStatement, plan: str
+    ) -> AssessResult:
+        import time
+
+        telemetry = self.telemetry
+        counters_before = self.engine.metrics.snapshot()["counters"]
+        start = time.perf_counter()
+        try:
+            built = self.plan(resolved, plan)
+            result = self._executor.execute(built, resolved)
+        except Exception as error:
+            telemetry.record_statement(
+                resolved,
+                plan_name=plan,
+                status="error",
+                total_s=time.perf_counter() - start,
+                counters_before=counters_before,
+                counters_after=self.engine.metrics.snapshot()["counters"],
+                error=f"{type(error).__name__}: {error}",
+                parallelism=self.parallelism,
+                memory_budget=self.memory_budget,
+            )
+            raise
+        telemetry.record_statement(
+            resolved,
+            plan_name=result.plan_name,
+            status="ok",
+            total_s=time.perf_counter() - start,
+            phases=result.timings,
+            rows_out=len(result),
+            cells_out=len(result.cube) * max(len(result.cube.measures), 1),
+            counters_before=counters_before,
+            counters_after=self.engine.metrics.snapshot()["counters"],
+            parallelism=self.parallelism,
+            memory_budget=self.memory_budget,
+        )
+        return result
 
     def execute_plan(self, plan: Plan, statement: StatementLike) -> AssessResult:
         """Execute an already-built plan (benchmark harness entry point)."""

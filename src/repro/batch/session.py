@@ -152,13 +152,44 @@ def run_batch(
     results: List[AssessResult] = []
     seconds: List[float] = []
     tracer = _active_tracer()
+    # Telemetry record hook: with a query log attached, every batch
+    # statement writes its own record (batch-tagged, per-statement
+    # counter deltas — statements run sequentially, so the delta between
+    # consecutive snapshots is attributable).  ``None`` costs one load.
+    telemetry = getattr(session, "telemetry", None)
+    batch_id = None
+    if telemetry is not None:
+        import os as _os
+
+        batch_id = f"{telemetry.session_id}-{_os.urandom(3).hex()}"
     try:
         with tracer.span("batch", statements=len(resolved)):
             for index, (built, statement) in enumerate(zip(plans, resolved)):
+                counters_before = (
+                    engine.metrics.snapshot()["counters"]
+                    if telemetry is not None else None
+                )
                 with tracer.span("statement", index=index, plan=built.name):
                     start = time.perf_counter()
                     results.append(session._executor.execute(built, statement))
                     seconds.append(time.perf_counter() - start)
+                if telemetry is not None:
+                    result = results[-1]
+                    telemetry.record_statement(
+                        statement,
+                        plan_name=result.plan_name,
+                        status="ok",
+                        total_s=seconds[-1],
+                        phases=result.timings,
+                        rows_out=len(result),
+                        cells_out=len(result.cube)
+                        * max(len(result.cube.measures), 1),
+                        counters_before=counters_before,
+                        counters_after=engine.metrics.snapshot()["counters"],
+                        batch=batch_id,
+                        parallelism=session.parallelism,
+                        memory_budget=engine.memory_budget,
+                    )
     finally:
         engine.executor = original
     after = cache.counters.snapshot()

@@ -643,6 +643,202 @@ def storage_main(argv=None) -> int:
     return 0
 
 
+def history_main(argv=None) -> int:
+    """The ``history`` subcommand: aggregate the query log, run the watchdog.
+
+    Reads every record of a telemetry directory (written by sessions
+    with ``telemetry=`` / ``REPRO_TELEMETRY_DIR``), folds them into
+    per-fingerprint statistics with exact p50/p95/p99 latency, compares
+    against the stored baseline, and prints the ASSESS41x advisories —
+    slow-query regression, cache-miss storm, spill pressure,
+    parallel-fallback storm.  ``--write-baseline`` records the current
+    aggregates as the new reference; ``--prometheus`` re-exports the
+    logged history in Prometheus text format; ``--bench`` appends the
+    BENCH_*.json trajectory.  Exit status is 0 unless ``--strict`` is
+    given and advisories fired (CI-friendly either way).
+    """
+    import json
+    import os
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli history",
+        description="Aggregate the persistent query log per statement "
+        "fingerprint, compare against the stored baseline, and emit "
+        "ASSESS41x regression advisories (see docs/observability.md).",
+    )
+    parser.add_argument("directory", nargs="?", default=None,
+                        help="telemetry directory (default: the "
+                        "REPRO_TELEMETRY_DIR environment variable)")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="baseline file (default: "
+                        "<directory>/baseline.json)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="store the current aggregates as the new "
+                        "baseline instead of comparing")
+    parser.add_argument("--slow-factor", type=float, default=None,
+                        help="p95 regression threshold vs baseline "
+                        "(default: 3.0)")
+    parser.add_argument("--min-runs", type=int, default=None,
+                        help="minimum runs before a rule may fire "
+                        "(default: 2)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the aggregates and advisories as JSON")
+    parser.add_argument("--prometheus", action="store_true",
+                        help="emit the logged history in Prometheus text "
+                        "exposition format instead of the table")
+    parser.add_argument("--bench", metavar="DIR", nargs="?", const=".",
+                        default=None,
+                        help="also summarize the BENCH_*.json trajectory "
+                        "found in DIR (default: the current directory)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when any advisory fires")
+    args = parser.parse_args(argv)
+
+    from .obs.qlog import QueryLogError, iter_records
+    from .obs.watchdog import (
+        BASELINE_FILENAME,
+        DEFAULT_MIN_RUNS,
+        DEFAULT_SLOW_FACTOR,
+        aggregate_history,
+        bench_trajectory,
+        load_baseline,
+        watch,
+        write_baseline,
+    )
+
+    directory = args.directory or os.environ.get("REPRO_TELEMETRY_DIR", "")
+    if not directory:
+        print("error: no telemetry directory (pass one or set "
+              "REPRO_TELEMETRY_DIR)", file=sys.stderr)
+        return 2
+    try:
+        records = list(iter_records(directory))
+    except QueryLogError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    history = aggregate_history(records)
+    baseline_path = args.baseline or os.path.join(directory, BASELINE_FILENAME)
+
+    if args.write_baseline:
+        document = write_baseline(history, baseline_path)
+        print(f"baseline written to {baseline_path} "
+              f"({len(document['fingerprints'])} fingerprints, "
+              f"{len(records)} records)")
+        return 0
+
+    if args.prometheus:
+        from .obs.export import to_prometheus
+        from .obs.metrics import MetricsRegistry
+        from .obs.timeseries import TelemetryHub
+
+        registry = MetricsRegistry()
+        hub = TelemetryHub()
+        for record in records:
+            counters = record.get("counters")
+            if isinstance(counters, dict):
+                for name, value in counters.items():
+                    if isinstance(value, int) and value > 0:
+                        registry.inc(name, value)
+            if record.get("status") != "ok":
+                continue
+            ts = float(record.get("ts", 0.0))
+            hub.observe_latency(
+                "query.seconds", float(record.get("total_s", 0.0)), ts=ts
+            )
+            phases = record.get("phases")
+            if isinstance(phases, dict):
+                for step, seconds in phases.items():
+                    hub.observe_latency(
+                        f"phase.{step}.seconds", float(seconds), ts=ts
+                    )
+        sys.stdout.write(to_prometheus(registry, hub))
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    advisories = watch(
+        history,
+        baseline,
+        slow_factor=args.slow_factor or DEFAULT_SLOW_FACTOR,
+        min_runs=args.min_runs or DEFAULT_MIN_RUNS,
+    )
+
+    if args.json:
+        payload = {
+            "directory": str(directory),
+            "records": len(records),
+            "baseline": baseline_path if baseline is not None else None,
+            "fingerprints": {
+                fingerprint: stats.to_json()
+                for fingerprint, stats in sorted(history.items())
+            },
+            "advisories": [
+                {"code": advisory.code,
+                 "fingerprint": advisory.fingerprint,
+                 "message": advisory.message}
+                for advisory in advisories
+            ],
+        }
+        if args.bench is not None:
+            payload["bench_trajectory"] = bench_trajectory(args.bench)
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_history(history, records, baseline is not None))
+        for advisory in advisories:
+            print(advisory.render())
+        if not advisories:
+            print("watchdog: no advisories"
+                  + ("" if baseline is not None
+                     else " (no baseline yet — run --write-baseline)"))
+        if args.bench is not None:
+            print()
+            print(render_bench_trajectory(bench_trajectory(args.bench)))
+    return 1 if (args.strict and advisories) else 0
+
+
+def render_history(history, records, has_baseline: bool) -> str:
+    """The per-fingerprint history table ``repro history`` prints."""
+    lines = [
+        f"query history: {len(records)} records, "
+        f"{len(history)} fingerprints"
+        + (", baseline loaded" if has_baseline else ""),
+        f"{'fingerprint':<18}{'statement':<34}{'runs':>5}{'err':>4}"
+        f"{'p50 ms':>9}{'p95 ms':>9}{'p99 ms':>9}{'cache%':>7}"
+        f"{'spill':>6}{'fb':>4}",
+    ]
+    for fingerprint in sorted(
+        history, key=lambda fp: -history[fp].p95
+    ):
+        stats = history[fingerprint]
+        label = f"{stats.cube}.{stats.measure} by " + ",".join(
+            stats.group_by
+        )
+        if len(label) > 33:
+            label = label[:30] + "..."
+        lines.append(
+            f"{fingerprint:<18}{label:<34}{stats.runs:>5}{stats.errors:>4}"
+            f"{1000 * stats.p50:>9.1f}{1000 * stats.p95:>9.1f}"
+            f"{1000 * stats.p99:>9.1f}"
+            f"{100 * stats.cache_hit_rate:>6.0f}%"
+            f"{stats.spill_runs:>6}{stats.fallback_runs:>4}"
+        )
+    return "\n".join(lines)
+
+
+def render_bench_trajectory(rows) -> str:
+    """The BENCH_*.json summary table of ``repro history --bench``."""
+    lines = ["benchmark trajectory (BENCH_*.json):"]
+    if not rows:
+        return lines[0] + " none found"
+    for row in rows:
+        lines.append(f"  {row['file']}  {row['benchmark']}")
+        for name, value in list(row["metrics"].items())[:6]:
+            lines.append(f"    {name:<58}{value:>12.4f}")
+        remaining = len(row["metrics"]) - 6
+        if remaining > 0:
+            lines.append(f"    ... plus {remaining} more metrics")
+    return "\n".join(lines)
+
+
 def lint_main(argv=None) -> int:
     """The ``lint`` subcommand: statically analyze statement files.
 
@@ -789,6 +985,8 @@ def main(argv=None) -> int:
         return cube_main(argv[1:])
     if argv and argv[0] == "storage":
         return storage_main(argv[1:])
+    if argv and argv[0] == "history":
+        return history_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Run assess statements against a bundled demo cube.",

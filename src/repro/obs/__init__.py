@@ -36,9 +36,31 @@ _LAZY = {
     "render_span_summary": "export",
     "render_span_tree": "export",
     "summarize_spans": "export",
+    "to_prometheus": "export",
     "trace_to_chrome": "export",
     "trace_to_json": "export",
     "validate_trace": "export",
+    # Persistent telemetry (see docs/observability.md "Persistent
+    # telemetry"): all lazy — only sessions that enable telemetry pay
+    # the imports.
+    "QueryLog": "qlog",
+    "QueryLogError": "qlog",
+    "iter_records": "qlog",
+    "statement_fingerprint": "qlog",
+    "validate_record": "qlog",
+    "LogHistogram": "timeseries",
+    "RingBuffer": "timeseries",
+    "TelemetryHub": "timeseries",
+    "SamplingProfiler": "profiler",
+    "profiling": "profiler",
+    "Telemetry": "telemetry",
+    "Advisory": "watchdog",
+    "FingerprintStats": "watchdog",
+    "aggregate_history": "watchdog",
+    "load_history": "watchdog",
+    "watch": "watchdog",
+    "peak_rss_bytes": "rss",
+    "peak_rss_kb": "rss",
 }
 
 __all__ = [

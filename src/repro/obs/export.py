@@ -189,6 +189,97 @@ def summarize_spans(tracer: Tracer) -> Dict[str, Dict[str, float]]:
     return summary
 
 
+# ----------------------------------------------------------------------
+# Prometheus text exposition (format 0.0.4)
+# ----------------------------------------------------------------------
+def _prom_name(name: str, namespace: str = "repro") -> str:
+    """A metric name sanitized to Prometheus's [a-zA-Z0-9_:] alphabet."""
+    import re
+
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    return f"{namespace}_{cleaned}"
+
+
+def _prom_value(value: float) -> str:
+    import math
+
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value)) if not float(value).is_integer() else str(int(value))
+
+
+def to_prometheus(metrics=None, hub=None, namespace: str = "repro") -> str:
+    """The metrics registry (+ optional telemetry hub) as Prometheus text.
+
+    * every **counter** exports as ``<ns>_<name>_total`` (dots become
+      underscores: ``engine.scans`` → ``repro_engine_scans_total``);
+    * every registry **running-stat histogram** (the tracer-fed
+      ``<span>.seconds`` entries) exports its count/sum/min/max as
+      gauges;
+    * every hub **log-bucketed latency histogram** exports as a real
+      Prometheus histogram (cumulative ``le`` buckets + ``_count`` +
+      ``_sum``) plus convenience p50/p95/p99 gauges.
+
+    With no arguments it exports the process-wide :data:`METRICS`
+    roll-up — the "scrape the process" default.
+    """
+    from .metrics import METRICS
+
+    registry = METRICS if metrics is None else metrics
+    lines: List[str] = []
+    snapshot = registry.snapshot()
+
+    for name in sorted(snapshot["counters"]):
+        family = _prom_name(name, namespace) + "_total"
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family} {snapshot['counters'][name]}")
+
+    for name in sorted(snapshot["histograms"]):
+        bucket = snapshot["histograms"][name]
+        family = _prom_name(name, namespace)
+        lines.append(f"# TYPE {family}_count gauge")
+        lines.append(f"{family}_count {int(bucket.get('count', 0))}")
+        lines.append(f"# TYPE {family}_sum gauge")
+        lines.append(f"{family}_sum {_prom_value(bucket.get('total', 0.0))}")
+        for stat in ("min", "max"):
+            value = bucket.get(stat)
+            if value is not None and abs(value) != float("inf"):
+                lines.append(f"# TYPE {family}_{stat} gauge")
+                lines.append(f"{family}_{stat} {_prom_value(value)}")
+
+    if hub is not None:
+        lines.extend(_hub_to_prometheus(hub, namespace))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _hub_to_prometheus(hub, namespace: str) -> List[str]:
+    lines: List[str] = []
+    snapshot = hub.snapshot()
+    for name in sorted(snapshot["histograms"]):
+        histogram = hub.histogram(name)
+        if histogram is None:  # pragma: no cover - racing reset
+            continue
+        family = _prom_name(name, namespace)
+        lines.append(f"# TYPE {family} histogram")
+        for upper, cumulative in histogram.cumulative_buckets():
+            lines.append(
+                f'{family}_bucket{{le="{_prom_value(upper)}"}} {cumulative}'
+            )
+        lines.append(f"{family}_count {histogram.count}")
+        lines.append(f"{family}_sum {_prom_value(histogram.total)}")
+        summary = snapshot["histograms"][name]
+        for quantile in ("p50", "p95", "p99"):
+            lines.append(f"# TYPE {family}_{quantile} gauge")
+            lines.append(f"{family}_{quantile} {_prom_value(summary[quantile])}")
+    for name in sorted(snapshot["series"]):
+        if name in snapshot["histograms"]:
+            continue  # latency series already exported as a histogram
+        family = _prom_name(name, namespace)
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {_prom_value(snapshot['series'][name]['last'])}")
+    return lines
+
+
 def render_span_summary(summary: Dict[str, Dict[str, float]]) -> str:
     """The span summary as an aligned table, busiest (self time) first."""
     lines = [f"{'span':<22} {'count':>7} {'total ms':>12} {'self ms':>12}"]

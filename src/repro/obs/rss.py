@@ -1,0 +1,43 @@
+"""Peak-RSS readings with the platform unit quirk normalised away.
+
+``resource.getrusage(...).ru_maxrss`` is the process's high-water
+resident set size, but its unit is platform-defined: Linux reports
+**kilobytes**, macOS reports **bytes** (and the BSDs kilobytes again).
+Every consumer that wants a comparable figure — the benchmark harness,
+the storage/spill benchmarks, the query log — must apply the same
+correction, so it lives here once instead of being hand-rolled at each
+call site.
+
+On platforms without the ``resource`` module (Windows), both helpers
+return 0 rather than raising: peak RSS is a nice-to-have annotation,
+never a load-bearing measurement.
+"""
+
+from __future__ import annotations
+
+import sys
+
+try:  # pragma: no cover - resource exists on every POSIX platform
+    import resource
+except ImportError:  # pragma: no cover - Windows
+    resource = None  # type: ignore[assignment]
+
+
+def peak_rss_bytes() -> int:
+    """The process's peak resident set size in bytes (0 if unknown)."""
+    if resource is None:  # pragma: no cover - Windows
+        return 0
+    raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # macOS reports bytes directly
+        return int(raw)
+    return int(raw) * 1024  # Linux/BSD report kilobytes
+
+
+def peak_rss_kb() -> int:
+    """The process's peak resident set size in kilobytes (0 if unknown).
+
+    This is the unit the ``BENCH_*.json`` documents record
+    (``peak_rss_kb``), so benchmarks report identical figures on Linux
+    and macOS.
+    """
+    return peak_rss_bytes() // 1024

@@ -1,0 +1,173 @@
+"""Session telemetry: the bundle a session writes its history through.
+
+A :class:`Telemetry` object owns the three per-session pieces of the
+persistent telemetry tier and is what :class:`repro.api.AssessSession`
+drives when constructed with ``telemetry=`` (or when
+``REPRO_TELEMETRY_DIR`` is set):
+
+* the durable **query log** (:class:`repro.obs.qlog.QueryLog`) — one
+  JSONL record per executed statement;
+* the in-memory **time-series hub**
+  (:class:`repro.obs.timeseries.TelemetryHub`) — log-bucketed latency
+  histograms (``query.seconds``, ``phase.<step>.seconds``) and recent
+  rows-out points, exported by
+  :func:`repro.obs.export.to_prometheus`;
+* optionally the **sampling profiler**
+  (:class:`repro.obs.profiler.SamplingProfiler`), enabled by
+  ``REPRO_TELEMETRY_PROFILE`` (or ``profile_interval=``), whose
+  collapsed stacks land in ``profile-<session>.collapsed`` next to the
+  query log on close.
+
+Recording is strictly additive — it never changes what executes — and
+every hook in the session is guarded by ``if telemetry is None`` so a
+session without telemetry pays one attribute load per statement
+(benchmarked in ``benchmarks/bench_telemetry_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from pathlib import Path
+from typing import Dict, Optional
+
+from .qlog import QueryLog, build_record, counters_delta
+from .timeseries import TelemetryHub
+
+ENV_DIR = "REPRO_TELEMETRY_DIR"
+ENV_PROFILE = "REPRO_TELEMETRY_PROFILE"
+
+
+class Telemetry:
+    """Everything one session needs to persist its workload history."""
+
+    def __init__(
+        self,
+        directory,
+        max_bytes: Optional[int] = None,
+        keep: Optional[int] = None,
+        profile_interval: Optional[float] = None,
+        session_id: Optional[str] = None,
+    ):
+        kwargs = {}
+        if max_bytes is not None:
+            kwargs["max_bytes"] = max_bytes
+        if keep is not None:
+            kwargs["keep"] = keep
+        self.directory = Path(directory)
+        self.log = QueryLog(self.directory, **kwargs)
+        self.hub = TelemetryHub()
+        self.session_id = session_id or os.urandom(6).hex()
+        self._seq = 0
+        self._lock = threading.Lock()
+        self.profiler = None
+        if profile_interval is not None:
+            from .profiler import SamplingProfiler
+
+            self.profiler = SamplingProfiler(interval=profile_interval)
+            self.profiler.start()
+        self._closed = False
+        atexit.register(self.close)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_env(cls) -> "Optional[Telemetry]":
+        """A telemetry bundle per ``REPRO_TELEMETRY_DIR``, or ``None``."""
+        directory = os.environ.get(ENV_DIR, "").strip()
+        if not directory:
+            return None
+        from .profiler import profile_env_interval
+
+        return cls(directory, profile_interval=profile_env_interval())
+
+    @classmethod
+    def resolve(cls, telemetry) -> "Optional[Telemetry]":
+        """Coerce a session's ``telemetry=`` argument.
+
+        ``None`` falls back to the environment; a path-like starts a
+        bundle in that directory; a :class:`Telemetry` passes through
+        (so several sessions can share one log and hub).
+        """
+        if telemetry is None:
+            return cls.from_env()
+        if isinstance(telemetry, Telemetry):
+            return telemetry
+        return cls(telemetry)
+
+    # ------------------------------------------------------------------
+    def record_statement(
+        self,
+        statement,
+        *,
+        plan_name: str,
+        status: str,
+        total_s: float,
+        phases: Optional[Dict[str, float]] = None,
+        rows_out: int = 0,
+        cells_out: int = 0,
+        counters_before: Optional[Dict[str, int]] = None,
+        counters_after: Optional[Dict[str, int]] = None,
+        error: Optional[str] = None,
+        batch: Optional[str] = None,
+        parallelism: int = 1,
+        memory_budget: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Build, persist, and time-series one statement record."""
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+        counters = counters_delta(counters_before or {}, counters_after or {})
+        record = build_record(
+            statement,
+            session_id=self.session_id,
+            seq=seq,
+            plan_name=plan_name,
+            status=status,
+            total_s=total_s,
+            phases=phases,
+            rows_out=rows_out,
+            cells_out=cells_out,
+            counters=counters,
+            error=error,
+            batch=batch,
+            parallelism=parallelism,
+            memory_budget=memory_budget,
+            profiled=self.profiler is not None,
+        )
+        self.log.append(record)
+        ts = float(record["ts"])
+        if status == "ok":
+            self.hub.observe_latency("query.seconds", total_s, ts=ts)
+            for step, seconds in (phases or {}).items():
+                self.hub.observe_latency(
+                    f"phase.{step}.seconds", seconds, ts=ts
+                )
+            self.hub.record_point("query.rows_out", rows_out, ts=ts)
+        else:
+            self.hub.record_point("query.errors", 1.0, ts=ts)
+        return record
+
+    # ------------------------------------------------------------------
+    def profile_path(self) -> Path:
+        return self.directory / f"profile-{self.session_id}.collapsed"
+
+    def close(self) -> None:
+        """Stop the profiler (writing its stacks) and close the log."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.profiler is not None:
+            self.profiler.stop()
+            if self.profiler.samples:
+                try:
+                    self.profiler.write(self.profile_path())
+                except OSError:  # pragma: no cover - dir vanished
+                    pass
+        self.log.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Telemetry({str(self.directory)!r}, "
+            f"session={self.session_id!r}, seq={self._seq})"
+        )

@@ -1,0 +1,276 @@
+"""In-memory time series: ring buffers and log-bucketed histograms.
+
+The metrics registry (:mod:`repro.obs.metrics`) keeps monotonic
+counters and min/max/total running stats — enough for "what happened",
+not for "how is latency distributed" or "what happened lately".  This
+module adds the two fixed-memory structures a long-running server
+needs:
+
+* :class:`RingBuffer` — the last N (timestamp, value) points of a
+  metric, overwritten in place, for "recent history" sparklines and
+  rate computation;
+* :class:`LogHistogram` — latency observations bucketed on a
+  geometric grid (constant *relative* resolution, like HDR histograms
+  and Prometheus native histograms), from which p50/p95/p99 are read
+  in O(buckets) with bounded relative error;
+* :class:`TelemetryHub` — the per-session registry of both, fed by the
+  query-log hook on every executed statement and exported by
+  :func:`repro.obs.export.to_prometheus`.
+
+Everything here is bounded-memory by construction: a hub never grows
+with the number of queries, only with the number of distinct metric
+names.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+DEFAULT_CAPACITY = 1024
+
+# Latency grid: 10 µs lowest bucket, ~19% per step (2**0.25), 96 steps
+# → covers 10 µs .. ~76 s with <= ~9% relative quantile error.
+DEFAULT_LOWEST = 1e-5
+DEFAULT_GROWTH = 2 ** 0.25
+DEFAULT_BUCKETS = 96
+
+
+class RingBuffer:
+    """A fixed-capacity ring of (timestamp, value) points."""
+
+    __slots__ = ("capacity", "_points", "_next", "_count")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._points: List[Tuple[float, float]] = [(0.0, 0.0)] * capacity
+        self._next = 0
+        self._count = 0
+
+    def push(self, value: float, ts: Optional[float] = None) -> None:
+        self._points[self._next] = (
+            time.time() if ts is None else ts, float(value)
+        )
+        self._next = (self._next + 1) % self.capacity
+        if self._count < self.capacity:
+            self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def points(self) -> List[Tuple[float, float]]:
+        """The retained points, oldest first."""
+        if self._count < self.capacity:
+            return list(self._points[: self._count])
+        return list(self._points[self._next:]) + list(self._points[: self._next])
+
+    def values(self) -> List[float]:
+        return [value for _, value in self.points()]
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        if not self._count:
+            return None
+        return self._points[(self._next - 1) % self.capacity]
+
+
+class LogHistogram:
+    """Latency histogram on a geometric bucket grid.
+
+    Bucket ``i`` covers ``(lowest * growth**(i-1), lowest * growth**i]``;
+    bucket 0 covers ``[0, lowest]`` and the last bucket is an overflow.
+    Quantiles interpolate linearly inside the containing bucket, so the
+    estimate's relative error is bounded by the bucket width (~9% at
+    the default growth) — property-tested against a numpy oracle in
+    ``tests/test_telemetry.py``.
+    """
+
+    __slots__ = ("lowest", "growth", "_log_growth", "counts", "count",
+                 "total", "min", "max")
+
+    def __init__(
+        self,
+        lowest: float = DEFAULT_LOWEST,
+        growth: float = DEFAULT_GROWTH,
+        buckets: int = DEFAULT_BUCKETS,
+    ):
+        if lowest <= 0 or growth <= 1 or buckets < 2:
+            raise ValueError("need lowest > 0, growth > 1, buckets >= 2")
+        self.lowest = lowest
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        self.counts = [0] * (buckets + 1)  # +1 = overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if value < 0 or math.isnan(value):
+            value = 0.0
+        self.counts[self._index(value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def _index(self, value: float) -> int:
+        if value <= self.lowest:
+            return 0
+        index = int(math.ceil(math.log(value / self.lowest) / self._log_growth))
+        return min(index, len(self.counts) - 1)
+
+    def upper_bound(self, index: int) -> float:
+        """The inclusive upper boundary of a bucket (inf for overflow)."""
+        if index >= len(self.counts) - 1:
+            return math.inf
+        return self.lowest * self.growth ** index
+
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> float:
+        """The q-quantile estimate (q in [0, 1]); 0.0 when empty."""
+        if not self.count:
+            return 0.0
+        if q <= 0:
+            return self.min
+        if q >= 1:
+            return self.max
+        rank = q * self.count
+        seen = 0.0
+        for index, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            if seen + bucket_count >= rank:
+                low = 0.0 if index == 0 else self.upper_bound(index - 1)
+                high = self.upper_bound(index)
+                if math.isinf(high):  # overflow bucket: best effort
+                    high = max(self.max, low)
+                low = max(low, self.min)
+                high = min(high, self.max)
+                if high <= low:
+                    return high
+                fraction = (rank - seen) / bucket_count
+                return low + fraction * (high - low)
+            seen += bucket_count
+        return self.max  # pragma: no cover - ranks always land above
+
+    def percentiles(self) -> Dict[str, float]:
+        """The snapshot dict every exporter reads: p50/p95/p99 + stats."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": 0.0 if math.isinf(self.min) else self.min,
+            "max": 0.0 if math.isinf(self.max) else self.max,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs, Prometheus-style.
+
+        Only buckets up to the highest non-empty one are emitted (plus
+        the +Inf overflow), so an idle histogram exports compactly.
+        """
+        pairs: List[Tuple[float, int]] = []
+        cumulative = 0
+        highest = max(
+            (i for i, c in enumerate(self.counts) if c), default=-1
+        )
+        for index in range(highest + 1):
+            cumulative += self.counts[index]
+            pairs.append((self.upper_bound(index), cumulative))
+        if not pairs or not math.isinf(pairs[-1][0]):
+            pairs.append((math.inf, self.count))
+        return pairs
+
+
+class TelemetryHub:
+    """Per-session time-series registry: histograms + recent points.
+
+    Thread-safe (several session threads may record at once).  The
+    query-log hook feeds it one latency observation per statement
+    (``query.seconds``), one per plan phase
+    (``phase.<step>.seconds``), and a ``query.rows_out`` series; any
+    component may add more.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.capacity = capacity
+        self._histograms: Dict[str, LogHistogram] = {}
+        self._series: Dict[str, RingBuffer] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def observe_latency(
+        self, name: str, seconds: float, ts: Optional[float] = None
+    ) -> None:
+        """Record one latency sample into histogram + recent series."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = LogHistogram()
+            histogram.observe(seconds)
+            series = self._series.get(name)
+            if series is None:
+                series = self._series[name] = RingBuffer(self.capacity)
+            series.push(seconds, ts=ts)
+
+    def record_point(
+        self, name: str, value: float, ts: Optional[float] = None
+    ) -> None:
+        """Record one plain time-series point (no histogram)."""
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                series = self._series[name] = RingBuffer(self.capacity)
+            series.push(value, ts=ts)
+
+    # ------------------------------------------------------------------
+    def histogram(self, name: str) -> Optional[LogHistogram]:
+        with self._lock:
+            return self._histograms.get(name)
+
+    def series(self, name: str) -> Optional[RingBuffer]:
+        with self._lock:
+            return self._series.get(name)
+
+    def percentiles(self, name: str) -> Dict[str, float]:
+        """p50/p95/p99 snapshot of one latency metric (zeros if unseen)."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+        if histogram is None:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return histogram.percentiles()
+
+    def snapshot(self) -> Dict[str, object]:
+        """Every histogram's percentile summary + every series' tail."""
+        with self._lock:
+            histogram_names = list(self._histograms)
+            series_items = {
+                name: ring.last() for name, ring in self._series.items()
+            }
+        return {
+            "histograms": {
+                name: self.percentiles(name) for name in histogram_names
+            },
+            "series": {
+                name: {"last_ts": point[0], "last": point[1]}
+                for name, point in series_items.items()
+                if point is not None
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TelemetryHub(histograms={len(self._histograms)}, "
+            f"series={len(self._series)})"
+        )

@@ -13,6 +13,21 @@ from repro.engine import Catalog, DimensionBinding, StarSchema, Table
 from repro.olap import MultidimensionalEngine, hydrate_hierarchies
 
 
+@pytest.fixture(autouse=True)
+def _reset_global_metrics():
+    """Counter isolation: every test starts with pristine global METRICS.
+
+    Engine registries propagate into the process-wide roll-up, so
+    without this a test asserting on ``METRICS`` counter values would
+    see increments leaked by whichever tests ran before it.
+    """
+    from repro.obs.metrics import METRICS
+
+    METRICS.reset()
+    yield
+    METRICS.reset()
+
+
 @pytest.fixture(scope="session")
 def sales():
     """The SALES example engine (20k fact rows, hydrated hierarchies)."""
