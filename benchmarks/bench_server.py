@@ -1,0 +1,251 @@
+"""Server load test — latency percentiles under concurrent tenants.
+
+Stands up an in-process :class:`repro.server.ReproServer` with two
+tenants (sales + SSB) and drives it with N client threads issuing a
+mixed workload over plain ``urllib`` (the same wire a real client
+uses, socket and JSON round-trips included):
+
+* **warm**  — the same statement repeatedly: after the first execution
+  every request is a semantic-cache hit, so this arm measures the
+  serving floor (HTTP + admission + serialization);
+* **cold**  — a rotating family of statements whose benchmark constant
+  varies, so each is a distinct fingerprint and most requests execute
+  a real plan;
+* **fused** — ``POST /v1/batch`` with the four paper intentions, the
+  batch fusion path under concurrency.
+
+Per arm the harness records p50/p95/p99 latency, throughput, and the
+error rate; the acceptance gate is the ISSUE's load shape — **16
+clients × 2 tenants, zero errors**.  Results go to ``BENCH_PR10.json``.
+
+Usage::
+
+    python benchmarks/bench_server.py                      # full run
+    python benchmarks/bench_server.py --clients 32 --requests 40
+    python benchmarks/bench_server.py --smoke              # CI mode
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.experiments.statements import statement_text
+from repro.server import (
+    AdmissionConfig,
+    ReproServer,
+    ServerConfig,
+    TenantConfig,
+)
+
+SALES_WARM = "with SALES by month assess storeSales labels quartiles"
+SSB_WARM = "with SSB by year assess revenue labels quartiles"
+FUSED_STATEMENTS = [
+    statement_text("Constant"),
+    statement_text("External"),
+    statement_text("Sibling"),
+    statement_text("Past"),
+]
+
+
+def cold_statement(tenant_id: str, index: int) -> str:
+    """A distinct-fingerprint statement per index (constant varies)."""
+    constant = 10_000 + 137 * index
+    if tenant_id == "acme":
+        return (
+            f"with SALES by month assess storeSales against {constant} "
+            f"using ratio(storeSales, {constant}) "
+            "labels {[0, 1): low, [1, 100): high}"
+        )
+    return (
+        f"with SSB by year assess revenue against {constant} "
+        f"using ratio(revenue, {constant}) "
+        "labels {[0, 1): low, [1, 100): high}"
+    )
+
+
+def _post(url: str, payload: dict, timeout: float = 120.0):
+    import urllib.error
+    import urllib.request
+
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"), method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def percentile(sorted_values, q: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(q / 100.0 * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def run_arm(server, arm: str, clients: int, requests_per_client: int):
+    """Drive one workload arm with ``clients`` threads; return stats."""
+    latencies = []
+    errors = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients + 1, timeout=300.0)
+
+    def client(index: int) -> None:
+        tenant_id = "acme" if index % 2 == 0 else "globex"
+        barrier.wait()
+        for turn in range(requests_per_client):
+            if arm == "warm":
+                payload = {
+                    "tenant": tenant_id,
+                    "statement": SALES_WARM if tenant_id == "acme" else SSB_WARM,
+                }
+                url = f"{server.url}/v1/query"
+            elif arm == "cold":
+                payload = {
+                    "tenant": tenant_id,
+                    "statement": cold_statement(
+                        tenant_id, index * requests_per_client + turn
+                    ),
+                }
+                url = f"{server.url}/v1/query"
+            else:  # fused
+                payload = {"tenant": "globex", "statements": FUSED_STATEMENTS}
+                url = f"{server.url}/v1/batch"
+            start = time.perf_counter()
+            try:
+                status, body = _post(url, payload)
+            except Exception as error:  # noqa: BLE001 - counted as an error
+                with lock:
+                    errors.append(f"client {index}: {error}")
+                continue
+            elapsed = time.perf_counter() - start
+            with lock:
+                if status == 200:
+                    latencies.append(elapsed)
+                else:
+                    errors.append(f"client {index}: status {status}")
+
+    threads = [
+        threading.Thread(target=client, args=(index,))
+        for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+
+    total = clients * requests_per_client
+    latencies.sort()
+    return {
+        "arm": arm,
+        "clients": clients,
+        "requests": total,
+        "ok": len(latencies),
+        "errors": len(errors),
+        "error_rate": len(errors) / total if total else 0.0,
+        "error_samples": errors[:5],
+        "wall_s": round(wall, 6),
+        "throughput_rps": round(len(latencies) / wall, 3) if wall else 0.0,
+        "latency_s": {
+            "p50": round(percentile(latencies, 50), 6),
+            "p95": round(percentile(latencies, 95), 6),
+            "p99": round(percentile(latencies, 99), 6),
+            "min": round(latencies[0], 6) if latencies else 0.0,
+            "max": round(latencies[-1], 6) if latencies else 0.0,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Load-test the multi-tenant assess server."
+    )
+    parser.add_argument("--clients", type=int, default=16,
+                        help="client threads (default: 16)")
+    parser.add_argument("--requests", type=int, default=16,
+                        help="requests per client per arm (default: 16)")
+    parser.add_argument("--sales-rows", type=int, default=20_000)
+    parser.add_argument("--ssb-rows", type=int, default=30_000)
+    parser.add_argument("--pool-size", type=int, default=4,
+                        help="sessions per tenant (default: 4)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write results to PATH (default: stdout only)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: tiny cubes, few requests")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.clients = min(args.clients, 8)
+        args.requests = min(args.requests, 4)
+        args.sales_rows = min(args.sales_rows, 2_000)
+        args.ssb_rows = min(args.ssb_rows, 4_000)
+
+    config = ServerConfig(
+        host="127.0.0.1", port=0,
+        admission=AdmissionConfig(max_queue=max(64, args.clients * 4),
+                                  deadline_s=300.0),
+        tenants=[
+            TenantConfig("acme", cube="sales", rows=args.sales_rows,
+                         pool_size=args.pool_size),
+            TenantConfig("globex", cube="ssb", rows=args.ssb_rows,
+                         pool_size=args.pool_size),
+        ],
+    )
+    print(f"building tenants (sales {args.sales_rows} rows, "
+          f"ssb {args.ssb_rows} rows) ...", flush=True)
+    server = ReproServer(config).start()
+    arms = []
+    try:
+        for arm in ("warm", "cold", "fused"):
+            print(f"arm {arm}: {args.clients} clients x "
+                  f"{args.requests} requests ...", flush=True)
+            stats = run_arm(server, arm, args.clients, args.requests)
+            arms.append(stats)
+            latency = stats["latency_s"]
+            print(
+                f"  p50 {latency['p50'] * 1e3:8.2f} ms   "
+                f"p95 {latency['p95'] * 1e3:8.2f} ms   "
+                f"p99 {latency['p99'] * 1e3:8.2f} ms   "
+                f"{stats['throughput_rps']:8.1f} req/s   "
+                f"errors {stats['errors']}/{stats['requests']}",
+                flush=True,
+            )
+    finally:
+        server.shutdown(grace_s=30.0)
+
+    failed = [arm for arm in arms if arm["errors"]]
+    document = {
+        "benchmark": "server_load",
+        "mode": "smoke" if args.smoke else "full",
+        "clients": args.clients,
+        "requests_per_client": args.requests,
+        "tenants": 2,
+        "pool_size": args.pool_size,
+        "sales_rows": args.sales_rows,
+        "ssb_rows": args.ssb_rows,
+        "arms": arms,
+        "passed": not failed,
+    }
+    if args.json:
+        Path(args.json).write_text(json.dumps(document, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if failed:
+        print(f"FAIL: errors in arms {[arm['arm'] for arm in failed]}")
+        return 1
+    print(f"ok: {sum(arm['ok'] for arm in arms)} requests, zero errors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -90,6 +90,12 @@ class AssessSession:
         from .obs.telemetry import Telemetry
 
         self.telemetry = Telemetry.resolve(telemetry)
+        # Sessions sharing one bundle (a server tenant's pool) each get
+        # a distinct label so query-log records stay attributable.
+        self.telemetry_label = (
+            self.telemetry.register_session()
+            if self.telemetry is not None else None
+        )
 
     def set_memory_budget(self, budget_bytes: Optional[int]) -> None:
         """Bound fact-pass grouping state (bytes); ``None`` removes it."""
@@ -250,6 +256,7 @@ class AssessSession:
                 error=f"{type(error).__name__}: {error}",
                 parallelism=self.parallelism,
                 memory_budget=self.memory_budget,
+                session_label=self.telemetry_label,
             )
             raise
         telemetry.record_statement(
@@ -264,6 +271,7 @@ class AssessSession:
             counters_after=self.engine.metrics.snapshot()["counters"],
             parallelism=self.parallelism,
             memory_budget=self.memory_budget,
+            session_label=self.telemetry_label,
         )
         return result
 

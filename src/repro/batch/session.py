@@ -157,11 +157,13 @@ def run_batch(
     # counter deltas — statements run sequentially, so the delta between
     # consecutive snapshots is attributable).  ``None`` costs one load.
     telemetry = getattr(session, "telemetry", None)
+    session_label = getattr(session, "telemetry_label", None)
     batch_id = None
     if telemetry is not None:
         import os as _os
 
-        batch_id = f"{telemetry.session_id}-{_os.urandom(3).hex()}"
+        label = session_label or telemetry.session_id
+        batch_id = f"{label}-{_os.urandom(3).hex()}"
     try:
         with tracer.span("batch", statements=len(resolved)):
             for index, (built, statement) in enumerate(zip(plans, resolved)):
@@ -189,6 +191,7 @@ def run_batch(
                         batch=batch_id,
                         parallelism=session.parallelism,
                         memory_budget=engine.memory_budget,
+                        session_label=session_label,
                     )
     finally:
         engine.executor = original

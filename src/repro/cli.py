@@ -17,7 +17,8 @@ before) executing, ``--rows N`` to size the demo cube.
 Subcommands: ``lint`` (static analysis), ``cache`` (result-cache demo),
 ``batch`` (multi-statement batches), ``trace`` (EXPLAIN ANALYZE),
 ``cube`` (save/load compressed column stores), ``storage`` (describe a
-saved store).
+saved store), ``history`` (query-log reports), ``serve`` (multi-tenant
+HTTP/JSON server — see docs/server.md).
 """
 
 from __future__ import annotations
@@ -987,6 +988,10 @@ def main(argv=None) -> int:
         return storage_main(argv[1:])
     if argv and argv[0] == "history":
         return history_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from .server import serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
         description="Run assess statements against a bundled demo cube.",

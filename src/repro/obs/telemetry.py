@@ -60,6 +60,7 @@ class Telemetry:
         self.hub = TelemetryHub()
         self.session_id = session_id or os.urandom(6).hex()
         self._seq = 0
+        self._registered_sessions = 0
         self._lock = threading.Lock()
         self.profiler = None
         if profile_interval is not None:
@@ -96,6 +97,23 @@ class Telemetry:
         return cls(telemetry)
 
     # ------------------------------------------------------------------
+    def register_session(self) -> str:
+        """A unique session label for one user of this (shared) bundle.
+
+        The first registrant keeps the bundle's bare ``session_id`` (the
+        common single-session case records exactly as before); every
+        further registrant gets ``<session_id>-<n>``.  Sessions sharing
+        a bundle — e.g. a server tenant's pool — pass the label back via
+        ``record_statement(session_label=...)`` so their query-log
+        records stay attributable.
+        """
+        with self._lock:
+            self._registered_sessions += 1
+            n = self._registered_sessions
+        if n == 1:
+            return self.session_id
+        return f"{self.session_id}-{n}"
+
     def record_statement(
         self,
         statement,
@@ -112,6 +130,7 @@ class Telemetry:
         batch: Optional[str] = None,
         parallelism: int = 1,
         memory_budget: Optional[int] = None,
+        session_label: Optional[str] = None,
     ) -> Dict[str, object]:
         """Build, persist, and time-series one statement record."""
         with self._lock:
@@ -120,7 +139,7 @@ class Telemetry:
         counters = counters_delta(counters_before or {}, counters_after or {})
         record = build_record(
             statement,
-            session_id=self.session_id,
+            session_id=session_label or self.session_id,
             seq=seq,
             plan_name=plan_name,
             status=status,

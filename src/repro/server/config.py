@@ -1,0 +1,269 @@
+"""Server configuration: tenants, pools, budgets, admission control.
+
+A server config is a plain JSON (or, on Python 3.11+, TOML) document::
+
+    {
+      "host": "127.0.0.1",
+      "port": 8787,
+      "admission": {"max_queue": 8, "deadline_s": 30.0,
+                    "retry_after_s": 1.0, "shutdown_grace_s": 10.0},
+      "tenants": {
+        "acme":   {"cube": "ssb", "rows": 60000, "pool_size": 2,
+                   "cache_cells": 200000, "parallelism": 2,
+                   "memory_budget": 268435456,
+                   "telemetry_dir": "telemetry/acme"},
+        "globex": {"cube": "sales", "rows": 20000, "pool_size": 2}
+      }
+    }
+
+Every tenant gets its *own* catalog, engine, semantic cache, and
+session pool — nothing is shared across tenants, which is what makes
+the isolation guarantees of ``tests/test_server_concurrency.py`` hold
+by construction.  A tenant is either one of the bundled demo cubes
+(``cube: "sales" | "ssb"``, generated with ``rows``/``seed``) or a
+saved column store (``store: <path>`` written by ``repro cube
+--save``), so SF-scale tenants serve out of core.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+VALID_CUBES = ("sales", "ssb")
+VALID_PLANS = ("NP", "JOP", "POP", "best", "auto")
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8787
+DEFAULT_POOL_SIZE = 2
+DEFAULT_MAX_QUEUE = 8
+DEFAULT_DEADLINE_S = 30.0
+DEFAULT_RETRY_AFTER_S = 1.0
+DEFAULT_SHUTDOWN_GRACE_S = 10.0
+
+
+class ServerConfigError(ValueError):
+    """A malformed or unsatisfiable server configuration."""
+
+
+class TenantConfig:
+    """One tenant: which cube it serves and the budgets it runs under."""
+
+    __slots__ = (
+        "tenant_id", "cube", "rows", "seed", "store", "pool_size",
+        "cache_cells", "parallelism", "memory_budget", "telemetry_dir",
+    )
+
+    def __init__(
+        self,
+        tenant_id: str,
+        cube: str = "sales",
+        rows: Optional[int] = None,
+        seed: int = 42,
+        store: Optional[str] = None,
+        pool_size: int = DEFAULT_POOL_SIZE,
+        cache_cells: Optional[int] = None,
+        parallelism: Optional[int] = None,
+        memory_budget: Optional[int] = None,
+        telemetry_dir: Optional[str] = None,
+    ):
+        if not tenant_id or not tenant_id.replace("-", "").replace("_", "").isalnum():
+            raise ServerConfigError(
+                f"tenant id {tenant_id!r} must be non-empty and "
+                "alphanumeric (dashes/underscores allowed)"
+            )
+        if store is None and cube not in VALID_CUBES:
+            raise ServerConfigError(
+                f"tenant {tenant_id!r}: cube must be one of {VALID_CUBES}, "
+                f"got {cube!r}"
+            )
+        if pool_size < 1:
+            raise ServerConfigError(
+                f"tenant {tenant_id!r}: pool_size must be at least 1"
+            )
+        if rows is not None and rows < 1:
+            raise ServerConfigError(f"tenant {tenant_id!r}: rows must be positive")
+        if cache_cells is not None and cache_cells < 0:
+            raise ServerConfigError(
+                f"tenant {tenant_id!r}: cache_cells must be non-negative"
+            )
+        if memory_budget is not None and memory_budget < 1:
+            raise ServerConfigError(
+                f"tenant {tenant_id!r}: memory_budget must be positive"
+            )
+        self.tenant_id = tenant_id
+        self.cube = cube
+        self.rows = rows
+        self.seed = seed
+        self.store = store
+        self.pool_size = pool_size
+        self.cache_cells = cache_cells
+        self.parallelism = parallelism
+        self.memory_budget = memory_budget
+        self.telemetry_dir = telemetry_dir
+
+    _FIELDS = (
+        "cube", "rows", "seed", "store", "pool_size", "cache_cells",
+        "parallelism", "memory_budget", "telemetry_dir",
+    )
+
+    @classmethod
+    def from_dict(cls, tenant_id: str, document: object) -> "TenantConfig":
+        if not isinstance(document, dict):
+            raise ServerConfigError(f"tenant {tenant_id!r}: must be an object")
+        unknown = set(document) - set(cls._FIELDS)
+        if unknown:
+            raise ServerConfigError(
+                f"tenant {tenant_id!r}: unknown keys {sorted(unknown)}"
+            )
+        return cls(tenant_id, **{k: document[k] for k in cls._FIELDS if k in document})
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            field: getattr(self, field)
+            for field in self._FIELDS
+            if getattr(self, field) is not None
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TenantConfig({self.tenant_id!r}, cube={self.cube!r})"
+
+
+class AdmissionConfig:
+    """Bounded-queue admission control and deadline defaults."""
+
+    __slots__ = ("max_queue", "deadline_s", "retry_after_s", "shutdown_grace_s")
+
+    def __init__(
+        self,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        deadline_s: float = DEFAULT_DEADLINE_S,
+        retry_after_s: float = DEFAULT_RETRY_AFTER_S,
+        shutdown_grace_s: float = DEFAULT_SHUTDOWN_GRACE_S,
+    ):
+        if max_queue < 0:
+            raise ServerConfigError("admission.max_queue must be non-negative")
+        if deadline_s <= 0:
+            raise ServerConfigError("admission.deadline_s must be positive")
+        if retry_after_s < 0:
+            raise ServerConfigError("admission.retry_after_s must be non-negative")
+        if shutdown_grace_s < 0:
+            raise ServerConfigError(
+                "admission.shutdown_grace_s must be non-negative"
+            )
+        self.max_queue = max_queue
+        self.deadline_s = float(deadline_s)
+        self.retry_after_s = float(retry_after_s)
+        self.shutdown_grace_s = float(shutdown_grace_s)
+
+    _FIELDS = ("max_queue", "deadline_s", "retry_after_s", "shutdown_grace_s")
+
+    @classmethod
+    def from_dict(cls, document: object) -> "AdmissionConfig":
+        if not isinstance(document, dict):
+            raise ServerConfigError("admission: must be an object")
+        unknown = set(document) - set(cls._FIELDS)
+        if unknown:
+            raise ServerConfigError(f"admission: unknown keys {sorted(unknown)}")
+        return cls(**{k: document[k] for k in cls._FIELDS if k in document})
+
+    def to_dict(self) -> Dict[str, float]:
+        return {field: getattr(self, field) for field in self._FIELDS}
+
+
+class ServerConfig:
+    """The whole server: bind address, admission policy, tenants."""
+
+    __slots__ = ("host", "port", "admission", "tenants")
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        admission: Optional[AdmissionConfig] = None,
+        tenants: Optional[List[TenantConfig]] = None,
+    ):
+        if not 0 <= port <= 65535:
+            raise ServerConfigError(f"port {port} out of range")
+        self.host = host
+        self.port = int(port)
+        self.admission = admission or AdmissionConfig()
+        self.tenants: Dict[str, TenantConfig] = {}
+        for tenant in tenants or []:
+            if tenant.tenant_id in self.tenants:
+                raise ServerConfigError(
+                    f"duplicate tenant id {tenant.tenant_id!r}"
+                )
+            self.tenants[tenant.tenant_id] = tenant
+        if not self.tenants:
+            raise ServerConfigError("at least one tenant is required")
+
+    @classmethod
+    def from_dict(cls, document: object) -> "ServerConfig":
+        if not isinstance(document, dict):
+            raise ServerConfigError("server config must be an object")
+        unknown = set(document) - {"host", "port", "admission", "tenants"}
+        if unknown:
+            raise ServerConfigError(f"unknown keys {sorted(unknown)}")
+        tenants_doc = document.get("tenants")
+        if not isinstance(tenants_doc, dict) or not tenants_doc:
+            raise ServerConfigError("'tenants' must be a non-empty object")
+        return cls(
+            host=document.get("host", DEFAULT_HOST),
+            port=document.get("port", DEFAULT_PORT),
+            admission=AdmissionConfig.from_dict(document.get("admission", {})),
+            tenants=[
+                TenantConfig.from_dict(tenant_id, tenant_doc)
+                for tenant_id, tenant_doc in tenants_doc.items()
+            ],
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "host": self.host,
+            "port": self.port,
+            "admission": self.admission.to_dict(),
+            "tenants": {
+                tenant_id: tenant.to_dict()
+                for tenant_id, tenant in self.tenants.items()
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ServerConfig({self.host}:{self.port}, "
+            f"tenants={list(self.tenants)})"
+        )
+
+
+def load_config(path) -> ServerConfig:
+    """Parse a server config file: JSON always, TOML on Python 3.11+.
+
+    TOML support comes from the stdlib ``tomllib`` — no new dependency;
+    on older interpreters a ``.toml`` path fails with a clear message
+    (write the same document as JSON instead).
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as error:
+        raise ServerConfigError(f"cannot read config {path}: {error}") from error
+    if path.suffix.lower() == ".toml":
+        try:
+            import tomllib
+        except ImportError as error:  # pragma: no cover - py<3.11 only
+            raise ServerConfigError(
+                "TOML configs need Python 3.11+ (stdlib tomllib); "
+                "use a JSON config on this interpreter"
+            ) from error
+        try:
+            document = tomllib.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise ServerConfigError(f"invalid TOML in {path}: {error}") from error
+    else:
+        try:
+            document = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise ServerConfigError(f"invalid JSON in {path}: {error}") from error
+    return ServerConfig.from_dict(document)

@@ -1,0 +1,116 @@
+"""Wire format: assess results and diagnostics as JSON documents.
+
+One serializer, used by both the HTTP handlers and the test battery —
+``tests/test_server_concurrency.py`` proves served responses are
+bit-identical to direct :class:`~repro.api.AssessSession` execution by
+serializing the direct result through these same functions and
+comparing parsed JSON trees.  Floats round-trip exactly through
+``json`` (``repr`` encoding); ``NaN`` is mapped to ``null`` so the
+documents stay strict JSON.
+
+The response schema is versioned (:data:`SCHEMA_VERSION`) and
+structurally validated by ``tools/check_server_schema.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+SCHEMA_VERSION = 1
+"""Bump when a response field changes meaning; the validator pins it."""
+
+
+def _number(value) -> Optional[float]:
+    """A contract-column value as a JSON number (NaN/None → null)."""
+    if value is None:
+        return None
+    value = float(value)
+    if math.isnan(value):
+        return None
+    return value
+
+
+def _member(value) -> object:
+    """A coordinate member as a JSON scalar (numpy scalars unwrapped)."""
+    if hasattr(value, "item"):
+        value = value.item()
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return _number(value)
+    return str(value)
+
+
+def _label_key(label) -> str:
+    return "null" if label is None else str(label)
+
+
+def serialize_result(result) -> Dict[str, object]:
+    """One :class:`~repro.core.result.AssessResult` as a JSON document.
+
+    Cells come out in the deterministic coordinate order of
+    ``result.cells()``, so two executions of the same statement —
+    served or direct, serial or parallel — serialize identically.
+    """
+    levels = list(result.cube.group_by.levels)
+    cells: List[Dict[str, object]] = []
+    for cell in result.cells():
+        cells.append({
+            "coordinate": {
+                level: _member(member)
+                for level, member in zip(levels, cell.coordinate)
+            },
+            "value": _number(cell.value),
+            "benchmark": _number(cell.benchmark),
+            "comparison": _number(cell.comparison),
+            "label": cell.label,
+        })
+    return {
+        "plan": result.plan_name,
+        "levels": levels,
+        "measure": result.measure,
+        "rows": len(result),
+        "cells": cells,
+        "label_counts": {
+            _label_key(label): count
+            for label, count in sorted(
+                result.label_counts().items(), key=lambda item: _label_key(item[0])
+            )
+        },
+        "timings": {
+            step: round(float(seconds), 9)
+            for step, seconds in result.timings.items()
+        },
+    }
+
+
+def serialize_batch(batch) -> Dict[str, object]:
+    """A :class:`~repro.batch.BatchResult` (results + sharing report)."""
+    return {
+        "results": [serialize_result(result) for result in batch.results],
+        "seconds": [round(float(seconds), 9) for seconds in batch.seconds],
+        "sharing": {
+            key: value for key, value in batch.report.to_dict().items()
+        },
+    }
+
+
+def serialize_diagnostics(bag) -> List[Dict[str, object]]:
+    """A diagnostic bag in the lint JSON layout (ASSESSxxx codes first-class)."""
+    documents: List[Dict[str, object]] = []
+    for diagnostic in bag.sorted():
+        span = diagnostic.span
+        documents.append({
+            "code": diagnostic.code,
+            "severity": str(diagnostic.severity),
+            "message": diagnostic.message,
+            "span": None if span is None else {
+                "start": span.start,
+                "end": span.end,
+                "line": span.line,
+                "column": span.column,
+            },
+            "hint": diagnostic.hint,
+        })
+    return documents

@@ -1,0 +1,81 @@
+"""Shared plumbing for the server test battery (not itself a test file)."""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, Optional, Tuple
+
+from repro.server import AdmissionConfig, ReproServer, ServerConfig, TenantConfig
+
+SALES_STATEMENT = "with SALES by month assess storeSales labels quartiles"
+SALES_STATEMENT_2 = (
+    "with SALES by month, country assess storeSales labels quartiles"
+)
+SSB_STATEMENT = "with SSB by year assess revenue labels quartiles"
+
+
+def http_get(url: str, timeout: float = 30.0) -> Tuple[int, bytes, Dict[str, str]]:
+    """GET, returning (status, body, headers) for 2xx and error alike."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, response.read(), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, error.read(), dict(error.headers)
+
+
+def http_post(
+    url: str,
+    payload: Optional[dict] = None,
+    raw: Optional[bytes] = None,
+    timeout: float = 30.0,
+) -> Tuple[int, bytes, Dict[str, str]]:
+    """POST JSON (or raw bytes), returning (status, body, headers)."""
+    data = json.dumps(payload).encode("utf-8") if payload is not None else raw
+    request = urllib.request.Request(url, data=data, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, response.read(), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, error.read(), dict(error.headers)
+
+
+def get_json(url: str, timeout: float = 30.0) -> Tuple[int, dict]:
+    status, body, _ = http_get(url, timeout=timeout)
+    return status, json.loads(body)
+
+
+def post_json(
+    url: str, payload: dict, timeout: float = 30.0
+) -> Tuple[int, dict, Dict[str, str]]:
+    status, body, headers = http_post(url, payload=payload, timeout=timeout)
+    return status, json.loads(body), headers
+
+
+@contextlib.contextmanager
+def running_server(
+    tenants=None,
+    max_queue: int = 8,
+    deadline_s: float = 30.0,
+    retry_after_s: float = 1.0,
+    shutdown_grace_s: float = 10.0,
+):
+    """A live server on an ephemeral port, shut down (drained) on exit."""
+    config = ServerConfig(
+        host="127.0.0.1",
+        port=0,
+        admission=AdmissionConfig(
+            max_queue=max_queue,
+            deadline_s=deadline_s,
+            retry_after_s=retry_after_s,
+            shutdown_grace_s=shutdown_grace_s,
+        ),
+        tenants=tenants or [TenantConfig("demo", cube="sales", rows=2_000)],
+    )
+    server = ReproServer(config).start()
+    try:
+        yield server
+    finally:
+        server.shutdown(grace_s=shutdown_grace_s)

@@ -1,0 +1,355 @@
+"""Contract suite for the multi-tenant assess server.
+
+Every endpoint's 200 body and every error envelope is checked against
+the schema-v1 contract — structurally via the validators in
+``tools/check_server_schema.py`` (the same code the CI smoke runs) and
+behaviorally via golden field assertions.  One live server per module
+(session reuse keeps the battery fast); tests only read, so sharing is
+safe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro.server import (
+    ServerConfig,
+    ServerConfigError,
+    TenantConfig,
+    load_config,
+)
+from repro.server.wire import SCHEMA_VERSION
+
+from .server_utils import (
+    SALES_STATEMENT,
+    SSB_STATEMENT,
+    get_json,
+    http_get,
+    http_post,
+    post_json,
+    running_server,
+)
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "tools")
+)
+from check_server_schema import (  # noqa: E402
+    validate_batch_document,
+    validate_error_document,
+    validate_explain_document,
+    validate_health_document,
+    validate_metrics_text,
+    validate_query_document,
+    validate_stats_document,
+)
+
+
+@pytest.fixture(scope="module")
+def server():
+    tenants = [
+        TenantConfig("acme", cube="sales", rows=2_000),
+        TenantConfig("globex", cube="ssb", rows=4_000),
+    ]
+    with running_server(tenants=tenants) as live:
+        yield live
+
+
+# ----------------------------------------------------------------------
+# 200 bodies
+# ----------------------------------------------------------------------
+def test_query_contract(server):
+    status, document, _ = post_json(
+        f"{server.url}/v1/query",
+        {"tenant": "acme", "statement": SALES_STATEMENT},
+    )
+    assert status == 200
+    assert validate_query_document(document) == []
+    assert document["schema_version"] == SCHEMA_VERSION
+    assert document["tenant"] == "acme"
+    assert document["levels"] == ["month"]
+    assert document["rows"] == len(document["cells"]) > 0
+    cell = document["cells"][0]
+    assert set(cell) == {"coordinate", "value", "benchmark", "comparison", "label"}
+    assert set(cell["coordinate"]) == {"month"}
+    assert sum(document["label_counts"].values()) == document["rows"]
+
+
+def test_query_explicit_plan(server):
+    status, document, _ = post_json(
+        f"{server.url}/v1/query",
+        {"tenant": "acme", "statement": SALES_STATEMENT, "plan": "NP"},
+    )
+    assert status == 200
+    assert document["plan"] == "NP"
+
+
+def test_batch_contract(server):
+    status, document, _ = post_json(
+        f"{server.url}/v1/batch",
+        {"tenant": "globex",
+         "statements": [SSB_STATEMENT, SSB_STATEMENT]},
+    )
+    assert status == 200
+    assert validate_batch_document(document) == []
+    assert len(document["results"]) == 2
+    assert len(document["seconds"]) == 2
+    # Identical statements in one batch share work: same cells, labels,
+    # and plan (timings are per-execution measurements and may differ).
+    first, second = document["results"]
+    assert {k: v for k, v in first.items() if k != "timings"} \
+        == {k: v for k, v in second.items() if k != "timings"}
+    assert "engine_scans" in document["sharing"]
+
+
+def test_explain_contract(server):
+    status, document, _ = post_json(
+        f"{server.url}/v1/explain",
+        {"tenant": "acme", "statement": SALES_STATEMENT, "plan": "NP"},
+    )
+    assert status == 200
+    assert validate_explain_document(document) == []
+    assert document["plan"] == "NP"
+    assert "NP" in document["plans"]
+
+
+def test_health_contract(server):
+    status, document = get_json(f"{server.url}/v1/health")
+    assert status == 200
+    assert validate_health_document(document) == []
+    assert document["status"] == "ok"
+    assert document["tenants"] == ["acme", "globex"]
+
+
+def test_metrics_contract(server):
+    # Warm the metrics with one query first.
+    post_json(f"{server.url}/v1/query",
+              {"tenant": "acme", "statement": SALES_STATEMENT})
+    status, body, headers = http_get(f"{server.url}/v1/metrics")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain")
+    text = body.decode("utf-8")
+    assert validate_metrics_text(text) == []
+    # Per-tenant namespaces are present and distinct.
+    assert "repro_tenant_acme_" in text
+    assert "repro_tenant_globex_" in text
+
+
+def test_tenant_stats_contract(server):
+    post_json(f"{server.url}/v1/query",
+              {"tenant": "acme", "statement": SALES_STATEMENT})
+    status, document = get_json(f"{server.url}/v1/tenants/acme/stats")
+    assert status == 200
+    assert validate_stats_document(document) == []
+    assert document["tenant"] == "acme"
+    assert document["cube"] == "sales"
+    assert document["pool"]["size"] == 2
+    assert document["admission"]["admitted"] >= 1
+    assert document["admission"]["completed"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Error envelopes
+# ----------------------------------------------------------------------
+def _error(body, status):
+    document = json.loads(body)
+    assert validate_error_document(document, status=status) == []
+    return document["error"]
+
+
+def test_malformed_json_envelope(server):
+    status, body, _ = http_post(f"{server.url}/v1/query", raw=b"{not json")
+    assert status == 400
+    assert _error(body, status)["code"] == "bad_json"
+
+
+def test_missing_body_envelope(server):
+    status, body, _ = http_post(f"{server.url}/v1/query", raw=b"")
+    assert status == 400
+    assert _error(body, status)["code"] == "bad_request"
+
+
+def test_unknown_tenant_envelope(server):
+    status, body, _ = http_post(
+        f"{server.url}/v1/query",
+        payload={"tenant": "ghost", "statement": SALES_STATEMENT},
+    )
+    assert status == 404
+    error = _error(body, status)
+    assert error["code"] == "unknown_tenant"
+    assert "ghost" in error["message"]
+
+
+def test_lint_failure_envelope_carries_assess_codes(server):
+    status, body, _ = http_post(
+        f"{server.url}/v1/query",
+        payload={"tenant": "acme",
+                 "statement": "with NOPE by month assess storeSales labels quartiles"},
+    )
+    assert status == 422
+    error = _error(body, status)
+    assert error["code"] == "lint_failed"
+    codes = {d["code"] for d in error["diagnostics"]}
+    assert codes and all(code.startswith("ASSESS") for code in codes)
+    assert any(code in error["message"] for code in codes)
+
+
+def test_lint_failure_in_batch_names_statement(server):
+    status, body, _ = http_post(
+        f"{server.url}/v1/batch",
+        payload={"tenant": "acme",
+                 "statements": [
+                     SALES_STATEMENT,
+                     "with NOPE by month assess storeSales labels quartiles",
+                 ]},
+    )
+    assert status == 422
+    error = _error(body, status)
+    assert error["code"] == "lint_failed"
+    assert "statement 1" in error["message"]
+
+
+def test_bad_plan_envelope(server):
+    status, body, _ = http_post(
+        f"{server.url}/v1/query",
+        payload={"tenant": "acme", "statement": SALES_STATEMENT,
+                 "plan": "WAT"},
+    )
+    assert status == 400
+    assert _error(body, status)["code"] == "bad_request"
+
+
+def test_bad_deadline_envelope(server):
+    status, body, _ = http_post(
+        f"{server.url}/v1/query",
+        payload={"tenant": "acme", "statement": SALES_STATEMENT,
+                 "deadline_s": -1},
+    )
+    assert status == 400
+    assert _error(body, status)["code"] == "bad_request"
+
+
+def test_wrong_method_envelope(server):
+    status, body, _ = http_get(f"{server.url}/v1/query")
+    assert status == 405
+    assert _error(body, status)["code"] == "method_not_allowed"
+    status, body, _ = http_post(f"{server.url}/v1/health", raw=b"{}")
+    assert status == 405
+    assert _error(body, status)["code"] == "method_not_allowed"
+
+
+def test_unknown_path_envelope(server):
+    status, body, _ = http_get(f"{server.url}/v1/nope")
+    assert status == 404
+    assert _error(body, status)["code"] == "not_found"
+
+
+def test_unknown_tenant_stats_envelope(server):
+    status, body, _ = http_get(f"{server.url}/v1/tenants/ghost/stats")
+    assert status == 404
+    assert _error(body, status)["code"] == "unknown_tenant"
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+def test_load_config_json_roundtrip(tmp_path):
+    document = {
+        "host": "127.0.0.1",
+        "port": 0,
+        "admission": {"max_queue": 3, "deadline_s": 7.5},
+        "tenants": {
+            "a": {"cube": "sales", "rows": 1000, "pool_size": 1},
+            "b": {"cube": "ssb", "rows": 2000, "cache_cells": 50_000},
+        },
+    }
+    path = tmp_path / "server.json"
+    path.write_text(json.dumps(document))
+    config = load_config(path)
+    assert sorted(config.tenants) == ["a", "b"]
+    assert config.admission.max_queue == 3
+    assert config.admission.deadline_s == 7.5
+    assert config.tenants["b"].cache_cells == 50_000
+
+
+def test_load_config_toml(tmp_path):
+    tomllib = pytest.importorskip("tomllib")
+    assert tomllib is not None
+    path = tmp_path / "server.toml"
+    path.write_text(
+        'host = "127.0.0.1"\nport = 0\n'
+        "[admission]\nmax_queue = 2\n"
+        '[tenants.acme]\ncube = "sales"\nrows = 1000\n'
+    )
+    config = load_config(path)
+    assert config.admission.max_queue == 2
+    assert config.tenants["acme"].rows == 1000
+
+
+@pytest.mark.parametrize("document, fragment", [
+    ({}, "tenants"),
+    ({"tenants": {}}, "tenants"),
+    ({"tenants": {"a": {"cube": "nope"}}}, "cube"),
+    ({"tenants": {"a": {"cube": "sales", "pool_size": 0}}}, "pool_size"),
+    ({"tenants": {"a": {"cube": "sales", "wat": 1}}}, "unknown"),
+    ({"tenants": {"a": {"cube": "sales"}}, "admission": {"max_queue": -1}},
+     "max_queue"),
+    ({"tenants": {"a": {"cube": "sales"}}, "port": 99999}, "port"),
+    ({"tenants": {"bad id": {"cube": "sales"}}}, "bad id"),
+])
+def test_config_rejects(document, fragment):
+    with pytest.raises(ServerConfigError) as excinfo:
+        ServerConfig.from_dict(document)
+    assert fragment in str(excinfo.value)
+
+
+def test_duplicate_tenant_rejected():
+    with pytest.raises(ServerConfigError, match="duplicate"):
+        ServerConfig(tenants=[
+            TenantConfig("a", cube="sales"),
+            TenantConfig("a", cube="ssb"),
+        ])
+
+
+def test_check_mode_never_serves(capsys):
+    from repro.server import serve_main
+
+    code = serve_main([
+        "--cube", "sales", "--rows", "1000", "--tenants", "a,b",
+        "--port", "0", "--check",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "tenant a" in out and "tenant b" in out
+    assert "/v1/query" in out
+
+
+def test_serve_main_rejects_bad_config(tmp_path, capsys):
+    from repro.server import serve_main
+
+    path = tmp_path / "bad.json"
+    path.write_text("{\"tenants\": {}}")
+    assert serve_main(["--config", str(path), "--check"]) == 2
+    assert "tenants" in capsys.readouterr().err
+
+
+def test_server_requires_deadline_cap(server):
+    # A request deadline beyond the admission cap is clamped, not honored.
+    status, document, _ = post_json(
+        f"{server.url}/v1/query",
+        {"tenant": "acme", "statement": SALES_STATEMENT,
+         "deadline_s": 10_000},
+    )
+    assert status == 200
+    assert document["rows"] > 0
+
+
+def test_requests_counted_in_health(server):
+    _, before = get_json(f"{server.url}/v1/health")
+    post_json(f"{server.url}/v1/query",
+              {"tenant": "acme", "statement": SALES_STATEMENT})
+    _, after = get_json(f"{server.url}/v1/health")
+    assert after["requests_total"] >= before["requests_total"] + 2

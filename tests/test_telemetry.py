@@ -404,6 +404,55 @@ class TestSessionTelemetry:
         records = list(iter_records(tmp_path, strict=True))
         assert [record["seq"] for record in records] == [1, 2]
 
+    def test_shared_bundle_sessions_get_distinct_labels(self, sales, tmp_path):
+        # Regression: sessions sharing one bundle used to all record
+        # the bundle's session_id, making per-session attribution (a
+        # server tenant's pool) impossible.  The first registrant keeps
+        # the bare id; later ones get a ``-<n>`` suffix.
+        bundle = Telemetry(tmp_path)
+        one = AssessSession(sales, telemetry=bundle)
+        two = AssessSession(sales, telemetry=bundle)
+        three = AssessSession(sales, telemetry=bundle)
+        assert one.telemetry_label == bundle.session_id
+        assert two.telemetry_label == f"{bundle.session_id}-2"
+        assert three.telemetry_label == f"{bundle.session_id}-3"
+        one.assess(MONTHLY)
+        two.assess(MONTHLY)
+        three.assess(MONTHLY)
+        bundle.close()
+        records = list(iter_records(tmp_path, strict=True))
+        assert [record["session"] for record in records] == [
+            bundle.session_id,
+            f"{bundle.session_id}-2",
+            f"{bundle.session_id}-3",
+        ]
+        # Bundle-level sequencing is unchanged: one shared counter.
+        assert [record["seq"] for record in records] == [1, 2, 3]
+
+    def test_single_session_label_is_bare_session_id(self, sales, tmp_path):
+        session = AssessSession(sales, telemetry=str(tmp_path))
+        assert session.telemetry_label == session.telemetry.session_id
+        session.assess(MONTHLY)
+        session.telemetry.close()
+        (record,) = list(iter_records(tmp_path, strict=True))
+        assert record["session"] == session.telemetry.session_id
+
+    def test_shared_bundle_batch_records_carry_session_label(
+        self, sales, tmp_path
+    ):
+        bundle = Telemetry(tmp_path)
+        AssessSession(sales, telemetry=bundle)  # claims the bare label
+        second = AssessSession(sales, telemetry=bundle)
+        second.execute_many([MONTHLY, SIBLING])
+        bundle.close()
+        records = list(iter_records(tmp_path, strict=True))
+        assert len(records) == 2
+        label = f"{bundle.session_id}-2"
+        assert all(record["session"] == label for record in records)
+        batches = {record["batch"] for record in records}
+        assert len(batches) == 1
+        assert batches.pop().startswith(f"{label}-")
+
     def test_disabled_by_default(self, sales_session, monkeypatch):
         monkeypatch.delenv("REPRO_TELEMETRY_DIR", raising=False)
         assert sales_session.telemetry is None
